@@ -1,0 +1,34 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure (DESIGN.md §4) via
+the experiment modules, times it with pytest-benchmark, writes the
+formatted report to ``benchmarks/out/<id>_<name>.txt`` and asserts the
+qualitative shape the paper reports.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(report_dir):
+    def _save(name: str, text: str) -> None:
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

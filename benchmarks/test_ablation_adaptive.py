@@ -1,0 +1,13 @@
+"""E10 benchmark — latency-adaptive compilation (extension)."""
+
+from repro.experiments import ablation_adaptive
+
+
+def test_ablation_adaptive(benchmark, save_report):
+    res = benchmark.pedantic(ablation_adaptive.run, rounds=1, iterations=1)
+    save_report("E10_ablation_adaptive", ablation_adaptive.format_result(res))
+    # knowing the true latency must help (or at worst tie) on average
+    for lat in res.avg_fixed:
+        assert res.avg_adaptive[lat] >= res.avg_fixed[lat] - 0.05
+    # and recover a visible fraction of the Fig 13 degradation at 50cyc
+    assert res.avg_adaptive[50] >= res.avg_fixed[50] + 0.1

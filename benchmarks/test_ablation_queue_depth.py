@@ -1,0 +1,11 @@
+"""E8 benchmark — queue-depth sweep (extension beyond the paper)."""
+
+from repro.experiments import ablation_queue_depth
+
+
+def test_ablation_queue_depth(benchmark, save_report):
+    res = benchmark.pedantic(ablation_queue_depth.run, rounds=1, iterations=1)
+    save_report("E8_ablation_queue_depth", ablation_queue_depth.format_result(res))
+    assert all(v == 0 for v in res.deadlocks.values())  # rank-ordered comm
+    assert res.avg[20] >= res.avg[4] >= res.avg[1]
+    assert res.avg[1] > 1.0  # still profitable at depth 1

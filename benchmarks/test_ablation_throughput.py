@@ -1,0 +1,14 @@
+"""E7 benchmark — §III-B throughput-heuristic ablation.
+
+Paper: mixed outcome; 3 kernels improve, 6 degrade, -11% on average.
+"""
+
+from repro.experiments import ablation_throughput
+
+
+def test_ablation_throughput(benchmark, save_report):
+    res = benchmark.pedantic(ablation_throughput.run, rounds=1, iterations=1)
+    save_report("E7_ablation_throughput", ablation_throughput.format_result(res))
+    assert res.improved >= 1
+    assert res.degraded >= res.improved           # net-negative direction
+    assert res.avg_change_pct < 5.0

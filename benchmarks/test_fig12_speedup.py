@@ -1,0 +1,19 @@
+"""E2 benchmark — Figure 12: per-kernel speedups on 2 and 4 cores.
+
+Shape checks vs the paper: averages in band (2-core 1.32, 4-core 2.05),
+4-core beats 2-core, umt2k-2 near 1.0, irs kernels near the top.
+"""
+
+from repro.experiments import fig12_speedup
+
+
+def test_fig12_speedup(benchmark, save_report):
+    res = benchmark.pedantic(fig12_speedup.run, rounds=1, iterations=1)
+    save_report("E2_fig12_speedup", fig12_speedup.format_result(res))
+    assert res.avg[4] > res.avg[2] > 1.0
+    assert 1.1 <= res.avg[2] <= 1.7       # paper 1.32
+    assert 1.6 <= res.avg[4] <= 2.4       # paper 2.05
+    by = {r["kernel"]: r["speedup_4"] for r in res.rows}
+    assert by["umt2k-2"] <= 1.35          # paper 1.01
+    top = sorted(by, key=by.get)[-6:]
+    assert any(k.startswith("irs") for k in top)

@@ -1,0 +1,16 @@
+"""E5 benchmark — Figure 13: queue-transfer-latency sensitivity.
+
+Paper series: avg 2.05 @5cyc -> 1.85 @20 -> 1.36 @50 -> ~1.0 @100.
+"""
+
+from repro.experiments import fig13_latency
+
+
+def test_fig13_latency(benchmark, save_report):
+    res = benchmark.pedantic(fig13_latency.run, rounds=1, iterations=1)
+    save_report("E5_fig13_latency", fig13_latency.format_result(res))
+    assert res.avg[5] > res.avg[20] > res.avg[50] > res.avg[100]
+    assert res.avg[50] <= 1.55                    # paper 1.36
+    assert res.avg[100] <= 1.25                   # paper ~1.0
+    assert res.no_speedup[100] >= res.no_speedup[50] >= res.no_speedup[20]
+    assert res.no_speedup[100] >= 8               # paper 16

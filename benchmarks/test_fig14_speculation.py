@@ -1,0 +1,12 @@
+"""E6 benchmark — Figure 14: control-flow speculation."""
+
+from repro.experiments import fig14_speculation
+
+
+def test_fig14_speculation(benchmark, save_report):
+    res = benchmark.pedantic(fig14_speculation.run, rounds=1, iterations=1)
+    save_report("E6_fig14_speculation", fig14_speculation.format_result(res))
+    assert res.avg_spec >= res.avg_base - 0.01    # versioned: no net loss
+    assert res.n_improved >= 1                    # paper: 8
+    by = {r["kernel"]: r for r in res.rows}
+    assert by["umt2k-6"]["gain"] > 1.1            # chained-conditional win

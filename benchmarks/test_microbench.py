@@ -1,0 +1,25 @@
+"""Micro-benchmarks of the substrate itself: compile and simulate
+throughput on representative kernels (not a paper artifact; useful for
+tracking regressions in the reproduction infrastructure)."""
+
+import pytest
+
+from repro.compiler import CompilerConfig, parallelize
+from repro.kernels import get_kernel
+from repro.runtime import compile_loop, execute_kernel
+
+
+@pytest.mark.parametrize("name", ["lammps-3", "irs-5", "sphot-2"])
+def test_compile_throughput(benchmark, name):
+    loop = get_kernel(name).loop()
+    cfg = CompilerConfig(refine=False, autotune=False)
+    benchmark(parallelize, loop, 4, cfg)
+
+
+@pytest.mark.parametrize("name", ["umt2k-4", "irs-1"])
+def test_simulate_throughput(benchmark, name):
+    spec = get_kernel(name)
+    kern = compile_loop(spec.loop(), 4)
+    wl = spec.workload(trip=64)
+    res = benchmark(execute_kernel, kern, wl)
+    assert res.cycles > 0

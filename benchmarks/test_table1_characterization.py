@@ -1,0 +1,15 @@
+"""E1 benchmark — Table I + §IV taxonomy (code characterization)."""
+
+from repro.experiments import table1_hotloops
+
+
+def test_table1_characterization(benchmark, save_report):
+    res = benchmark.pedantic(table1_hotloops.run, rounds=1, iterations=1)
+    save_report("E1_table1_characterization", table1_hotloops.format_result(res))
+    c = res.counts
+    assert c["total"] == 51
+    assert c["init"] == 6
+    assert c["traditional"] == 25
+    assert c["conditional"] == 2
+    assert c["amenable"] == 18
+    assert len(res.rows) == 18

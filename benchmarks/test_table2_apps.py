@@ -1,0 +1,13 @@
+"""E3 benchmark — Table II: projected whole-application speedups."""
+
+from repro.experiments import table2_apps
+
+
+def test_table2_apps(benchmark, save_report):
+    res = benchmark.pedantic(table2_apps.run, rounds=1, iterations=1)
+    save_report("E3_table2_apps", table2_apps.format_result(res))
+    avg = res.by_app("average")
+    assert 1.0 <= avg["speedup_2"] <= 1.6   # paper 1.18
+    assert avg["speedup_2"] <= avg["speedup_4"] <= 2.0  # paper 1.73
+    for r in res.rows:
+        assert r["speedup_2"] >= 0.95

@@ -1,0 +1,15 @@
+"""E4 benchmark — Table III: per-kernel partitioning statistics."""
+
+from repro.experiments import table3_stats
+
+
+def test_table3_stats(benchmark, save_report):
+    res = benchmark.pedantic(table3_stats.run, rounds=1, iterations=1)
+    save_report("E4_table3_stats", table3_stats.format_result(res))
+    by = {r["kernel"]: r for r in res.rows}
+    # relationships the paper's table exhibits
+    assert by["irs-5"]["initial_fibers"] == max(r["initial_fibers"] for r in res.rows)
+    assert by["irs-5"]["com_ops"] >= 30           # paper 60, largest
+    assert all(r["queues"] <= 12 for r in res.rows)
+    assert max(r["queues"] for r in res.rows) >= 6  # paper max 8
+    assert all(r["load_balance"] >= 1.0 for r in res.rows)

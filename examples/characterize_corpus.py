@@ -1,0 +1,16 @@
+#!/usr/bin/env python
+"""Hot-loop characterization (§IV): classify all 51 corpus loops and
+print the taxonomy + Table I, recomputed from the IR alone."""
+
+from repro.characterize import characterize_corpus
+from repro.characterize.report import format_report
+from repro.experiments import table1_hotloops
+
+
+def main():
+    res = table1_hotloops.run()
+    print(table1_hotloops.format_result(res))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Deep dive: the lammps-3 EAM force loop through every compiler stage.
+
+Shows what the paper's pipeline actually produces: the flattened
+predicated IR, the fibers found (§III-A), the partitions after merging
+(§III-B), the queue transfers inserted (§III-D/E), a snippet of the
+generated machine code (driver + outlined function, §III-C/G), and the
+measured 4-core speedup.
+"""
+
+from repro import parallelize, compile_loop, execute_kernel, run_loop
+from repro.ir import fmt_flat
+from repro.kernels import get_kernel
+
+
+def main():
+    spec = get_kernel("lammps-3")
+    loop = spec.loop()
+    print(f"kernel: {spec.name}  ({spec.source}; {spec.pct_time}% of app time)\n")
+
+    plan = parallelize(loop, 4)
+    print(fmt_flat(plan.body))
+
+    st = plan.stats
+    print(
+        f"\nfibers={st.initial_fibers}  data deps={st.data_deps}  "
+        f"load balance={st.load_balance:.2f}  com ops={st.com_ops}  "
+        f"queues={st.queues_used}"
+    )
+    for p in plan.partitions:
+        print(f"  partition {p.pid}: {len(p.fids)} fibers, "
+              f"{p.n_compute_ops} compute ops, est. cost {p.cost:.0f} cyc")
+    print("\nqueue transfers per iteration:")
+    for t in plan.comm.transfers:
+        guard = "".join(f"[{c}={'T' if v else 'F'}]" for c, v in t.pred)
+        print(f"  {t.kind:5s} {t.reg:10s} p{t.src_pid}->p{t.dst_pid} {guard}")
+
+    kern = compile_loop(loop, 4)
+    print("\nsecondary core 1 program (driver + outlined F1), first 30 instrs:")
+    for line in kern.programs[1].dump().splitlines()[:30]:
+        print(" ", line)
+
+    wl = spec.workload(trip=128)
+    ref = run_loop(loop, wl)
+    seq = execute_kernel(compile_loop(loop, 1), wl)
+    par = execute_kernel(kern, wl)
+    ok = all(
+        (ref.arrays[n] == par.arrays[n]).all() for n in ref.arrays
+    )
+    print(
+        f"\nsequential {seq.cycles:.0f} cyc -> 4 cores {par.cycles:.0f} cyc: "
+        f"speedup {seq.cycles / par.cycles:.2f}x (paper: 1.67), correct={ok}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Queue-latency sensitivity study on selected kernels (Fig 13 style).
+
+Sweeps the hardware transfer latency while keeping the compiled code
+fixed (the paper compiles once against a 5-cycle assumption), printing
+the speedup series and an ASCII chart.
+"""
+
+from repro import MachineParams, compile_loop, execute_kernel
+from repro.kernels import get_kernel
+
+KERNELS = ["irs-1", "umt2k-4", "lammps-3", "sphot-1"]
+LATENCIES = [1, 5, 10, 20, 35, 50, 75, 100]
+
+
+def main():
+    print(f"{'kernel':10s} " + " ".join(f"{l:>6d}" for l in LATENCIES))
+    for name in KERNELS:
+        spec = get_kernel(name)
+        loop = spec.loop()
+        wl = spec.workload(trip=96)
+        seq = execute_kernel(compile_loop(loop, 1), wl).cycles
+        kern = compile_loop(loop, 4)
+        series = []
+        for lat in LATENCIES:
+            par = execute_kernel(kern, wl, MachineParams(queue_latency=lat))
+            series.append(seq / par.cycles)
+        print(f"{name:10s} " + " ".join(f"{s:6.2f}" for s in series))
+        bar = "".join("#" if s > 1.0 else "." for s in series)
+        print(f"{'':10s} {bar}   (#: still profitable)")
+
+
+if __name__ == "__main__":
+    main()

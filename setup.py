@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline build environment has setuptools but no `wheel`, so PEP 517
+editable installs (which require building an editable wheel) fail.
+This shim lets `pip install -e .` fall back to `setup.py develop`.
+Metadata lives in pyproject.toml's [project] table.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — reproduction of *Using Multiple Threads to Accelerate Single
+Thread Performance* (Sura, O'Brien, Brunheroto; IPPS 2014).
+
+A compiler that automatically transforms sequential innermost loops
+into fine-grained parallel code for a small group of cores connected by
+dedicated low-latency hardware queues, plus the cycle-level multi-core
+simulator those queues live in, the runtime thread protocol, the
+paper's 18 evaluation kernels, and the full experiment suite.
+
+Quickstart::
+
+    from repro import LoopBuilder, F64, parallelize, compile_loop
+    from repro import execute_kernel, random_workload, run_loop
+
+    b = LoopBuilder("axpy2", trip="n")
+    i = b.index
+    x, y = b.array("x", F64), b.array("y", F64)
+    a = b.param("a", F64)
+    t = b.let("t", a * x[i] + y[i])
+    b.store(y, i, t * t)
+    loop = b.build()
+
+    kern = compile_loop(loop, n_cores=4)     # full §III pipeline
+    wl = random_workload(loop, trip=256)
+    res = execute_kernel(kern, wl)           # simulate (§II hardware)
+    ref = run_loop(loop, wl)                 # reference interpreter
+    assert (res.arrays["y"] == ref.arrays["y"]).all()
+"""
+
+from .compiler import (
+    CompilerConfig,
+    MergeWeights,
+    ParallelPlan,
+    apply_speculation,
+    parallelize,
+    sequential_plan,
+)
+from .interp import run_loop
+from .ir import (
+    BOOL,
+    F64,
+    I64,
+    ArraySym,
+    DType,
+    Loop,
+    LoopBuilder,
+    VClass,
+    cos,
+    exp,
+    fabs,
+    floor,
+    fmax,
+    fmin,
+    i2f,
+    itrunc,
+    log,
+    normalize,
+    select,
+    sin,
+    sqrt,
+)
+from .isa import LoweredKernel, lower_plan
+from .runtime import compile_loop, execute_kernel
+from .sim import DeadlockError, Machine, MachineParams, SimResult
+from .workload import ArraySpec, Workload, random_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArraySpec", "ArraySym", "BOOL", "CompilerConfig", "DType",
+    "DeadlockError", "F64", "I64", "Loop", "LoopBuilder", "LoweredKernel",
+    "Machine", "MachineParams", "MergeWeights", "ParallelPlan", "SimResult",
+    "VClass", "Workload", "__version__", "apply_speculation", "compile_loop",
+    "cos", "execute_kernel", "exp", "fabs", "floor", "fmax", "fmin", "i2f",
+    "itrunc", "log", "lower_plan", "normalize", "parallelize",
+    "random_workload", "run_loop", "select", "sequential_plan", "sin",
+    "sqrt",
+]

@@ -1,0 +1,24 @@
+"""Program analyses backing the compiler passes (§III-B, §III-E, §III-I).
+
+* :mod:`repro.analysis.alias` — affine index analysis + memory conflict
+  classification (same-iteration vs. loop-carried vs. unknown);
+* :mod:`repro.analysis.cost` — static compute-time estimation with
+  profile-directed memory latencies (the merge heuristic's cost input);
+* :mod:`repro.analysis.reachdefs` — reaching definitions over the flat
+  predicated form (value-edge construction).
+"""
+
+from .alias import AffineIndex, ConflictKind, affine_of, classify_conflict
+from .cost import CostModel, LatencyTable, default_latencies
+from .reachdefs import reaching_defs
+
+__all__ = [
+    "AffineIndex",
+    "ConflictKind",
+    "CostModel",
+    "LatencyTable",
+    "affine_of",
+    "classify_conflict",
+    "default_latencies",
+    "reaching_defs",
+]

@@ -1,0 +1,124 @@
+"""Memory disambiguation (paper §III-I limitation 2).
+
+The compiler must decide, for every pair of memory accesses, whether
+they can touch the same location in the same iteration (ordering edge
+needed), in different iterations (loop-carried — the fibers must stay on
+one core), or never (independent).
+
+Index expressions are classified as *affine in the loop index*
+(``a*i + c`` with small literal ``a``/``c``) where possible.  Anything
+else (indirect indexing through another array, data-dependent indices)
+is *opaque* and treated conservatively, exactly the situation the paper
+describes as benefiting from the restricted scope of small code
+sections.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.nodes import ArraySym, BinOp, Const, Expr, UnOp, VarRef
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """Index of the form ``coeff * i + const`` (i = the loop index)."""
+
+    coeff: int
+    const: int
+
+    def at(self, i: int) -> int:
+        return self.coeff * i + self.const
+
+
+def affine_of(expr: Expr, loop_index: str) -> Optional[AffineIndex]:
+    """Classify ``expr`` as affine in ``loop_index``, else None.
+
+    Handles ``c``, ``i``, ``i + c``, ``c + i``, ``i - c``, ``c * i``,
+    ``i * c`` and nested combinations thereof (sums/differences of
+    affine terms, products with one constant side).
+    """
+    if isinstance(expr, Const):
+        if isinstance(expr.value, int):
+            return AffineIndex(0, expr.value)
+        return None
+    if isinstance(expr, VarRef):
+        if expr.name == loop_index:
+            return AffineIndex(1, 0)
+        return None  # other scalars: opaque (loop-invariant but unknown)
+    if isinstance(expr, UnOp) and expr.op == "neg":
+        inner = affine_of(expr.operand, loop_index)
+        if inner is None:
+            return None
+        return AffineIndex(-inner.coeff, -inner.const)
+    if isinstance(expr, BinOp):
+        a = affine_of(expr.lhs, loop_index)
+        b = affine_of(expr.rhs, loop_index)
+        if a is None or b is None:
+            return None
+        if expr.op == "add":
+            return AffineIndex(a.coeff + b.coeff, a.const + b.const)
+        if expr.op == "sub":
+            return AffineIndex(a.coeff - b.coeff, a.const - b.const)
+        if expr.op == "mul":
+            if a.coeff == 0:
+                return AffineIndex(a.const * b.coeff, a.const * b.const)
+            if b.coeff == 0:
+                return AffineIndex(b.const * a.coeff, b.const * a.const)
+            return None
+    return None
+
+
+class ConflictKind(enum.Enum):
+    """Relationship between two accesses to the *same* array (or two
+    arrays in the same alias group)."""
+
+    NONE = "none"              # provably disjoint in every iteration
+    SAME_ITER = "same-iter"    # may conflict within one iteration
+    CARRIED = "carried"        # may conflict across iterations only
+    BOTH = "both"              # may conflict within and across iterations
+
+
+def classify_conflict(
+    arr_a: ArraySym,
+    idx_a: Expr,
+    arr_b: ArraySym,
+    idx_b: Expr,
+    loop_index: str,
+) -> ConflictKind:
+    """Classify the potential conflict between accesses ``arr_a[idx_a]``
+    and ``arr_b[idx_b]`` (whether one must be a store is the caller's
+    concern).
+    """
+    if arr_a != arr_b:
+        same_group = (
+            arr_a.alias_group is not None
+            and arr_a.alias_group == arr_b.alias_group
+        )
+        if not same_group:
+            return ConflictKind.NONE
+        # aliased distinct arrays: no index relationship is trustworthy
+        return ConflictKind.BOTH
+
+    a = affine_of(idx_a, loop_index)
+    b = affine_of(idx_b, loop_index)
+    if a is None or b is None:
+        return ConflictKind.BOTH  # opaque (e.g. indirect) index
+
+    if a.coeff == b.coeff:
+        if a.const == b.const:
+            # identical location each iteration: conflicts both within
+            # the iteration (ordering) and across iterations only when
+            # coeff == 0 (a scalar slot revisited every iteration).
+            return ConflictKind.BOTH if a.coeff == 0 else ConflictKind.SAME_ITER
+        if a.coeff == 0:
+            return ConflictKind.NONE  # two distinct fixed slots
+        diff = a.const - b.const
+        if diff % a.coeff == 0:
+            return ConflictKind.CARRIED  # same location, k iterations apart
+        return ConflictKind.NONE
+    # different strides: solving a.coeff*i + a.const == b.coeff*j + b.const
+    # across iterations is possible in general; be conservative.
+    return ConflictKind.BOTH

@@ -1,0 +1,111 @@
+"""Static execution-time estimation (paper §III-B, §III-I limitation 3).
+
+"The compute time is a static estimate obtained using fixed latencies
+for compute operations, and profile feedback data for memory access miss
+latencies."
+
+The same latency table drives the simulator's core model
+(:mod:`repro.sim.core`), so the compiler's estimates and the machine's
+behaviour are mutually consistent — the best case the paper's
+profile-directed feedback aims for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.nodes import ArraySym, BinOp, Call, Const, Expr, Load, Select, UnOp, VarRef
+
+_FLOAT_BIN = {
+    "add": 2, "sub": 2, "mul": 3, "div": 24, "mod": 26, "min": 2, "max": 2,
+    "lt": 2, "le": 2, "gt": 2, "ge": 2, "eq": 2, "ne": 2,
+}
+_INT_BIN = {
+    "add": 1, "sub": 1, "mul": 3, "div": 18, "mod": 18, "min": 1, "max": 1,
+    "lt": 1, "le": 1, "gt": 1, "ge": 1, "eq": 1, "ne": 1,
+    "and": 1, "or": 1, "xor": 1, "shl": 1, "shr": 1,
+}
+_CALL = {
+    "sqrt": 24, "exp": 36, "log": 36, "sin": 36, "cos": 36, "pow": 44,
+    "abs": 1, "floor": 2, "itrunc": 2, "i2f": 2,
+}
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Cycle costs of machine operations on the in-order core."""
+
+    float_bin: dict[str, int] = field(default_factory=lambda: dict(_FLOAT_BIN))
+    int_bin: dict[str, int] = field(default_factory=lambda: dict(_INT_BIN))
+    call: dict[str, int] = field(default_factory=lambda: dict(_CALL))
+    unop: int = 1
+    select: int = 2
+    mov: int = 1
+    loadi: int = 1
+    store: int = 2
+    load_hit: int = 4
+    load_miss: int = 42
+    branch: int = 1
+    enqueue: int = 1
+    dequeue: int = 1
+
+    def binop(self, op: str, is_float: bool) -> int:
+        return (self.float_bin if is_float else self.int_bin)[op]
+
+    def load_expected(self, miss_rate: float) -> float:
+        """Profile-fed expected load latency for an array."""
+        return (1.0 - miss_rate) * self.load_hit + miss_rate * self.load_miss
+
+
+def default_latencies() -> LatencyTable:
+    return LatencyTable()
+
+
+@dataclass
+class CostModel:
+    """Estimates compute time of expression (sub)trees."""
+
+    lat: LatencyTable = field(default_factory=default_latencies)
+    #: optional per-array miss-rate override (profile feedback); falls
+    #: back to each array's declared miss_rate.
+    miss_rates: dict[str, float] = field(default_factory=dict)
+
+    def miss_rate(self, arr: ArraySym) -> float:
+        return self.miss_rates.get(arr.name, arr.miss_rate)
+
+    def op_cost(self, node: Expr) -> float:
+        """Cost of executing the single operation at ``node`` (interior
+        nodes only; leaves cost 0 here — loads are charged to the
+        consuming operation via :meth:`leaf_cost`)."""
+        if isinstance(node, BinOp):
+            is_f = node.lhs.dtype.is_float or node.rhs.dtype.is_float
+            op = node.op
+            if op in ("and", "or", "xor", "shl", "shr"):
+                return self.lat.int_bin[op]
+            return self.lat.binop(op, is_f)
+        if isinstance(node, UnOp):
+            return self.lat.unop
+        if isinstance(node, Call):
+            return self.lat.call[node.fn]
+        if isinstance(node, Select):
+            return self.lat.select
+        if isinstance(node, (Const, VarRef, Load)):
+            return 0.0
+        raise TypeError(type(node))  # pragma: no cover
+
+    def leaf_cost(self, leaf: Expr) -> float:
+        """Cost charged at the point a leaf operand is materialised."""
+        if isinstance(leaf, Load):
+            return self.lat.load_expected(self.miss_rate(leaf.array))
+        if isinstance(leaf, Const):
+            return float(self.lat.loadi)
+        return 0.0  # VarRef: register read
+
+    def tree_cost(self, root: Expr) -> float:
+        """Estimated cycles to evaluate a whole (sub)tree."""
+        total = self.op_cost(root) if not root.is_leaf else self.leaf_cost(root)
+        if root.is_leaf:
+            return total
+        for c in root.children():
+            total += self.tree_cost(c) if not c.is_leaf else self.leaf_cost(c)
+        return total

@@ -1,0 +1,116 @@
+"""Reaching definitions over the flat predicated statement form.
+
+Used to build the value edges of the code graph (§III-B: "use-def
+analysis").  The flat form is straight-line with predicate chains, so
+classic bit-vector dataflow reduces to simple chain comparisons:
+
+* definition ``d`` (pred P) *kills* an earlier definition ``d'`` (pred
+  P') iff P is a prefix of P' — then ``d`` executes whenever ``d'``
+  did and overwrites it;
+* definition ``d`` *reaches* a use (pred Q) iff their chains do not
+  contradict (no shared condition required to be both true and false).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.stmts import FlatBody, FlatStmt, PredChain, is_prefix
+from ..ir.visitors import var_names
+
+
+def saturate(chains: set[PredChain]) -> set[PredChain]:
+    """Close a set of predicate chains under branch coverage: if both
+    ``p + ((c, True),)`` and ``p + ((c, False),)`` are present, the pair
+    acts like a definition at ``p`` (a then/else pair that assigns on
+    every path, paper Fig 7)."""
+    out = set(chains)
+    changed = True
+    while changed:
+        changed = False
+        for ch in list(out):
+            if not ch:
+                continue
+            cond, val = ch[-1]
+            sibling = ch[:-1] + ((cond, not val),)
+            if sibling in out and ch[:-1] not in out:
+                out.add(ch[:-1])
+                changed = True
+    return out
+
+
+def dominates_use(def_preds: set[PredChain], use_pred: PredChain) -> bool:
+    """True if on every path executing the use, some def executed."""
+    return any(is_prefix(p, use_pred) for p in saturate(def_preds))
+
+
+def compatible(p: PredChain, q: PredChain) -> bool:
+    """True unless the chains demand opposite values of some condition.
+
+    Chains are nesting paths, so a shared condition appears at the same
+    depth in both; comparing positionally is exact for chains rooted in
+    the same region and conservative otherwise.
+    """
+    for (cv, vv), (cw, vw) in zip(p, q):
+        if cv == cw and vv != vw:
+            return False
+        if cv != cw:
+            break
+    return True
+
+
+@dataclass
+class UseInfo:
+    """Where a scalar read at statement ``sid`` gets its value."""
+
+    sid: int
+    var: str
+    defs: list[int] = field(default_factory=list)  # same-iteration def sids
+    #: True if on some path no same-iteration def reaches: the value
+    #: flows in from the previous iteration or the loop preheader.
+    carried: bool = False
+
+
+def _stmt_reads(st: FlatStmt) -> set[str]:
+    names = var_names(st.expr)
+    if st.index is not None:
+        names |= var_names(st.index)
+    return names
+
+
+def reaching_defs(body: FlatBody) -> list[UseInfo]:
+    """Compute :class:`UseInfo` for every (statement, read-variable)
+    pair where the variable is assigned somewhere in the body."""
+    assigned = {s.target for s in body.stmts if s.target is not None}
+    live: dict[str, list[FlatStmt]] = {}
+    uses: list[UseInfo] = []
+    for st in body.stmts:
+        for var in sorted(_stmt_reads(st)):
+            if var not in assigned:
+                continue  # parameter or loop index: no def sites
+            info = UseInfo(sid=st.sid, var=var)
+            for d in live.get(var, []):
+                if compatible(d.pred, st.pred):
+                    info.defs.append(d.sid)
+            def_preds = {
+                d.pred for d in live.get(var, []) if compatible(d.pred, st.pred)
+            }
+            info.carried = not dominates_use(def_preds, st.pred)
+            uses.append(info)
+        if st.target is not None:
+            prior = live.get(st.target, [])
+            prior = [d for d in prior if not is_prefix(st.pred, d.pred)]
+            prior.append(st)
+            live[st.target] = prior
+    return uses
+
+
+def live_at_exit(body: FlatBody, var: str) -> list[int]:
+    """Def sids whose values may be live when the iteration ends (needed
+    for live-out copy placement, §III-F)."""
+    live: list[FlatStmt] = []
+    for st in body.stmts:
+        if st.target == var:
+            live = [d for d in live if not is_prefix(st.pred, d.pred)]
+            live.append(st)
+    return [d.sid for d in live]

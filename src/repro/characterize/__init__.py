@@ -1,0 +1,18 @@
+"""Code characterization (paper §IV): classify hot loops by how they
+should be parallelized, and regenerate Table I."""
+
+from .classify import LoopProfile, classify_loop, profile_loop
+from .report import (
+    CharacterizationReport,
+    characterize_corpus,
+    table1_rows,
+)
+
+__all__ = [
+    "CharacterizationReport",
+    "LoopProfile",
+    "characterize_corpus",
+    "classify_loop",
+    "profile_loop",
+    "table1_rows",
+]

@@ -1,0 +1,148 @@
+"""Loop classifier implementing the §IV taxonomy.
+
+The paper inspected 51 hot innermost loops and sorted them into:
+
+* loops that "lack arithmetic operations" (initialisation);
+* loops "better suited to traditional loop parallelization": few
+  arithmetic/logic operations per iteration, possibly with reduction
+  dependences (scalar reductions privatise easily; array-element
+  reductions are harder);
+* loops with "many conditionals ... with variables in the conditional
+  expressions involved in read-after-write dependences";
+* the remaining loops — candidates for fine-grained parallelization.
+
+The classifier works purely on the IR (no metadata peeking), so the
+taxonomy counts of Table I / §IV are *recomputed*, not transcribed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.nodes import BinOp, Call, Select, UnOp
+from ..ir.normalize import normalize
+from ..ir.stmts import Loop
+from ..ir.visitors import var_names
+
+_ARITH_BIN = {"add", "sub", "mul", "div", "mod", "min", "max"}
+
+
+@dataclass
+class LoopProfile:
+    """Static features of one loop body (per iteration)."""
+
+    name: str
+    n_stmts: int
+    arith_ops: int           # arithmetic operations
+    total_ops: int           # all interior ops
+    n_conditionals: int
+    n_stores: int
+    n_loads: int
+    scalar_reduction_vars: int   # carried scalars updated arithmetically
+    array_reduction: bool        # load+store of the same [opaque] slot
+    guarded_op_fraction: float   # share of ops under a predicate
+    cond_raw_chain: bool         # condition reads a value produced by a
+    #                              conditional-dependent statement
+
+    @property
+    def arith_per_stmt(self) -> float:
+        return self.arith_ops / max(1, self.n_stmts)
+
+
+def profile_loop(loop: Loop) -> LoopProfile:
+    body = normalize(loop, max_height=64)  # no splitting: raw structure
+    arith = 0
+    total = 0
+    stores = 0
+    loads_n = 0
+    guarded = 0
+    conds = 0
+    for st in body.stmts:
+        if st.kind == "cond":
+            conds += 1
+        if st.is_store:
+            stores += 1
+        from ..ir.nodes import iter_nodes, Load
+
+        for node in iter_nodes(st.expr):
+            if isinstance(node, Load):
+                loads_n += 1
+            if node.is_leaf:
+                continue
+            total += 1
+            if st.pred:
+                guarded += 1
+            if isinstance(node, BinOp) and node.op in _ARITH_BIN:
+                arith += 1
+            elif isinstance(node, (Call, Select)):
+                arith += 1
+            elif isinstance(node, UnOp) and node.op == "neg":
+                arith += 1
+
+    # scalar reductions: carried float/int scalars updated by arithmetic
+    reductions = 0
+    for var in sorted(body.carried):
+        defs = body.defs_of(var)
+        if any(var in var_names(d.expr) for d in defs):
+            reductions += 1
+
+    # array reduction: a store whose address is data-dependent (opaque)
+    # and whose value reads the same array (diag[r] += v pattern)
+    array_red = False
+    from ..analysis.alias import affine_of
+    from ..ir.nodes import Load
+
+    for st in body.stmts:
+        if not st.is_store:
+            continue
+        if affine_of(st.index, body.index) is not None:
+            continue
+        for node in iter_nodes(st.expr):
+            if isinstance(node, Load) and node.array == st.array:
+                array_red = True
+
+    # read-after-write chains into conditions: a condition expression
+    # that reads a temp defined under an earlier predicate (or carried)
+    cond_raw = False
+    defined_under_pred: set[str] = set(body.carried)
+    for st in body.stmts:
+        if st.kind == "cond":
+            if var_names(st.expr) & defined_under_pred:
+                cond_raw = True
+        if st.target is not None and st.pred:
+            defined_under_pred.add(st.target)
+
+    return LoopProfile(
+        name=loop.name,
+        n_stmts=len(body.stmts),
+        arith_ops=arith,
+        total_ops=total,
+        n_conditionals=conds,
+        n_stores=stores,
+        n_loads=loads_n,
+        scalar_reduction_vars=reductions,
+        array_reduction=array_red,
+        guarded_op_fraction=guarded / max(1, total),
+        cond_raw_chain=cond_raw,
+    )
+
+
+def classify_loop(loop: Loop) -> str:
+    """Return a §IV category for ``loop`` (see
+    :data:`repro.kernels.base.CATEGORIES`)."""
+    p = profile_loop(loop)
+    if p.arith_ops == 0:
+        return "init"
+    if p.array_reduction and p.arith_ops <= 4:
+        return "reduction-array"
+    if p.scalar_reduction_vars and p.arith_ops <= 4 and p.n_conditionals == 0:
+        return "reduction-scalar"
+    if p.arith_ops <= 4 and p.n_conditionals == 0:
+        return "traditional"
+    if (
+        p.n_conditionals >= 2
+        and p.cond_raw_chain
+        and p.arith_ops / max(1, p.n_conditionals) <= 4
+    ):
+        return "conditional"
+    return "amenable"

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+* ``list`` — list registered kernels (optionally by app/category);
+* ``run <kernel>`` — compile + simulate one kernel, print speedup,
+  statistics and correctness;
+* ``experiment <id>`` — run one paper artifact (E1..E9) or ``all``;
+* ``show <kernel>`` — print the kernel IR and its flat normalized form;
+* ``characterize`` — run the §IV classifier over the corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(args) -> int:
+    from .kernels import all_kernels
+
+    for spec in all_kernels():
+        if args.app and spec.app != args.app:
+            continue
+        if args.category and spec.category != args.category:
+            continue
+        print(
+            f"{spec.name:12s} {spec.app:8s} {spec.category:17s} "
+            f"{spec.pct_time:5.1f}%  {spec.source}"
+        )
+    return 0
+
+
+def _cmd_show(args) -> int:
+    from .ir import fmt_flat, fmt_loop, normalize
+    from .kernels import get_kernel
+
+    loop = get_kernel(args.kernel).loop()
+    print(fmt_loop(loop))
+    print()
+    print(fmt_flat(normalize(loop, max_height=args.height)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    import numpy as np
+
+    from .compiler import CompilerConfig
+    from .interp import run_loop
+    from .kernels import get_kernel
+    from .runtime import compile_loop, execute_kernel
+    from .sim import MachineParams
+
+    spec = get_kernel(args.kernel)
+    loop = spec.loop()
+    wl = spec.workload(trip=args.trip)
+    ref = run_loop(loop, wl)
+
+    machine = MachineParams(
+        queue_latency=args.latency, queue_depth=args.depth
+    )
+    config = CompilerConfig(
+        speculation=args.speculate,
+        throughput_heuristic=args.throughput,
+        max_queues=args.max_queues,
+        profile_workload=wl,
+    )
+    seq = execute_kernel(compile_loop(loop, 1), wl, machine)
+    kern = compile_loop(loop, args.cores, config)
+    res = execute_kernel(kern, wl, machine, detect_races=args.races)
+
+    ok = all(
+        np.array_equal(ref.arrays[n], res.arrays[n]) for n in ref.arrays
+    ) and all(res.scalars.get(k) == v for k, v in ref.scalars.items())
+    st = kern.plan.stats
+    print(f"kernel       : {spec.name} ({spec.source})")
+    print(f"cores        : {args.cores}  (partitions: {st.n_partitions})")
+    print(f"fibers       : {st.initial_fibers}  data deps: {st.data_deps}")
+    print(f"load balance : {st.load_balance:.2f}")
+    print(f"com ops/iter : {st.com_ops}  queues: {st.queues_used}")
+    print(f"sequential   : {seq.cycles:12.0f} cycles")
+    print(f"parallel     : {res.cycles:12.0f} cycles")
+    print(f"speedup      : {seq.cycles / res.cycles:12.2f}x")
+    print(f"queue stall  : {res.total_queue_stall:12.0f} core-cycles")
+    print(f"bit-exact    : {ok}")
+    if args.races:
+        print(f"races        : {len(res.races)}")
+        for r in res.races:
+            print(f"  {r}")
+    return 0 if ok and not (args.races and res.races) else 1
+
+
+def _cmd_experiment(args) -> int:
+    from .experiments import REGISTRY
+
+    ids = sorted(REGISTRY) if args.id == "all" else [args.id.upper()]
+    for eid in ids:
+        if eid not in REGISTRY:
+            print(f"unknown experiment {eid!r}; known: {sorted(REGISTRY)}")
+            return 2
+        mod, title = REGISTRY[eid]
+        print(f"===== {eid}: {title} =====")
+        res = mod.run() if eid == "E1" else mod.run(trip=args.trip)
+        print(mod.format_result(res))
+        print()
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .characterize import characterize_corpus
+    from .characterize.report import format_report
+
+    print(format_report(characterize_corpus()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Fine-grained parallelization of sequential loops "
+        "over hardware queues (IPPS 2014 reproduction).",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    lp = sub.add_parser("list", help="list registered kernels")
+    lp.add_argument("--app", help="filter by application")
+    lp.add_argument("--category", help="filter by §IV category")
+    lp.set_defaults(fn=_cmd_list)
+
+    sp = sub.add_parser("show", help="print a kernel's IR")
+    sp.add_argument("kernel")
+    sp.add_argument("--height", type=int, default=2)
+    sp.set_defaults(fn=_cmd_show)
+
+    rp = sub.add_parser("run", help="compile + simulate one kernel")
+    rp.add_argument("kernel")
+    rp.add_argument("--cores", type=int, default=4)
+    rp.add_argument("--trip", type=int, default=128)
+    rp.add_argument("--latency", type=int, default=5)
+    rp.add_argument("--depth", type=int, default=20)
+    rp.add_argument("--speculate", action="store_true")
+    rp.add_argument("--throughput", action="store_true")
+    rp.add_argument("--max-queues", type=int, default=None)
+    rp.add_argument("--races", action="store_true",
+                    help="enable the happens-before race detector")
+    rp.set_defaults(fn=_cmd_run)
+
+    ep = sub.add_parser("experiment", help="run a paper artifact (E1..E9|all)")
+    ep.add_argument("id")
+    ep.add_argument("--trip", type=int, default=64)
+    ep.set_defaults(fn=_cmd_experiment)
+
+    cp = sub.add_parser("characterize", help="run the §IV classifier")
+    cp.set_defaults(fn=_cmd_characterize)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

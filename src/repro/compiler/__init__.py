@@ -1,0 +1,28 @@
+"""The fine-grained parallelizing compiler (paper §III).
+
+Public entry points:
+
+* :func:`parallelize` — full pipeline, sequential loop → N-core plan;
+* :func:`sequential_plan` — single-core baseline through the same back
+  end;
+* :class:`CompilerConfig` / :class:`MergeWeights` — the knobs the
+  paper's evaluation varies.
+"""
+
+from .codegraph import CodeGraph, DepEdge, build_code_graph
+from .comm import CommPlan, Transfer, plan_communication
+from .config import CompilerConfig, MergeWeights
+from .fibers import Fiber, FiberSet, Op, extract_fibers
+from .merge import Partition, load_balance_ratio, merge_partitions
+from .pipeline import ParallelPlan, PlanStats, parallelize, sequential_plan
+from .schedule import EmitItem, PartitionSchedule, ScheduleError, schedule_all
+from .speculation import apply_speculation
+
+__all__ = [
+    "CodeGraph", "CommPlan", "CompilerConfig", "DepEdge", "EmitItem",
+    "Fiber", "FiberSet", "MergeWeights", "Op", "ParallelPlan",
+    "Partition", "PartitionSchedule", "PlanStats", "ScheduleError",
+    "Transfer", "apply_speculation", "build_code_graph", "extract_fibers",
+    "load_balance_ratio", "merge_partitions", "parallelize",
+    "plan_communication", "schedule_all", "sequential_plan",
+]

@@ -1,0 +1,210 @@
+"""Communication insertion (paper §III-D, §III-E, Fig 6/7).
+
+For every dependence edge whose producer and consumer fibers landed in
+different partitions, a queue transfer is planned:
+
+* **value transfers** — the produced scalar (an intermediate tree value,
+  a temporary, or a branch condition) is enqueued right after it is
+  produced and dequeued by each consuming partition ("An Enque call is
+  inserted after a value has been produced ... a Deque call is inserted
+  before the use of that value").  One transfer per (producer op,
+  destination partition) — multiple uses in one partition share it.
+* **token transfers** — same-iteration memory-ordering edges carry a
+  synchronisation token through a GPR queue (the paper communicates
+  through shared memory at L2 for the data itself; only the *ordering*
+  needs the queue).
+
+Static sender/receiver pairing (§III-I): both endpoints of a transfer
+execute under the *producer statement's* predicate chain, so an enqueue
+happens iff its dequeue happens.  Receiving partitions therefore need
+the values of all conditions in that chain; a fixpoint pass adds
+condition transfers until every partition can evaluate every predicate
+it guards items with (the §III-E "pairs of Enque/Deque calls inserted to
+transfer the values of conditional variables").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.stmts import FlatBody, PredChain
+from ..ir.types import DType, I64, VClass
+from .codegraph import CodeGraph
+from .fibers import Op
+from .merge import Partition
+
+
+@dataclass(eq=False)
+class Transfer:
+    """One queue transfer per loop iteration (an Enque/Deque pair)."""
+
+    tid: int
+    src_pid: int
+    dst_pid: int
+    vclass: VClass
+    kind: str                      # 'value' | 'token'
+    reg: str                       # register written on the destination
+    dtype: DType | None
+    pred: PredChain                # producer statement's predicate chain
+    rank: tuple[int, int]          # producer op rank (FIFO ordering key)
+    producer_op: Op
+    consumer_ops: list[Op] = field(default_factory=list)
+
+    @property
+    def queue_key(self) -> tuple[int, int, VClass]:
+        return (self.src_pid, self.dst_pid, self.vclass)
+
+    @property
+    def order_key(self) -> tuple:
+        """Both endpoints sort same-queue transfers by this key, making
+        enqueue and dequeue orders identical (FIFO consistency)."""
+        return (self.rank, self.kind, self.reg)
+
+    def __repr__(self) -> str:
+        return (
+            f"Transfer(t{self.tid} {self.kind} {self.reg} "
+            f"p{self.src_pid}->p{self.dst_pid} @{self.rank})"
+        )
+
+
+@dataclass
+class CommPlan:
+    transfers: list[Transfer]
+    #: id(op) -> partition id
+    op_pid: dict[int, int]
+
+    @property
+    def n_com_ops(self) -> int:
+        """Table III "Com Ops": queue transfers per iteration."""
+        return len(self.transfers)
+
+    @property
+    def queues_used(self) -> int:
+        """Table III "Queues": distinct directed core pairs in use
+        ("core A sending to core B and core B sending to core A count
+        as 2 separate queues")."""
+        return len({(t.src_pid, t.dst_pid) for t in self.transfers})
+
+    @property
+    def hw_queues_used(self) -> int:
+        """Distinct (src, dst, class) hardware queues."""
+        return len({t.queue_key for t in self.transfers})
+
+    def by_partition(self, pid: int) -> tuple[list[Transfer], list[Transfer]]:
+        """(outgoing enqueues, incoming dequeues) for one partition."""
+        outs = [t for t in self.transfers if t.src_pid == pid]
+        ins = [t for t in self.transfers if t.dst_pid == pid]
+        return outs, ins
+
+
+def plan_communication(
+    graph: CodeGraph,
+    partitions: list[Partition],
+    body: FlatBody,
+) -> CommPlan:
+    fs = graph.fiberset
+    op_pid: dict[int, int] = {}
+    for part in partitions:
+        for op in part.ops:
+            op_pid[id(op)] = part.pid
+
+    transfers: dict[tuple, Transfer] = {}
+    counter = 0
+
+    def get_transfer(
+        kind: str, producer: Op, dst_pid: int, reg: str,
+        dtype: DType | None, vclass: VClass,
+    ) -> Transfer:
+        nonlocal counter
+        key = (kind, id(producer), dst_pid, vclass)
+        t = transfers.get(key)
+        if t is None:
+            t = Transfer(
+                tid=counter,
+                src_pid=op_pid[id(producer)],
+                dst_pid=dst_pid,
+                vclass=vclass,
+                kind=kind,
+                reg=reg,
+                dtype=dtype,
+                pred=producer.pred,
+                rank=producer.rank,
+                producer_op=producer,
+            )
+            transfers[key] = t
+            counter += 1
+        return t
+
+    # -- dependence-edge transfers --------------------------------------
+    for e in graph.edges:
+        src = op_pid[id(e.producer)]
+        dst = op_pid[id(e.consumer)]
+        if src == dst:
+            continue
+        if e.kind == "mem":
+            t = get_transfer(
+                "token", e.producer, dst,
+                reg=f"__tok{e.producer.sid}_{e.producer.pos}",
+                dtype=I64, vclass=VClass.GPR,
+            )
+        else:  # intra / value / ctrl all move the produced register
+            t = get_transfer(
+                "value", e.producer, dst,
+                reg=e.var, dtype=e.dtype, vclass=e.dtype.vclass,
+            )
+        if e.consumer not in t.consumer_ops:
+            t.consumer_ops.append(e.consumer)
+
+    # -- condition-coverage fixpoint ------------------------------------
+    cond_def_op: dict[str, Op] = {
+        st.target: fs.root_op[st.sid]
+        for st in body.stmts
+        if st.kind == "cond"
+    }
+
+    def conds_available(pid: int) -> set[str]:
+        avail: set[str] = set()
+        for part in partitions:
+            if part.pid != pid:
+                continue
+            for op in part.ops:
+                if op.writes in cond_def_op and cond_def_op[op.writes] is op:
+                    avail.add(op.writes)
+        for t in transfers.values():
+            if t.dst_pid == pid and t.kind == "value" and t.reg in cond_def_op:
+                if cond_def_op[t.reg] is t.producer_op:
+                    avail.add(t.reg)
+        return avail
+
+    def conds_needed(pid: int) -> set[str]:
+        needed: set[str] = set()
+        for part in partitions:
+            if part.pid != pid:
+                continue
+            for op in part.ops:
+                needed.update(c for c, _ in op.pred)
+        for t in transfers.values():
+            if t.src_pid == pid or t.dst_pid == pid:
+                needed.update(c for c, _ in t.pred)
+        return needed
+
+    changed = True
+    while changed:
+        changed = False
+        for part in partitions:
+            missing = conds_needed(part.pid) - conds_available(part.pid)
+            for cond in sorted(missing):
+                prod = cond_def_op[cond]
+                if op_pid[id(prod)] == part.pid:
+                    continue  # locally computed, nothing to transfer
+                dtype = prod.stmt.dtype
+                get_transfer(
+                    "value", prod, part.pid,
+                    reg=cond, dtype=dtype, vclass=dtype.vclass,
+                )
+                changed = True
+
+    out = sorted(transfers.values(), key=lambda t: (t.order_key, t.dst_pid))
+    for i, t in enumerate(out):
+        t.tid = i
+    return CommPlan(transfers=out, op_pid=op_pid)

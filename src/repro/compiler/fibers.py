@@ -1,0 +1,238 @@
+"""Fiber extraction (paper §III-A, Fig 4).
+
+A *fiber* is "a sequence of instructions without any control flow or
+memory carried dependences among its instructions".  The partitioning
+algorithm works on the expression tree of each statement:
+
+    Initially, all nodes in an expression tree are unassigned to any
+    fiber.  Leaf nodes, i.e. memory loads or literal values, are
+    treated as live-ins and they always remain unassigned.  We perform
+    a post-order traversal of the expression tree, and handle the
+    following three cases:
+
+    - all children of the current node are unassigned: start new fiber
+      for the current node;
+    - all assigned children of the current node belong to the same
+      fiber: continue with the same fiber for the current node;
+    - children of the current node are assigned to more than one fiber:
+      start a new fiber for the current node.
+
+Statements get a pseudo *root op* when the tree alone cannot represent
+the statement's effect: ``store`` roots (the memory write) and ``move``
+roots (assignments whose right-hand side is a single leaf).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..ir.nodes import Expr
+from ..ir.stmts import FlatBody, FlatStmt, PredChain
+
+
+@dataclass(eq=False)
+class Op:
+    """One operation instance: an interior tree node, or a pseudo root.
+
+    ``kind`` is ``"expr"`` (interior node), ``"move"`` (leaf-expr
+    assignment) or ``"store"`` (memory write).  ``writes`` names the
+    scalar temporary this op defines, if any (stmt roots of
+    assign/cond statements).  ``value_name`` is the register that holds
+    this op's result (equals ``writes`` when set).
+    """
+
+    sid: int
+    pos: int                      # post-order position within the stmt
+    kind: str
+    node: Optional[Expr]          # interior Expr node ("expr" kind)
+    stmt: FlatStmt
+    writes: Optional[str] = None
+
+    @property
+    def rank(self) -> tuple[int, int]:
+        """Global topological rank: flattened-order position.  Every
+        dependence edge in the code graph goes rank-forward, which is
+        what makes consistent cross-core FIFO schedules possible."""
+        return (self.sid, self.pos)
+
+    @property
+    def pred(self) -> PredChain:
+        return self.stmt.pred
+
+    @property
+    def value_name(self) -> Optional[str]:
+        if self.writes is not None:
+            return self.writes
+        if self.kind == "expr":
+            return f"v{self.sid}_{self.node.nid}"
+        return None  # stores produce no register value
+
+    def __repr__(self) -> str:
+        tag = self.writes or (f"n{self.node.nid}" if self.node is not None else "st")
+        return f"Op(S{self.sid}:{self.kind}:{tag})"
+
+
+@dataclass(eq=False)
+class Fiber:
+    """A chain of ops from one statement, mapped to one code-graph node."""
+
+    fid: int
+    sid: int
+    ops: list[Op] = field(default_factory=list)
+    is_root: bool = False  # contains the statement's root op
+
+    @property
+    def pred(self) -> PredChain:
+        return self.ops[0].pred
+
+    @property
+    def line(self) -> int:
+        return self.ops[0].stmt.line
+
+    def __repr__(self) -> str:
+        return f"Fiber(f{self.fid}, S{self.sid}, {len(self.ops)} ops)"
+
+
+@dataclass
+class FiberSet:
+    """All fibers of a flat body plus the op/fiber indexes the code
+    graph builder needs."""
+
+    body: FlatBody
+    fibers: list[Fiber]
+    ops: list[Op]                          # all ops, rank order
+    op_of_node: dict[tuple[int, int], Op]  # (sid, nid) -> Op
+    fiber_of_op: dict[int, Fiber]          # id(op) -> fiber
+    root_op: dict[int, Op]                 # sid -> root op of stmt
+
+    def fiber_of(self, op: Op) -> Fiber:
+        return self.fiber_of_op[id(op)]
+
+    def stmt_fibers(self, sid: int) -> list[Fiber]:
+        return [f for f in self.fibers if f.sid == sid]
+
+    @property
+    def n_initial_fibers(self) -> int:
+        """The paper's Table III "Initial Fibers" statistic."""
+        return len(self.fibers)
+
+
+def _number_nodes(root: Expr) -> list[Expr]:
+    """Assign post-order nids to interior nodes; Loads are leaves (their
+    index subtree is not descended — by normalization it is a leaf)."""
+    order: list[Expr] = []
+
+    def walk(n: Expr) -> None:
+        if n.is_leaf:
+            return
+        for c in n.children():
+            walk(c)
+        n.nid = len(order)
+        order.append(n)
+
+    walk(root)
+    return order
+
+
+def extract_fibers(body: FlatBody) -> FiberSet:
+    """Partition every statement's tree into fibers (paper §III-A)."""
+    fibers: list[Fiber] = []
+    all_ops: list[Op] = []
+    op_of_node: dict[tuple[int, int], Op] = {}
+    fiber_of_op: dict[int, Fiber] = {}
+    root_op: dict[int, Op] = {}
+
+    def new_fiber(sid: int) -> Fiber:
+        f = Fiber(fid=len(fibers), sid=sid)
+        fibers.append(f)
+        return f
+
+    for st in body.stmts:
+        interior = _number_nodes(st.expr)
+        node_fiber: dict[int, Fiber] = {}  # nid -> fiber
+        pos = 0
+        for node in interior:
+            op = Op(sid=st.sid, pos=pos, kind="expr", node=node, stmt=st)
+            pos += 1
+            assigned = [
+                node_fiber[c.nid] for c in node.children() if not c.is_leaf
+            ]
+            if not assigned:
+                fib = new_fiber(st.sid)
+            elif all(f is assigned[0] for f in assigned):
+                fib = assigned[0]
+            else:
+                fib = new_fiber(st.sid)
+            fib.ops.append(op)
+            node_fiber[node.nid] = fib
+            all_ops.append(op)
+            op_of_node[(st.sid, node.nid)] = op
+            fiber_of_op[id(op)] = fib
+
+        # Root handling --------------------------------------------------
+        if st.is_store:
+            op = Op(sid=st.sid, pos=pos, kind="store", node=None, stmt=st)
+            if interior:
+                fib = node_fiber[st.expr.nid]  # single assigned child
+            else:
+                fib = new_fiber(st.sid)
+            fib.ops.append(op)
+            all_ops.append(op)
+            fiber_of_op[id(op)] = fib
+            root_op[st.sid] = op
+            fib.is_root = True
+        elif interior:
+            # the tree root op *is* the statement root; it writes the temp
+            root = op_of_node[(st.sid, st.expr.nid)]
+            root.writes = st.target
+            root_op[st.sid] = root
+            fiber_of_op[id(root)].is_root = True
+        else:
+            # pure move: t = <leaf>
+            op = Op(
+                sid=st.sid, pos=pos, kind="move", node=None, stmt=st,
+                writes=st.target,
+            )
+            fib = new_fiber(st.sid)
+            fib.ops.append(op)
+            all_ops.append(op)
+            fiber_of_op[id(op)] = fib
+            root_op[st.sid] = op
+            fib.is_root = True
+
+    return FiberSet(
+        body=body,
+        fibers=fibers,
+        ops=all_ops,
+        op_of_node=op_of_node,
+        fiber_of_op=fiber_of_op,
+        root_op=root_op,
+    )
+
+
+def consumed_leaves(op: Op) -> Iterator[Expr]:
+    """Leaf operands materialised by ``op`` (loads/consts/varrefs for an
+    expr op; the store's value/index leaves; the move's source leaf)."""
+    if op.kind == "expr":
+        for c in op.node.children():
+            if c.is_leaf:
+                yield c
+    elif op.kind == "store":
+        if op.stmt.expr.is_leaf:
+            yield op.stmt.expr
+        yield op.stmt.index
+    elif op.kind == "move":
+        yield op.stmt.expr
+
+
+def interior_operands(op: Op) -> Iterator[Expr]:
+    """Interior child nodes whose values ``op`` consumes."""
+    if op.kind == "expr":
+        for c in op.node.children():
+            if not c.is_leaf:
+                yield c
+    elif op.kind == "store":
+        if not op.stmt.expr.is_leaf:
+            yield op.stmt.expr
+    # moves have only a leaf operand

@@ -1,0 +1,196 @@
+"""Partition refinement by static makespan estimation.
+
+The greedy pair-merging of §III-B has no global view: it can leave the
+critical dependence chain zig-zagging between cores, putting a full
+queue round-trip on every iteration's critical path (in-order cores
+cannot start iteration *i+1* before finishing iteration *i*, so
+cross-core round trips are not hidden by pipelining).
+
+This pass estimates the per-iteration makespan of a candidate
+partitioning with a one-pass static schedule — per-core sequential
+execution in global rank order, cross-core value edges adding
+``enqueue + transfer-latency + dequeue`` — and greedily moves merge
+units (fibers, or whole cohesion groups) between partitions while the
+estimate improves.  It plays the role the paper assigns to
+profile-directed feedback (§III-I limitation 3: "the compiler is unable
+to accurately estimate execution time, and it needs to use a profile
+directed feedback mechanism for this").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.cost import CostModel
+from .codegraph import CodeGraph
+from .config import CompilerConfig
+from .fibers import Op, consumed_leaves
+from .merge import Partition
+
+
+def _op_cost(op: Op, cost: CostModel) -> float:
+    if op.kind == "expr":
+        c = cost.op_cost(op.node)
+    elif op.kind == "store":
+        c = float(cost.lat.store)
+    else:
+        c = float(cost.lat.mov)
+    for leaf in consumed_leaves(op):
+        c += cost.leaf_cost(leaf)
+    return c
+
+
+@dataclass
+class _Est:
+    """Precomputed structures for fast makespan estimation."""
+
+    ops: list[Op]                     # rank order
+    op_pos: dict[int, int]            # id(op) -> index
+    costs: list[float]
+    preds: list[list[int]]            # op index -> producer op indices
+    fiber_of: list[int]               # op index -> unit id
+    units: list[list[int]]            # unit id -> op indices
+
+
+def _prepare(graph: CodeGraph, cost: CostModel) -> _Est:
+    fs = graph.fiberset
+    ops = sorted(fs.ops, key=lambda o: o.rank)
+    op_pos = {id(o): k for k, o in enumerate(ops)}
+    costs = [_op_cost(o, cost) for o in ops]
+    preds: list[list[int]] = [[] for _ in ops]
+    for e in graph.edges:
+        a = op_pos[id(e.producer)]
+        b = op_pos[id(e.consumer)]
+        if a != b:
+            preds[b].append(a)
+    # units: initial cohesion-closed fiber groups
+    parent: dict[int, int] = {f.fid: f.fid for f in fs.fibers}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for group in graph.cohesion:
+        members = sorted(group)
+        for other in members[1:]:
+            ra, rb = find(members[0]), find(other)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+    unit_ids: dict[int, int] = {}
+    units: list[list[int]] = []
+    fiber_of: list[int] = [0] * len(ops)
+    for k, op in enumerate(ops):
+        root = find(fs.fiber_of(op).fid)
+        uid = unit_ids.get(root)
+        if uid is None:
+            uid = len(units)
+            unit_ids[root] = uid
+            units.append([])
+        units[uid].append(k)
+        fiber_of[k] = uid
+    return _Est(ops=ops, op_pos=op_pos, costs=costs, preds=preds,
+                fiber_of=fiber_of, units=units)
+
+
+def _makespan(est: _Est, assign: list[int], n_parts: int, comm_cost: float) -> float:
+    """Static per-iteration schedule length.
+
+    One pass in global rank order (every dependence edge is
+    rank-forward): an op starts when its core is free and all its
+    producers' values have arrived (+ comm cost when cross-core).
+    """
+    core_free = [0.0] * n_parts
+    finish = [0.0] * len(est.ops)
+    fiber_of = est.fiber_of
+    for k in range(len(est.ops)):
+        p = assign[fiber_of[k]]
+        start = core_free[p]
+        for a in est.preds[k]:
+            pa = assign[fiber_of[a]]
+            arrive = finish[a] + (comm_cost if pa != p else 0.0)
+            if arrive > start:
+                start = arrive
+        f = start + est.costs[k]
+        finish[k] = f
+        core_free[p] = f
+    return max(core_free)
+
+
+def refine_partitions(
+    graph: CodeGraph,
+    partitions: list[Partition],
+    config: CompilerConfig,
+    max_units: int = 192,
+    max_passes: int = 3,
+) -> list[Partition]:
+    """Greedy unit moves while the makespan estimate improves."""
+    n_parts = len(partitions)
+    if n_parts < 2:
+        return partitions
+    cost = config.cost
+    est = _prepare(graph, cost)
+    if len(est.units) > max_units:
+        return partitions
+
+    comm_cost = (
+        cost.lat.enqueue + cost.lat.dequeue + config.assumed_queue_latency
+    )
+
+    # current assignment: unit -> pid (units never straddle partitions:
+    # merge unions cohesion groups first)
+    fs = graph.fiberset
+    pid_of_op: dict[int, int] = {}
+    for part in partitions:
+        for op in part.ops:
+            pid_of_op[id(op)] = part.pid
+    assign = [0] * len(est.units)
+    for uid, members in enumerate(est.units):
+        assign[uid] = pid_of_op[id(est.ops[members[0]])]
+
+    best = _makespan(est, assign, n_parts, comm_cost)
+    for _ in range(max_passes):
+        improved = False
+        for uid in range(len(est.units)):
+            home = assign[uid]
+            best_pid, best_score = home, best
+            for pid in range(n_parts):
+                if pid == home:
+                    continue
+                assign[uid] = pid
+                score = _makespan(est, assign, n_parts, comm_cost)
+                if score < best_score - 1e-9:
+                    best_pid, best_score = pid, score
+            assign[uid] = best_pid
+            if best_pid != home:
+                best = best_score
+                improved = True
+        if not improved:
+            break
+
+    # rebuild partitions (keep pid identities; drop now-empty ones)
+    groups: dict[int, list[Op]] = {}
+    fid_sets: dict[int, set[int]] = {}
+    for uid, members in enumerate(est.units):
+        pid = assign[uid]
+        groups.setdefault(pid, []).extend(est.ops[k] for k in members)
+        fid_sets.setdefault(pid, set()).update(
+            fs.fiber_of(est.ops[k]).fid for k in members
+        )
+    ordered = sorted(
+        groups.items(), key=lambda kv: min(op.rank for op in kv[1])
+    )
+    out: list[Partition] = []
+    for new_pid, (old_pid, ops) in enumerate(ordered):
+        ops_sorted = sorted(ops, key=lambda o: o.rank)
+        out.append(
+            Partition(
+                pid=new_pid,
+                fids=frozenset(fid_sets[old_pid]),
+                ops=ops_sorted,
+                cost=sum(_op_cost(o, cost) for o in ops_sorted),
+                n_compute_ops=sum(1 for o in ops_sorted if o.kind == "expr"),
+            )
+        )
+    return out

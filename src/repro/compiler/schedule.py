@@ -1,0 +1,258 @@
+"""Per-partition instruction scheduling (paper §III-B last paragraph).
+
+"We optimize this code by re-arranging and interleaving code
+instructions such that instructions producing values to be communicated
+to other cores execute as early as possible, and instructions that
+depend on values obtained from other cores execute as late as
+possible."
+
+Each partition's work items — its ops, its enqueues and its dequeues —
+form a DAG; list scheduling orders them with send-feeding chains first
+and dequeues placed just-in-time before their consumers.  Constraints:
+
+1. intra-partition dependence edges (value/intra/mem/ctrl);
+2. an enqueue follows the op producing its value;
+3. a dequeue precedes every consumer of the received value;
+4. FIFO consistency: items using the same hardware queue keep the
+   globally agreed order (:attr:`Transfer.order_key`), so sender and
+   receiver never disagree on which value a slot holds;
+5. register hazards: accesses to a multiply-written register stay in
+   flattened-program order;
+6. predicate availability: a guarded item follows the local definition
+   point (computation or dequeue) of every condition in its chain.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir.nodes import Load, VarRef
+from ..ir.stmts import PredChain
+from .codegraph import CodeGraph
+from .comm import CommPlan, Transfer
+from .fibers import Op, consumed_leaves
+from .merge import Partition
+
+
+class ScheduleError(RuntimeError):
+    """A partition's constraint graph is unschedulable (cycle)."""
+
+
+@dataclass(eq=False)
+class EmitItem:
+    """One entry of a partition's emission order."""
+
+    kind: str                       # 'op' | 'enq' | 'deq'
+    pred: PredChain
+    op: Optional[Op] = None         # for 'op'
+    transfer: Optional[Transfer] = None  # for 'enq'/'deq'
+
+    @property
+    def rank(self) -> tuple:
+        if self.kind == "op":
+            return (*self.op.rank, 0)
+        if self.kind == "enq":
+            return (*self.transfer.rank, 1, self.transfer.tid)
+        return (*self.transfer.rank, -1, self.transfer.tid)
+
+    def __repr__(self) -> str:
+        if self.kind == "op":
+            return f"Emit(op {self.op!r})"
+        return f"Emit({self.kind} {self.transfer!r})"
+
+
+@dataclass
+class PartitionSchedule:
+    pid: int
+    items: list[EmitItem]
+
+    @property
+    def n_enq(self) -> int:
+        return sum(1 for it in self.items if it.kind == "enq")
+
+    @property
+    def n_deq(self) -> int:
+        return sum(1 for it in self.items if it.kind == "deq")
+
+
+def _reads_of_op(op: Op) -> set[str]:
+    names: set[str] = set()
+    for leaf in consumed_leaves(op):
+        if isinstance(leaf, VarRef):
+            names.add(leaf.name)
+        elif isinstance(leaf, Load) and isinstance(leaf.index, VarRef):
+            names.add(leaf.index.name)
+    return names
+
+
+def schedule_partition(
+    part: Partition,
+    graph: CodeGraph,
+    comm: CommPlan,
+) -> PartitionSchedule:
+    outs, ins = comm.by_partition(part.pid)
+
+    items: list[EmitItem] = []
+    op_item: dict[int, int] = {}  # id(op) -> item index
+    for op in part.ops:
+        op_item[id(op)] = len(items)
+        items.append(EmitItem(kind="op", pred=op.pred, op=op))
+    enq_item: dict[int, int] = {}
+    for t in outs:
+        enq_item[t.tid] = len(items)
+        items.append(EmitItem(kind="enq", pred=t.pred, transfer=t))
+    deq_item: dict[int, int] = {}
+    for t in ins:
+        deq_item[t.tid] = len(items)
+        items.append(EmitItem(kind="deq", pred=t.pred, transfer=t))
+
+    n = len(items)
+    succ: list[set[int]] = [set() for _ in range(n)]
+    npred = [0] * n
+
+    def edge(a: int, b: int) -> None:
+        if a != b and b not in succ[a]:
+            succ[a].add(b)
+            npred[b] += 1
+
+    # 1. intra-partition dependence edges
+    for e in graph.edges:
+        ia = op_item.get(id(e.producer))
+        ib = op_item.get(id(e.consumer))
+        if ia is not None and ib is not None:
+            edge(ia, ib)
+    # ... including tree-operand order *within* a fiber (the code graph
+    # only records cross-fiber tree edges).
+    from .fibers import interior_operands
+
+    fs = graph.fiberset
+    for op in part.ops:
+        ib = op_item[id(op)]
+        for child in interior_operands(op):
+            prod = fs.op_of_node[(op.sid, child.nid)]
+            ia = op_item.get(id(prod))
+            if ia is not None:
+                edge(ia, ib)
+
+    # 2./3. comm anchoring
+    for t in outs:
+        edge(op_item[id(t.producer_op)], enq_item[t.tid])
+    for t in ins:
+        for cons in t.consumer_ops:
+            edge(deq_item[t.tid], op_item[id(cons)])
+
+    # 4. Global communication order (FIFO consistency AND deadlock
+    # freedom): *all* comm items of this partition — enqueues and
+    # dequeues alike — are chained in global transfer-rank order.
+    # Every dependence and constraint edge is rank-forward, so with
+    # every partition agreeing on this order, any blocked wait points
+    # to a strictly earlier (iteration, rank) event; waits form a
+    # well-order and can never cycle, for any queue depth >= 1.
+    # (Keying dequeues by consumer rank instead is the classic
+    # deadlock: partition A dequeues x (rank 13) before enqueueing m
+    # (rank 8) while partition B needs m to produce x.)
+    comm_sorted = sorted(
+        outs + ins, key=lambda t: (t.order_key, t.dst_pid, t.tid)
+    )
+    comm_idx = [
+        enq_item[t.tid] if t.src_pid == part.pid else deq_item[t.tid]
+        for t in comm_sorted
+    ]
+    for a, b in zip(comm_idx, comm_idx[1:]):
+        edge(a, b)
+
+    # 5. register hazard chains (regs with a writer in this partition)
+    accesses: dict[str, list[tuple[tuple, int, bool]]] = {}
+
+    def record(reg: str, rank: tuple, idx: int, is_write: bool) -> None:
+        accesses.setdefault(reg, []).append((rank, idx, is_write))
+
+    for op in part.ops:
+        idx = op_item[id(op)]
+        if op.writes is not None:
+            record(op.writes, (*op.rank, 0), idx, True)
+        for name in _reads_of_op(op):
+            record(name, (*op.rank, 0), idx, False)
+    for t in outs:
+        record(t.reg, (*t.rank, 1), enq_item[t.tid], False)
+    for t in ins:
+        record(t.reg, (*t.rank, -1), deq_item[t.tid], True)
+
+    for reg, acc in accesses.items():
+        if not any(w for _, _, w in acc):
+            continue
+        acc.sort(key=lambda x: x[0])
+        for (_, ia, _), (_, ib, _) in zip(acc, acc[1:]):
+            edge(ia, ib)
+
+    # 6. predicate availability
+    cond_def_point: dict[str, int] = {}
+    for op in part.ops:
+        if op.writes is not None and op.writes.startswith("__c"):
+            cond_def_point[op.writes] = op_item[id(op)]
+    for t in ins:
+        if t.reg.startswith("__c") and t.reg not in cond_def_point:
+            cond_def_point[t.reg] = deq_item[t.tid]
+    for i, it in enumerate(items):
+        for cond, _ in it.pred:
+            dp = cond_def_point.get(cond)
+            if dp is not None:
+                edge(dp, i)
+
+    # -- priorities: send-feeding chains early --------------------------
+    feeds_send = [False] * n
+    stack = [enq_item[t.tid] for t in outs]
+    rev: list[list[int]] = [[] for _ in range(n)]
+    for a in range(n):
+        for b in succ[a]:
+            rev[b].append(a)
+    for s in stack:
+        feeds_send[s] = True
+    while stack:
+        b = stack.pop()
+        for a in rev[b]:
+            if not feeds_send[a]:
+                feeds_send[a] = True
+                stack.append(a)
+
+    def key(i: int) -> tuple:
+        it = items[i]
+        cls = 0 if feeds_send[i] else 1
+        if it.kind == "deq":
+            # just-in-time: adopt the earliest consumer's rank so the
+            # dequeue is picked right before the value is needed.
+            ranks = [(*c.rank, -1) for c in it.transfer.consumer_ops]
+            r = min(ranks) if ranks else it.rank
+            return (cls, r, i)
+        return (cls, it.rank, i)
+
+    ready = [key(i) for i in range(n) if npred[i] == 0]
+    heapq.heapify(ready)
+    order: list[int] = []
+    indeg = npred[:]
+    in_heap = {k[-1] for k in ready}
+    while ready:
+        k = heapq.heappop(ready)
+        i = k[-1]
+        order.append(i)
+        for b in succ[i]:
+            indeg[b] -= 1
+            if indeg[b] == 0 and b not in in_heap:
+                heapq.heappush(ready, key(b))
+                in_heap.add(b)
+    if len(order) != n:
+        raise ScheduleError(
+            f"partition {part.pid}: cyclic scheduling constraints "
+            f"({n - len(order)} items unplaced)"
+        )
+    return PartitionSchedule(pid=part.pid, items=[items[i] for i in order])
+
+
+def schedule_all(
+    partitions: list[Partition],
+    graph: CodeGraph,
+    comm: CommPlan,
+) -> list[PartitionSchedule]:
+    return [schedule_partition(p, graph, comm) for p in partitions]

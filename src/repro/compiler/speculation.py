@@ -1,0 +1,255 @@
+"""Rollback-free control-flow speculation (paper §III-H, Fig 10).
+
+"We identify if-then-else statements where the code in the then-block
+and else-block is mostly independent and has no side effects.  This
+code can then be concurrently executed ahead-of-time, before the value
+of the conditional is known.  The form of speculation we use in our
+transformation is very limited: it is guaranteed not to require
+rollback."
+
+Transformation: for an eligible conditional, both arms are hoisted
+unconditionally (arm-local temporaries renamed apart), and each
+temporary the arms assign is committed with a ``select`` on the
+condition value.  Because the arms are side-effect-free (no stores) and
+every operator is non-trapping (see :mod:`repro.ops`), executing the
+not-taken arm is harmless, and no communication ever needs to be
+unpaired — exactly the property the paper relies on.
+
+Eligibility:
+
+* both arms contain only scalar assignments (no stores, no nested
+  conditionals after inner transformation);
+* neither arm reads a temporary the other arm assigns;
+* a temporary assigned in only one arm must have a value on the other
+  path (a prior definition in the enclosing block, a parameter, or an
+  accumulator), so the select has a fall-through operand.
+"""
+
+from __future__ import annotations
+
+from ..ir.nodes import Select, VarRef
+from ..ir.stmts import Assign, If, Loop, Stmt, Store
+from ..ir.visitors import clone, var_names
+
+
+def apply_speculation(loop: Loop) -> Loop:
+    """Return a new Loop with eligible conditionals speculated."""
+    counter = [0]
+    defined: set[str] = set(p.name for p in loop.params) | {loop.index}
+    new_body = _transform_block(loop.body, defined, counter)
+    return Loop(
+        name=loop.name,
+        index=loop.index,
+        trip=loop.trip,
+        body=new_body,
+        arrays=list(loop.arrays),
+        params=list(loop.params),
+        live_out=list(loop.live_out),
+        source=loop.source,
+    )
+
+
+def _transform_block(
+    block: list[Stmt], defined: set[str], counter: list[int]
+) -> list[Stmt]:
+    out: list[Stmt] = []
+    for stmt in block:
+        if isinstance(stmt, Assign):
+            out.append(_copy_assign(stmt))
+            defined.add(stmt.target)
+        elif isinstance(stmt, Store):
+            s = Store(stmt.array, clone(stmt.index), clone(stmt.expr))
+            s.line = stmt.line
+            out.append(s)
+        elif isinstance(stmt, If):
+            then = _transform_block(stmt.then, set(defined), counter)
+            orelse = _transform_block(stmt.orelse, set(defined), counter)
+            rewritten = If(clone(stmt.cond), then, orelse)
+            rewritten.line = stmt.line
+            if _eligible(rewritten, defined):
+                out.extend(_speculate(rewritten, defined, counter))
+                for s in then + orelse:
+                    if isinstance(s, Assign):
+                        defined.add(s.target)
+            else:
+                out.append(rewritten)
+                # only arm-common assignments are definitely defined after
+                t_names = {s.target for s in then if isinstance(s, Assign)}
+                e_names = {s.target for s in orelse if isinstance(s, Assign)}
+                defined.update(t_names & e_names)
+        else:  # pragma: no cover - defensive
+            raise TypeError(type(stmt))
+    return out
+
+
+def _copy_assign(stmt: Assign) -> Assign:
+    s = Assign(stmt.target, clone(stmt.expr), stmt.dtype)
+    s.line = stmt.line
+    return s
+
+
+def _store_keys(arm: list[Stmt]) -> list[tuple] | None:
+    """Store signature of an arm: ordered (array, index-text) keys, or
+    None if a location is stored more than once (order within the arm
+    then matters in ways select-commit cannot express)."""
+    from ..ir.printer import fmt_expr
+
+    keys = [
+        (s.array.name, fmt_expr(s.index)) for s in arm if isinstance(s, Store)
+    ]
+    return None if len(set(keys)) != len(keys) else keys
+
+
+def _eligible(stmt: If, defined: set[str]) -> bool:
+    arms = (stmt.then, stmt.orelse)
+    if not stmt.then and not stmt.orelse:
+        return False
+    assigns: list[set[str]] = []
+    for arm in arms:
+        if not all(isinstance(s, (Assign, Store)) for s in arm):
+            return False
+        assigns.append({s.target for s in arm if isinstance(s, Assign)})
+    # stores are only speculatable when both arms store the *same*
+    # locations (the commit becomes one unconditional store of a
+    # selected value — Fig 10's "*ptrVar =" pattern); the stored-to
+    # arrays must also not be read by either arm (the speculative arm
+    # would otherwise observe or miss the other's effect).
+    tk, ek = _store_keys(stmt.then), _store_keys(stmt.orelse)
+    if tk is None or ek is None or sorted(tk) != sorted(ek):
+        return False
+    # within an arm, no load may follow a store to the same array: the
+    # commit defers the store, so such a load would observe stale data.
+    for arm in arms:
+        stored_so_far: set[str] = set()
+        for s in arm:
+            reads = {ld.array.name for ld in _arm_loads(s)}
+            if reads & stored_so_far:
+                return False
+            if isinstance(s, Store):
+                stored_so_far.add(s.array.name)
+    t_set, e_set = assigns
+    # neither arm may read what only the other arm writes
+    for arm, other in ((stmt.then, e_set - t_set), (stmt.orelse, t_set - e_set)):
+        for s in arm:
+            if var_names(s.expr) & other:
+                return False
+    # single-arm temps need a fall-through value
+    for name in t_set.symmetric_difference(e_set):
+        if name not in defined:
+            return False
+    return True
+
+
+def _arm_loads(s: Stmt):
+    from ..ir.visitors import loads
+
+    yield from loads(s.expr)
+    if isinstance(s, Store):
+        yield from loads(s.index)
+
+
+def _speculate(
+    stmt: If, defined: set[str], counter: list[int]
+) -> list[Stmt]:
+    counter[0] += 1
+    k = counter[0]
+    out: list[Stmt] = []
+
+    cond_name = f"__sc{k}"
+    cnd = Assign(cond_name, clone(stmt.cond))
+    cnd.line = stmt.line
+    out.append(cnd)
+
+    def hoist_arm(arm: list[Stmt], tag: str):
+        # reads of a temp before its first arm-local assignment keep the
+        # original name (the pre-branch value); reads after it see the
+        # renamed speculative version.
+        env: dict[str, str] = {}
+        stores: dict[tuple, tuple] = {}  # key -> (index_expr, value_name)
+        for j, s in enumerate(arm):
+            if isinstance(s, Assign):
+                fresh = f"{s.target}__sp{tag}{k}_{j}"
+                ns = Assign(fresh, _rename_reads(clone(s.expr), env), s.dtype)
+                ns.line = s.line
+                out.append(ns)
+                env[s.target] = fresh
+            else:  # Store: speculatively compute the value, commit later
+                from ..ir.printer import fmt_expr
+
+                key = (s.array.name, fmt_expr(s.index))
+                vname = f"__spv{tag}{k}_{j}"
+                nv = Assign(vname, _rename_reads(clone(s.expr), env),
+                            s.array.dtype)
+                nv.line = s.line
+                out.append(nv)
+                stores[key] = (
+                    _rename_reads(clone(s.index), env),
+                    vname,
+                    s.array,
+                    s.line,
+                )
+        return env, stores
+
+    env_t, st_t = hoist_arm(stmt.then, "t")
+    env_e, st_e = hoist_arm(stmt.orelse, "e")
+
+    order: list[str] = []
+    for s in stmt.then + stmt.orelse:
+        if isinstance(s, Assign) and s.target not in order:
+            order.append(s.target)
+    cond_ref = VarRef(cond_name, cnd.dtype)
+    for name in order:
+        a_name = env_t.get(name, name)
+        b_name = env_e.get(name, name)
+        src = next(
+            s for s in stmt.then + stmt.orelse
+            if isinstance(s, Assign) and s.target == name
+        )
+        sel = Assign(
+            name,
+            Select(
+                clone(cond_ref),
+                VarRef(a_name, src.dtype),
+                VarRef(b_name, src.dtype),
+            ),
+            src.dtype,
+        )
+        sel.line = stmt.line
+        out.append(sel)
+    # commit stores: one unconditional store per location, value (and,
+    # if the arms' renames diverged, index) chosen by select (Fig 10).
+    for key in st_t:
+        idx_t, val_t, array, line = st_t[key]
+        idx_e, val_e, _, _ = st_e[key]
+        from ..ir.printer import fmt_expr
+
+        if fmt_expr(idx_t) == fmt_expr(idx_e):
+            index = idx_t
+        else:
+            index = Select(clone(cond_ref), idx_t, idx_e)
+        st = Store(
+            array,
+            index,
+            Select(
+                clone(cond_ref),
+                VarRef(val_t, array.dtype),
+                VarRef(val_e, array.dtype),
+            ),
+        )
+        st.line = line
+        out.append(st)
+    return out
+
+
+def _rename_reads(expr, env: dict[str, str]):
+    """Rename VarRef reads per ``env``, preserving each read's dtype."""
+    if not env:
+        return expr
+    from ..ir.visitors import map_expr
+
+    def fix(node):
+        if isinstance(node, VarRef) and node.name in env:
+            return VarRef(env[node.name], node.dtype)
+        return None
+
+    return map_expr(expr, fix)

@@ -1,0 +1,81 @@
+"""E9 — §III-B multi-pair merge variant.
+
+"We have also implemented a different version of the merge algorithm
+that chooses multiple node pairs to merge at each step ... This version
+allows faster compilation, and becomes useful when there are a large
+number of fibers to process."
+
+We measure both the compile-time saving and the performance impact of
+the coarser merge decisions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..compiler import CompilerConfig, parallelize
+from ..kernels import table1_kernels
+from .common import ExpConfig, amean, run_table1
+
+
+@dataclass
+class MultiPairResult:
+    rows: list[dict]
+    avg_single: float
+    avg_multi: float
+    compile_speedup: float  # single-pair compile time / multi-pair
+
+
+def run(trip: int = 64) -> MultiPairResult:
+    single = run_table1(ExpConfig(n_cores=4, trip=trip))
+    multi = run_table1(ExpConfig(n_cores=4, trip=trip, multi_pair_merge=True))
+    rows = []
+    for a, b in zip(single, multi):
+        rows.append(
+            {
+                "kernel": a.kernel,
+                "single": round(a.speedup, 2),
+                "multi": round(b.speedup, 2),
+            }
+        )
+
+    # compile-time comparison of the merge step itself on the largest
+    # kernels (where the paper says the variant "becomes useful").
+    from ..compiler import build_code_graph, merge_partitions
+    from ..ir import normalize as _normalize
+
+    big = [s for s in table1_kernels() if s.name in ("irs-5", "irs-1", "sphot-2")]
+    t_single = t_multi = 0.0
+    for spec in big:
+        graph = build_code_graph(_normalize(spec.loop(), max_height=2))
+        t0 = time.perf_counter()
+        for _ in range(3):
+            merge_partitions(graph, 4, CompilerConfig())
+        t_single += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(3):
+            merge_partitions(graph, 4, CompilerConfig(multi_pair_merge=True))
+        t_multi += time.perf_counter() - t0
+
+    return MultiPairResult(
+        rows=rows,
+        avg_single=round(amean(r.speedup for r in single), 2),
+        avg_multi=round(amean(r.speedup for r in multi), 2),
+        compile_speedup=round(t_single / max(t_multi, 1e-9), 2),
+    )
+
+
+def format_result(res: MultiPairResult) -> str:
+    lines = [
+        "Ablation — multi-pair merge variant (4 cores)",
+        f"{'kernel':10s} {'single':>7s} {'multi':>7s}",
+    ]
+    for r in res.rows:
+        lines.append(f"{r['kernel']:10s} {r['single']:7.2f} {r['multi']:7.2f}")
+    lines.append(
+        f"average: single={res.avg_single} multi={res.avg_multi}; "
+        f"merge compile-time speedup on large kernels: "
+        f"{res.compile_speedup}x"
+    )
+    return "\n".join(lines)

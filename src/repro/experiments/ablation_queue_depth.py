@@ -1,0 +1,65 @@
+"""E8 — queue-depth sweep (extension).
+
+The paper fixes the queue length at 20 slots (§V) without exploring it;
+this extension sweeps the depth to show (a) how little depth the
+compiled communication patterns actually need, and (b) that the
+blocking semantics stay deadlock-free down to depth 1 thanks to the
+globally rank-ordered communication schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import ExpConfig, amean, run_table1
+
+DEPTHS = (1, 2, 4, 8, 20)
+
+
+@dataclass
+class DepthResult:
+    rows: list[dict]
+    avg: dict[int, float]
+    deadlocks: dict[int, int]
+
+
+def run(trip: int = 64, depths: tuple[int, ...] = DEPTHS) -> DepthResult:
+    by_depth = {
+        d: run_table1(ExpConfig(n_cores=4, queue_depth=d, trip=trip))
+        for d in depths
+    }
+    rows = []
+    for idx, base in enumerate(by_depth[depths[-1]]):
+        row = {"kernel": base.kernel}
+        for d in depths:
+            r = by_depth[d][idx]
+            row[f"speedup_{d}"] = round(r.speedup, 2) if not r.deadlocked else None
+        rows.append(row)
+    avg = {
+        d: round(
+            amean(r.speedup for r in by_depth[d] if not r.deadlocked), 2
+        )
+        for d in depths
+    }
+    deadlocks = {
+        d: sum(1 for r in by_depth[d] if r.deadlocked) for d in depths
+    }
+    return DepthResult(rows=rows, avg=avg, deadlocks=deadlocks)
+
+
+def format_result(res: DepthResult) -> str:
+    depths = sorted(res.avg)
+    head = " ".join(f"{f'd={d}':>7s}" for d in depths)
+    lines = ["Ablation — queue depth sweep (4 cores)", f"{'kernel':10s} {head}"]
+    for r in res.rows:
+        vals = " ".join(
+            f"{r[f'speedup_{d}']:7.2f}" if r[f"speedup_{d}"] is not None
+            else f"{'DLCK':>7s}"
+            for d in depths
+        )
+        lines.append(f"{r['kernel']:10s} {vals}")
+    lines.append(
+        f"{'average':10s} " + " ".join(f"{res.avg[d]:7.2f}" for d in depths)
+    )
+    lines.append(f"deadlocks per depth: {res.deadlocks}")
+    return "\n".join(lines)

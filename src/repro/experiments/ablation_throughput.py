@@ -1,0 +1,77 @@
+"""E7 — §III-B throughput-heuristic ablation.
+
+"We also evaluated the effect of using a throughput heuristic.  This
+heuristic constrains partitioning to allow only unidirectional
+dependences between any two nodes in the final graph. ... In our
+experiments, the impact of this heuristic on performance was mixed,
+with 3 of 18 kernels showing performance improvement, and 6 of 18
+kernels showing performance degradation, and an overall slowdown of
+11% on average."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import ExpConfig, amean, run_table1
+
+PAPER = {"improved": 3, "degraded": 6, "avg_slowdown_pct": 11.0}
+
+
+@dataclass
+class ThroughputResult:
+    rows: list[dict]
+    improved: int
+    degraded: int
+    avg_change_pct: float
+
+
+def run(trip: int = 64) -> ThroughputResult:
+    base = run_table1(ExpConfig(n_cores=4, trip=trip))
+    constrained = run_table1(
+        ExpConfig(n_cores=4, trip=trip, throughput_heuristic=True)
+    )
+    rows = []
+    improved = degraded = 0
+    ratios = []
+    for a, b in zip(base, constrained):
+        assert b.correct or b.deadlocked is False, f"{b.kernel}: wrong results"
+        ratio = b.speedup / a.speedup if a.speedup else 0.0
+        ratios.append(ratio)
+        if ratio > 1.02:
+            improved += 1
+        elif ratio < 0.98:
+            degraded += 1
+        rows.append(
+            {
+                "kernel": a.kernel,
+                "base": round(a.speedup, 2),
+                "throughput": round(b.speedup, 2),
+                "ratio": round(ratio, 3),
+            }
+        )
+    avg_change = (amean(ratios) - 1.0) * 100.0
+    return ThroughputResult(
+        rows=rows,
+        improved=improved,
+        degraded=degraded,
+        avg_change_pct=round(avg_change, 1),
+    )
+
+
+def format_result(res: ThroughputResult) -> str:
+    lines = [
+        "Ablation — throughput heuristic (acyclic partitions), 4 cores",
+        f"{'kernel':10s} {'base':>6s} {'acyc':>6s} {'ratio':>6s}",
+    ]
+    for r in res.rows:
+        lines.append(
+            f"{r['kernel']:10s} {r['base']:6.2f} {r['throughput']:6.2f}"
+            f" {r['ratio']:6.3f}"
+        )
+    lines.append(
+        f"improved={res.improved} degraded={res.degraded} "
+        f"avg change={res.avg_change_pct:+.1f}% "
+        f"(paper: 3 improved, 6 degraded, -11% average)"
+    )
+    return "\n".join(lines)

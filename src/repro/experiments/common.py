@@ -1,0 +1,173 @@
+"""Shared experiment harness.
+
+``run_kernel`` compiles and simulates one kernel in one configuration
+and returns a :class:`KernelRun` with cycles, speedup vs. the
+sequential baseline, compile-time statistics and correctness checks
+(every simulated run is verified against the reference interpreter —
+an experiment that produces wrong answers is not a result).
+
+Results are memoised per (kernel, trip, seed, config) so benchmark
+tables that share configurations do not re-simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+import numpy as np
+
+from ..compiler import CompilerConfig, MergeWeights
+from ..compiler.pipeline import PlanStats
+from ..interp import run_loop
+from ..kernels import KernelSpec, table1_kernels
+from ..runtime import compile_loop, execute_kernel
+from ..sim import DeadlockError, MachineParams
+
+#: default evaluation trip count (large enough to amortise the §III-G
+#: startup overhead, as the paper requires of its kernels).
+DEFAULT_TRIP = 64
+
+
+@dataclass(frozen=True)
+class ExpConfig:
+    """One experiment cell: compiler + machine configuration."""
+
+    n_cores: int = 4
+    queue_latency: int = 5
+    queue_depth: int = 20
+    speculation: bool = False
+    throughput_heuristic: bool = False
+    multi_pair_merge: bool = False
+    max_expr_height: int = 2
+    trip: int = DEFAULT_TRIP
+    seed: int = 0
+
+    def compiler(self, profile_workload=None) -> CompilerConfig:
+        return CompilerConfig(
+            max_expr_height=self.max_expr_height,
+            speculation=self.speculation,
+            throughput_heuristic=self.throughput_heuristic,
+            multi_pair_merge=self.multi_pair_merge,
+            profile_workload=profile_workload,
+        )
+
+    def machine(self) -> MachineParams:
+        return MachineParams(
+            queue_depth=self.queue_depth,
+            queue_latency=self.queue_latency,
+        )
+
+
+@dataclass
+class KernelRun:
+    kernel: str
+    config: ExpConfig
+    seq_cycles: float
+    par_cycles: float
+    correct: bool
+    deadlocked: bool
+    stats: PlanStats | None
+    queue_stall: float = 0.0
+    instrs: int = 0
+
+    @property
+    def speedup(self) -> float:
+        if self.deadlocked or self.par_cycles <= 0:
+            return 0.0
+        return self.seq_cycles / self.par_cycles
+
+
+_cache: dict[tuple, KernelRun] = {}
+
+
+def clear_cache() -> None:
+    _cache.clear()
+
+
+def run_kernel(spec: KernelSpec, config: ExpConfig) -> KernelRun:
+    key = (spec.name, config)
+    hit = _cache.get(key)
+    if hit is not None:
+        return hit
+
+    loop = spec.loop()
+    wl = spec.workload(trip=config.trip, seed=spec.seed + config.seed)
+    ref = run_loop(loop, wl)
+
+    seq_key = (spec.name, replace(config, n_cores=1, speculation=False,
+                                  throughput_heuristic=False,
+                                  multi_pair_merge=False))
+    seq_hit = _cache.get(seq_key)
+    if seq_hit is not None:
+        seq_cycles = seq_hit.seq_cycles
+    else:
+        k1 = compile_loop(loop, 1, CompilerConfig(
+            max_expr_height=config.max_expr_height))
+        seq_cycles = execute_kernel(k1, wl, config.machine()).cycles
+
+    deadlocked = False
+    correct = True
+    stats = None
+    par_cycles = float("inf")
+    qstall = 0.0
+    instrs = 0
+    try:
+        k = compile_loop(loop, config.n_cores, config.compiler(profile_workload=wl))
+        stats = k.plan.stats
+        res = execute_kernel(k, wl, config.machine())
+        par_cycles = res.cycles
+        qstall = res.total_queue_stall
+        instrs = res.total_instrs
+        correct = _verify(ref, res)
+    except DeadlockError:
+        deadlocked = True
+        correct = False
+
+    run = KernelRun(
+        kernel=spec.name,
+        config=config,
+        seq_cycles=seq_cycles,
+        par_cycles=par_cycles,
+        correct=correct,
+        deadlocked=deadlocked,
+        stats=stats,
+        queue_stall=qstall,
+        instrs=instrs,
+    )
+    _cache[key] = run
+    if seq_hit is None:
+        _cache[seq_key] = run
+    return run
+
+
+def _verify(ref, res) -> bool:
+    for name, buf in ref.arrays.items():
+        if not np.array_equal(buf, res.arrays[name]):
+            return False
+    for name, v in ref.scalars.items():
+        got = res.scalars.get(name)
+        if got is None:
+            return False
+        if isinstance(v, float):
+            if v != got and abs(v - got) > 1e-12 * max(1.0, abs(v)):
+                return False
+        elif v != got:
+            return False
+    return True
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+def amean(values: Iterable[float]) -> float:
+    vals = list(values)
+    return float(np.mean(vals)) if vals else 0.0
+
+
+def run_table1(config: ExpConfig) -> list[KernelRun]:
+    return [run_kernel(spec, config) for spec in table1_kernels()]

@@ -1,0 +1,70 @@
+"""E2 — Figure 12: speedup of fine-grained parallel code over
+sequential code, per kernel, on 2 and 4 cores.
+
+Paper: 2-core speedups range 1.03–1.76, average 1.32; 4-core speedups
+range 0.90–2.98, average 2.05; umt2k-6 shows no speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import ExpConfig, amean, run_table1
+
+#: Figure 12 / Table III 4-core speedups as published.
+PAPER_SPEEDUP_4 = {
+    "lammps-1": 1.94, "lammps-2": 2.07, "lammps-3": 1.67, "lammps-4": 1.56,
+    "lammps-5": 2.80, "irs-1": 2.29, "irs-2": 1.33, "irs-3": 2.06,
+    "irs-4": 2.98, "irs-5": 2.99, "umt2k-1": 2.62, "umt2k-2": 1.01,
+    "umt2k-3": 1.25, "umt2k-4": 2.79, "umt2k-5": 2.03, "umt2k-6": 0.90,
+    "sphot-1": 2.26, "sphot-2": 2.60,
+}
+PAPER_AVG = {2: 1.32, 4: 2.05}
+PAPER_RANGE = {2: (1.03, 1.76), 4: (0.90, 2.98)}
+
+
+@dataclass
+class Fig12Result:
+    rows: list[dict]
+    avg: dict[int, float]
+
+    def series(self, n_cores: int) -> list[float]:
+        return [r[f"speedup_{n_cores}"] for r in self.rows]
+
+
+def run(trip: int = 64) -> Fig12Result:
+    r2 = run_table1(ExpConfig(n_cores=2, trip=trip))
+    r4 = run_table1(ExpConfig(n_cores=4, trip=trip))
+    rows = []
+    for a, b in zip(r2, r4):
+        assert a.correct and b.correct, f"{a.kernel}: wrong results"
+        rows.append(
+            {
+                "kernel": a.kernel,
+                "speedup_2": round(a.speedup, 2),
+                "speedup_4": round(b.speedup, 2),
+                "paper_4": PAPER_SPEEDUP_4[a.kernel],
+            }
+        )
+    avg = {
+        2: round(amean(r.speedup for r in r2), 2),
+        4: round(amean(r.speedup for r in r4), 2),
+    }
+    return Fig12Result(rows=rows, avg=avg)
+
+
+def format_result(res: Fig12Result) -> str:
+    lines = [
+        "Fig 12 — speedup over sequential execution",
+        f"{'kernel':10s} {'2-core':>7s} {'4-core':>7s} {'paper@4':>8s}",
+    ]
+    for r in res.rows:
+        lines.append(
+            f"{r['kernel']:10s} {r['speedup_2']:7.2f} {r['speedup_4']:7.2f}"
+            f" {r['paper_4']:8.2f}"
+        )
+    lines.append(
+        f"{'average':10s} {res.avg[2]:7.2f} {res.avg[4]:7.2f}"
+        f"   (paper: {PAPER_AVG[2]:.2f} / {PAPER_AVG[4]:.2f})"
+    )
+    return "\n".join(lines)

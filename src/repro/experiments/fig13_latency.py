@@ -1,0 +1,79 @@
+"""E5 — Figure 13: sensitivity to the queue transfer latency.
+
+The paper raises the transfer latency from 5 to 20 and 50 cycles (and
+discusses 100):
+
+* 20 cycles — ≈20% degradation, average speedup 2.05 → 1.85; four
+  kernels lose their speedup (umt2k-6, umt2k-2, irs-2, lammps-4);
+* 50 cycles — average 1.36, six kernels without speedup;
+* 100 cycles — no speedup on average, only irs-1 and irs-4 still gain.
+
+"The technique is inherently sensitive to communication latencies."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import ExpConfig, amean, run_table1
+
+LATENCIES = (5, 20, 50, 100)
+PAPER_AVG = {5: 2.05, 20: 1.85, 50: 1.36, 100: 1.0}
+PAPER_NO_SPEEDUP = {5: 1, 20: 4, 50: 6, 100: 16}
+
+
+@dataclass
+class Fig13Result:
+    rows: list[dict]           # per kernel: speedup at each latency
+    avg: dict[int, float]
+    no_speedup: dict[int, int]
+
+
+def run(trip: int = 64, latencies: tuple[int, ...] = LATENCIES) -> Fig13Result:
+    by_lat = {
+        lat: run_table1(ExpConfig(n_cores=4, queue_latency=lat, trip=trip))
+        for lat in latencies
+    }
+    rows = []
+    for idx, base in enumerate(by_lat[latencies[0]]):
+        row = {"kernel": base.kernel}
+        for lat in latencies:
+            r = by_lat[lat][idx]
+            assert r.correct, f"{r.kernel}@lat{lat}: wrong results"
+            row[f"speedup_{lat}"] = round(r.speedup, 2)
+        rows.append(row)
+    avg = {
+        lat: round(amean(r.speedup for r in by_lat[lat]), 2)
+        for lat in latencies
+    }
+    no_speedup = {
+        lat: sum(1 for r in by_lat[lat] if r.speedup <= 1.0)
+        for lat in latencies
+    }
+    return Fig13Result(rows=rows, avg=avg, no_speedup=no_speedup)
+
+
+def format_result(res: Fig13Result) -> str:
+    lats = sorted(res.avg)
+    head = " ".join(f"{f'{l}cyc':>7s}" for l in lats)
+    lines = [
+        "Fig 13 — performance vs queue transfer latency (4 cores)",
+        f"{'kernel':10s} {head}",
+    ]
+    for r in res.rows:
+        vals = " ".join(f"{r[f'speedup_{l}']:7.2f}" for l in lats)
+        lines.append(f"{r['kernel']:10s} {vals}")
+    lines.append(
+        f"{'average':10s} "
+        + " ".join(f"{res.avg[l]:7.2f}" for l in lats)
+    )
+    lines.append(
+        "paper avg:  "
+        + " ".join(f"{PAPER_AVG.get(l, float('nan')):7.2f}" for l in lats)
+    )
+    lines.append(
+        "kernels w/o speedup: "
+        + ", ".join(f"{l}cyc={res.no_speedup[l]}" for l in lats)
+        + f"   (paper: {PAPER_NO_SPEEDUP})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""E6 — Figure 14: effect of control-flow speculation (§III-H).
+
+Paper: "This optimization improves the performance of eight kernels,
+resulting in an overall increase in performance of about 28%, with the
+average speedup improving from 2.05 to 2.33."
+
+In this reproduction, speculation is compiled as a code version and
+selected by profile feedback (§III-I limitation 1), so kernels where
+executing both arms costs more than the removed serialization keep the
+non-speculative code — improvements only, like the paper's figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import ExpConfig, amean, run_table1
+
+PAPER_AVG_BASE = 2.05
+PAPER_AVG_SPEC = 2.33
+PAPER_N_IMPROVED = 8
+
+
+@dataclass
+class Fig14Result:
+    rows: list[dict]
+    avg_base: float
+    avg_spec: float
+    n_improved: int
+
+
+def run(trip: int = 64) -> Fig14Result:
+    base = run_table1(ExpConfig(n_cores=4, trip=trip))
+    spec = run_table1(ExpConfig(n_cores=4, trip=trip, speculation=True))
+    rows = []
+    improved = 0
+    for a, b in zip(base, spec):
+        assert b.correct, f"{b.kernel}: speculation broke results"
+        gain = b.speedup / a.speedup if a.speedup else 1.0
+        if gain > 1.02:
+            improved += 1
+        rows.append(
+            {
+                "kernel": a.kernel,
+                "base": round(a.speedup, 2),
+                "speculated": round(b.speedup, 2),
+                "gain": round(gain, 3),
+            }
+        )
+    return Fig14Result(
+        rows=rows,
+        avg_base=round(amean(r.speedup for r in base), 2),
+        avg_spec=round(amean(r.speedup for r in spec), 2),
+        n_improved=improved,
+    )
+
+
+def format_result(res: Fig14Result) -> str:
+    lines = [
+        "Fig 14 — control-flow speculation (4 cores)",
+        f"{'kernel':10s} {'base':>6s} {'spec':>6s} {'gain':>6s}",
+    ]
+    for r in res.rows:
+        lines.append(
+            f"{r['kernel']:10s} {r['base']:6.2f} {r['speculated']:6.2f}"
+            f" {r['gain']:6.3f}"
+        )
+    lines.append(
+        f"average {res.avg_base:.2f} -> {res.avg_spec:.2f}, "
+        f"{res.n_improved} kernels improved "
+        f"(paper: {PAPER_AVG_BASE} -> {PAPER_AVG_SPEC}, "
+        f"{PAPER_N_IMPROVED} kernels)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""E1 — Table I + §IV taxonomy: hot-loop characterization.
+
+Runs the IR-level classifier over all 51 corpus loops and reproduces
+both the taxonomy counts (6 init / 25 traditional [8+1 reductions] /
+2 conditional / 18 amenable) and Table I itself (amenable loops with
+source locations and %time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..characterize import characterize_corpus, table1_rows
+from ..characterize.report import PAPER_COUNTS, CharacterizationReport, format_report
+
+
+@dataclass
+class Table1Result:
+    report: CharacterizationReport
+    rows: list[dict]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return self.report.taxonomy_counts()
+
+
+def run() -> Table1Result:
+    rep = characterize_corpus()
+    return Table1Result(report=rep, rows=table1_rows(rep))
+
+
+def format_result(res: Table1Result) -> str:
+    lines = [format_report(res.report), "", "Table I — kernel loops:"]
+    for r in res.rows:
+        lines.append(f"  {r['kernel']:10s} {r['location']:55s} {r['pct_time']:5.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""E3 — Table II: expected whole-application speedups.
+
+The paper combines Table I's per-loop share of application time with
+Fig 12's per-kernel speedups into projected application speedups
+(Amdahl composition: the non-covered fraction runs at 1x).
+
+Paper values:
+
+    ============  ======  ======
+    application   2-core  4-core
+    ============  ======  ======
+    lammps          1.05    1.70
+    irs             1.24    1.79
+    umt2k           1.16    1.51
+    sphot           1.25    1.92
+    average         1.18    1.73
+    ============  ======  ======
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernels import table1_kernels
+from .common import ExpConfig, amean, run_table1
+
+PAPER_TABLE2 = {
+    "lammps": {2: 1.05, 4: 1.70},
+    "irs": {2: 1.24, 4: 1.79},
+    "umt2k": {2: 1.16, 4: 1.51},
+    "sphot": {2: 1.25, 4: 1.92},
+    "average": {2: 1.18, 4: 1.73},
+}
+
+
+def amdahl(fractions_speedups: list[tuple[float, float]]) -> float:
+    """Whole-app speedup from (time-fraction, speedup) pairs; the
+    remaining fraction is unaccelerated."""
+    covered = sum(f for f, _ in fractions_speedups)
+    if covered > 1.0 + 1e-9:
+        raise ValueError("fractions exceed 1")
+    denom = (1.0 - covered) + sum(f / s for f, s in fractions_speedups if s > 0)
+    return 1.0 / denom
+
+
+@dataclass
+class Table2Result:
+    rows: list[dict]
+
+    def by_app(self, app: str) -> dict:
+        for r in self.rows:
+            if r["app"] == app:
+                return r
+        raise KeyError(app)
+
+
+def run(trip: int = 64) -> Table2Result:
+    r2 = {r.kernel: r for r in run_table1(ExpConfig(n_cores=2, trip=trip))}
+    r4 = {r.kernel: r for r in run_table1(ExpConfig(n_cores=4, trip=trip))}
+    per_app: dict[str, list] = {}
+    for spec in table1_kernels():
+        per_app.setdefault(spec.app, []).append(spec)
+    rows = []
+    for app in ("lammps", "irs", "umt2k", "sphot"):
+        pairs2 = [
+            (s.pct_time / 100.0, r2[s.name].speedup) for s in per_app[app]
+        ]
+        pairs4 = [
+            (s.pct_time / 100.0, r4[s.name].speedup) for s in per_app[app]
+        ]
+        rows.append(
+            {
+                "app": app,
+                "speedup_2": round(amdahl(pairs2), 2),
+                "speedup_4": round(amdahl(pairs4), 2),
+                "paper_2": PAPER_TABLE2[app][2],
+                "paper_4": PAPER_TABLE2[app][4],
+            }
+        )
+    rows.append(
+        {
+            "app": "average",
+            "speedup_2": round(amean(r["speedup_2"] for r in rows), 2),
+            "speedup_4": round(amean(r["speedup_4"] for r in rows), 2),
+            "paper_2": PAPER_TABLE2["average"][2],
+            "paper_4": PAPER_TABLE2["average"][4],
+        }
+    )
+    return Table2Result(rows=rows)
+
+
+def format_result(res: Table2Result) -> str:
+    lines = [
+        "Table II — expected whole-application speedups",
+        f"{'app':8s} {'2-core':>7s} {'4-core':>7s} {'paper2':>7s} {'paper4':>7s}",
+    ]
+    for r in res.rows:
+        lines.append(
+            f"{r['app']:8s} {r['speedup_2']:7.2f} {r['speedup_4']:7.2f}"
+            f" {r['paper_2']:7.2f} {r['paper_4']:7.2f}"
+        )
+    return "\n".join(lines)

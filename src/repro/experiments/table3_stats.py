@@ -1,0 +1,82 @@
+"""E4 — Table III: per-kernel partitioning statistics at 4 cores.
+
+Columns: Initial Fibers, Data Deps, Load Balance (max/min compute ops
+per thread), Com Ops (queue transfers per iteration), Num Queues
+(directed core pairs used), Speedup.
+
+The paper's kernels come from the real Sequoia sources, so absolute
+fiber/dep counts differ from our reconstructions; the *relationships*
+should hold — e.g. irs-5 is the largest kernel, umt2k-2/3 have extreme
+load-balance ratios and near-1.0 speedups, queue usage stays ≤ 8 of the
+12 possible directed pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import ExpConfig, run_table1
+
+PAPER_TABLE3 = {
+    #            fibers deps  lb     com  q  speedup
+    "lammps-1": (63, 37, 1.49, 9, 3, 1.94),
+    "lammps-2": (60, 6, 1.89, 6, 3, 2.07),
+    "lammps-3": (123, 96, 1.49, 23, 6, 1.67),
+    "lammps-4": (105, 67, 1.68, 34, 6, 1.56),
+    "lammps-5": (87, 14, 1.45, 18, 6, 2.80),
+    "irs-1": (208, 54, 1.69, 3, 3, 2.29),
+    "irs-2": (47, 6, 2.54, 8, 6, 1.33),
+    "irs-3": (30, 3, 1.88, 2, 2, 2.06),
+    "irs-4": (110, 108, 1.65, 16, 3, 2.98),
+    "irs-5": (390, 698, 1.84, 60, 3, 2.99),
+    "umt2k-1": (11, 6, 1.91, 2, 2, 2.62),
+    "umt2k-2": (33, 2, 87.50, 3, 2, 1.01),
+    "umt2k-3": (31, 4, 55.00, 5, 3, 1.25),
+    "umt2k-4": (35, 62, 1.67, 10, 7, 2.79),
+    "umt2k-5": (9, 28, 1.3, 6, 6, 2.03),
+    "umt2k-6": (38, 1, 1.57, 6, 6, 0.90),
+    "sphot-1": (5, 2, 2.36, 2, 2, 2.26),
+    "sphot-2": (478, 329, 1.71, 36, 8, 2.60),
+}
+
+
+@dataclass
+class Table3Result:
+    rows: list[dict]
+
+
+def run(trip: int = 64) -> Table3Result:
+    runs = run_table1(ExpConfig(n_cores=4, trip=trip))
+    rows = []
+    for r in runs:
+        st = r.stats
+        paper = PAPER_TABLE3[r.kernel]
+        rows.append(
+            {
+                "kernel": r.kernel,
+                "initial_fibers": st.initial_fibers,
+                "data_deps": st.data_deps,
+                "load_balance": round(st.load_balance, 2),
+                "com_ops": st.com_ops,
+                "queues": st.queues_used,
+                "speedup": round(r.speedup, 2),
+                "paper": paper,
+            }
+        )
+    return Table3Result(rows=rows)
+
+
+def format_result(res: Table3Result) -> str:
+    lines = [
+        "Table III — kernel statistics for 4-core fine-grained parallelization",
+        f"{'kernel':10s} {'fibers':>7s} {'deps':>6s} {'ldbal':>7s} {'com':>5s}"
+        f" {'ques':>5s} {'spdup':>6s}   (paper: fibers/deps/lb/com/q/spdup)",
+    ]
+    for r in res.rows:
+        p = r["paper"]
+        lines.append(
+            f"{r['kernel']:10s} {r['initial_fibers']:7d} {r['data_deps']:6d}"
+            f" {r['load_balance']:7.2f} {r['com_ops']:5d} {r['queues']:5d}"
+            f" {r['speedup']:6.2f}   ({p[0]}/{p[1]}/{p[2]}/{p[3]}/{p[4]}/{p[5]})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""Reference interpreter: sequential semantics of the mini-IR.
+
+Used as ground truth — the parallel simulated execution of a
+transformed kernel must produce exactly this memory/scalar state
+(DESIGN.md invariant 1).
+"""
+
+from .interpreter import InterpResult, run_loop
+
+__all__ = ["InterpResult", "run_loop"]

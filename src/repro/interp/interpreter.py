@@ -1,0 +1,132 @@
+"""Tree-walking interpreter for structured loops (sequential semantics).
+
+Evaluates a :class:`~repro.ir.stmts.Loop` directly on a
+:class:`~repro.workload.Workload`.  All scalar arithmetic is delegated
+to :mod:`repro.ops` so results agree exactly with the simulator's
+functional execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import ops
+from ..ir.nodes import BinOp, Call, Const, Expr, Load, Select, UnOp, VarRef
+from ..ir.stmts import Assign, If, Loop, Stmt, Store
+from ..workload import Workload
+
+
+@dataclass
+class InterpResult:
+    """Final machine-visible state after the loop."""
+
+    arrays: dict[str, np.ndarray]
+    scalars: dict[str, float | int]  # final values of live-out temps
+    #: dynamic statistics (per whole run)
+    stmt_execs: int = 0
+    op_execs: int = 0
+    loads: int = 0
+    stores: int = 0
+    env: dict[str, float | int] = field(default_factory=dict)
+
+
+class _Interp:
+    def __init__(self, loop: Loop, workload: Workload):
+        workload.validate_for(loop)
+        self.loop = loop
+        self.arrays = {k: v.copy() for k, v in workload.arrays.items()}
+        self.env: dict[str, float | int] = {}
+        for p in loop.params:
+            v = workload.scalars[p.name]
+            self.env[p.name] = float(v) if p.dtype.is_float else int(v)
+        self.stmt_execs = 0
+        self.op_execs = 0
+        self.nloads = 0
+        self.nstores = 0
+
+    # -- expressions ---------------------------------------------------
+    def eval(self, e: Expr):
+        if isinstance(e, Const):
+            return e.value
+        if isinstance(e, VarRef):
+            try:
+                return self.env[e.name]
+            except KeyError:
+                raise NameError(
+                    f"{self.loop.name}: read of undefined scalar {e.name!r}"
+                ) from None
+        if isinstance(e, Load):
+            self.nloads += 1
+            idx = int(self.eval(e.index))
+            buf = self.arrays[e.array.name]
+            if not (0 <= idx < len(buf)):
+                raise IndexError(
+                    f"{self.loop.name}: {e.array.name}[{idx}] out of bounds "
+                    f"(len {len(buf)})"
+                )
+            v = buf[idx]
+            return float(v) if e.array.dtype.is_float else int(v)
+        if isinstance(e, BinOp):
+            self.op_execs += 1
+            return ops.eval_binop(e.op, self.eval(e.lhs), self.eval(e.rhs), e.dtype)
+        if isinstance(e, UnOp):
+            self.op_execs += 1
+            return ops.eval_unop(e.op, self.eval(e.operand), e.dtype)
+        if isinstance(e, Call):
+            self.op_execs += 1
+            return ops.eval_call(e.fn, [self.eval(a) for a in e.args])
+        if isinstance(e, Select):
+            self.op_execs += 1
+            # NOTE: both arms are evaluated (select is a non-branching
+            # instruction), matching the simulated core.
+            a, b = self.eval(e.a), self.eval(e.b)
+            v = a if self.eval(e.cond) else b
+            return float(v) if e.dtype.is_float else int(v)
+        raise TypeError(type(e))  # pragma: no cover
+
+    # -- statements -----------------------------------------------------
+    def exec_block(self, block: list[Stmt]) -> None:
+        for s in block:
+            self.stmt_execs += 1
+            if isinstance(s, Assign):
+                v = self.eval(s.expr)
+                self.env[s.target] = float(v) if s.dtype.is_float else int(v)
+            elif isinstance(s, Store):
+                self.nstores += 1
+                idx = int(self.eval(s.index))
+                buf = self.arrays[s.array.name]
+                if not (0 <= idx < len(buf)):
+                    raise IndexError(
+                        f"{self.loop.name}: store {s.array.name}[{idx}] out of "
+                        f"bounds (len {len(buf)})"
+                    )
+                buf[idx] = self.eval(s.expr)
+            elif isinstance(s, If):
+                if self.eval(s.cond):
+                    self.exec_block(s.then)
+                else:
+                    self.exec_block(s.orelse)
+            else:  # pragma: no cover - defensive
+                raise TypeError(type(s))
+
+    def run(self) -> InterpResult:
+        trip = int(self.env[self.loop.trip])
+        for i in range(trip):
+            self.env[self.loop.index] = i
+            self.exec_block(self.loop.body)
+        return InterpResult(
+            arrays=self.arrays,
+            scalars={v: self.env[v] for v in self.loop.live_out if v in self.env},
+            stmt_execs=self.stmt_execs,
+            op_execs=self.op_execs,
+            loads=self.nloads,
+            stores=self.nstores,
+            env=dict(self.env),
+        )
+
+
+def run_loop(loop: Loop, workload: Workload) -> InterpResult:
+    """Execute ``loop`` sequentially on (a copy of) ``workload``."""
+    return _Interp(loop, workload).run()

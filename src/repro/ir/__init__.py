@@ -1,0 +1,80 @@
+"""Mini-IR: expression trees, statements, loops and the kernel DSL.
+
+This package provides the program representation the compiler passes
+(:mod:`repro.compiler`) transform, mirroring the constructs the paper's
+XL-compiler implementation manipulates (§III): expression-tree
+statements, structured conditionals, scalar temporaries and shared
+array memory, inside a counted innermost loop.
+"""
+
+from .builder import LoopBuilder
+from .nodes import (
+    BINARY_OPS,
+    INTRINSICS,
+    UNARY_OPS,
+    ArraySym,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    Load,
+    Select,
+    UnOp,
+    VarRef,
+    as_expr,
+    select,
+    cos,
+    count_ops,
+    exp,
+    fabs,
+    floor,
+    fmax,
+    fmin,
+    i2f,
+    iter_nodes,
+    itrunc,
+    log,
+    sin,
+    sqrt,
+)
+from .normalize import normalize
+from .printer import fmt_expr, fmt_flat, fmt_loop, fmt_stmt
+from .stmts import (
+    Assign,
+    FlatBody,
+    FlatStmt,
+    If,
+    Loop,
+    PredChain,
+    PredItem,
+    ScalarParam,
+    Stmt,
+    Store,
+    common_prefix,
+    is_prefix,
+    walk_stmts,
+)
+from .types import BOOL, F64, I64, DType, VClass
+from .visitors import (
+    clone,
+    loads,
+    map_expr,
+    op_height,
+    structurally_equal,
+    substitute,
+    var_names,
+    var_reads,
+)
+
+__all__ = [
+    "ArraySym", "Assign", "BINARY_OPS", "BOOL", "BinOp", "Call", "Const",
+    "DType", "Expr", "F64", "FlatBody", "FlatStmt", "I64", "INTRINSICS",
+    "If", "Load", "Loop", "LoopBuilder", "PredChain", "PredItem",
+    "ScalarParam", "Select", "select", "Stmt", "Store", "UNARY_OPS", "UnOp", "VClass",
+    "VarRef", "as_expr", "clone", "common_prefix", "cos", "count_ops",
+    "exp", "fabs", "floor", "fmax", "fmin", "fmt_expr", "fmt_flat",
+    "fmt_loop", "fmt_stmt", "i2f", "is_prefix", "iter_nodes", "itrunc",
+    "loads", "log", "map_expr", "normalize", "op_height", "sin", "sqrt",
+    "structurally_equal", "substitute", "var_names", "var_reads",
+    "walk_stmts",
+]

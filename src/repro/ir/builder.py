@@ -1,0 +1,182 @@
+"""Fluent builder DSL for writing loop kernels.
+
+Example::
+
+    from repro.ir import LoopBuilder, F64, sqrt
+
+    b = LoopBuilder("axpy-ish", trip="n")
+    i = b.index
+    x = b.array("x", F64)
+    y = b.array("y", F64)
+    a = b.param("a", F64)
+    t = b.let("t", a * x[i] + y[i])
+    with b.if_(t > 0.0) as br:
+        b.store(y, i, sqrt(t))
+    with br.otherwise():
+        b.store(y, i, -t)
+    loop = b.build()
+
+Every emitted statement is tagged with a monotonically increasing
+pseudo source-line number; the merge pass's proximity heuristic
+(§III-B) uses these the way the paper uses real line numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .nodes import ArraySym, Expr, ExprLike, VarRef, as_expr
+from .stmts import Assign, If, Loop, ScalarParam, Stmt, Store
+from .types import BOOL, F64, I64, DType
+
+
+class LoopBuilder:
+    """Incrementally constructs a :class:`~repro.ir.stmts.Loop`."""
+
+    def __init__(
+        self,
+        name: str,
+        trip: str = "n",
+        index: str = "i",
+        source: str = "",
+    ) -> None:
+        self.name = name
+        self._index_name = index
+        self._trip_name = trip
+        self._source = source
+        self._arrays: list[ArraySym] = []
+        self._params: list[ScalarParam] = [ScalarParam(trip, I64)]
+        self._live_out: list[str] = []
+        self._body: list[Stmt] = []
+        self._block_stack: list[list[Stmt]] = [self._body]
+        self._line = 0
+        self._tmp_counter = 0
+        self._declared: dict[str, DType] = {index: I64, trip: I64}
+
+    # -- declarations -------------------------------------------------
+    @property
+    def index(self) -> VarRef:
+        """The loop induction variable (0..trip-1)."""
+        return VarRef(self._index_name, I64)
+
+    def array(
+        self,
+        name: str,
+        dtype: DType = F64,
+        *,
+        alias_group: str | None = None,
+        miss_rate: float = 0.02,
+        length: int | None = None,
+    ) -> ArraySym:
+        if any(a.name == name for a in self._arrays):
+            raise ValueError(f"duplicate array {name!r}")
+        sym = ArraySym(name, dtype, length, alias_group, miss_rate)
+        self._arrays.append(sym)
+        return sym
+
+    def param(self, name: str, dtype: DType = F64) -> VarRef:
+        """Declare a loop-invariant scalar live-in."""
+        if name in self._declared:
+            raise ValueError(f"duplicate scalar {name!r}")
+        self._params.append(ScalarParam(name, dtype))
+        self._declared[name] = dtype
+        return VarRef(name, dtype)
+
+    def accumulator(self, name: str, dtype: DType = F64) -> VarRef:
+        """Declare a reduction accumulator: live-in, live-out and
+        loop-carried.  Update it with :meth:`set`."""
+        ref = self.param(name, dtype)
+        self._live_out.append(name)
+        return ref
+
+    # -- statements ----------------------------------------------------
+    def _emit(self, stmt: Stmt) -> None:
+        self._line += 1
+        stmt.line = self._line
+        self._block_stack[-1].append(stmt)
+
+    def let(self, name: str | None, expr: ExprLike, dtype: DType | None = None) -> VarRef:
+        """Define a fresh temporary and return a reference to it."""
+        expr = as_expr(expr)
+        if name is None:
+            self._tmp_counter += 1
+            name = f"t{self._tmp_counter}"
+        dt = dtype if dtype is not None else expr.dtype
+        if name in self._declared and self._declared[name] != dt:
+            raise TypeError(f"{name!r} redefined with different dtype")
+        self._declared[name] = dt
+        self._emit(Assign(name, expr, dt))
+        return VarRef(name, dt)
+
+    def set(self, var: VarRef | str, expr: ExprLike) -> VarRef:
+        """Re-assign an existing temporary/accumulator."""
+        name = var.name if isinstance(var, VarRef) else var
+        if name not in self._declared:
+            raise NameError(f"{name!r} not declared; use let()/param() first")
+        dt = self._declared[name]
+        self._emit(Assign(name, as_expr(expr), dt))
+        return VarRef(name, dt)
+
+    def store(self, array: ArraySym, index: ExprLike, expr: ExprLike) -> None:
+        self._emit(Store(array, index, expr))
+
+    def live_out(self, *vars: VarRef | str) -> None:
+        """Mark temporaries as used after the loop (§III-F)."""
+        for v in vars:
+            name = v.name if isinstance(v, VarRef) else v
+            if name not in self._live_out:
+                self._live_out.append(name)
+
+    # -- control flow ---------------------------------------------------
+    def if_(self, cond: ExprLike) -> "_IfContext":
+        stmt = If(cond, [], [])
+        self._emit(stmt)
+        return _IfContext(self, stmt)
+
+    # -- finalization ----------------------------------------------------
+    def build(self) -> Loop:
+        if len(self._block_stack) != 1:
+            raise RuntimeError("unclosed if-block in builder")
+        return Loop(
+            name=self.name,
+            index=self._index_name,
+            trip=self._trip_name,
+            body=self._body,
+            arrays=list(self._arrays),
+            params=list(self._params),
+            live_out=list(self._live_out),
+            source=self._source,
+        )
+
+
+@dataclass
+class _IfContext:
+    """Context manager returned by :meth:`LoopBuilder.if_`."""
+
+    builder: LoopBuilder
+    stmt: If
+    _armed: Optional[list[Stmt]] = None
+
+    def __enter__(self) -> "_IfContext":
+        self.builder._block_stack.append(self.stmt.then)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.builder._block_stack.pop()
+
+    def otherwise(self) -> "_ElseContext":
+        return _ElseContext(self.builder, self.stmt)
+
+
+@dataclass
+class _ElseContext:
+    builder: LoopBuilder
+    stmt: If
+
+    def __enter__(self) -> "_ElseContext":
+        self.builder._block_stack.append(self.stmt.orelse)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.builder._block_stack.pop()

@@ -1,0 +1,521 @@
+"""Expression nodes of the mini-IR.
+
+Statements (see :mod:`repro.ir.stmts`) own *expression trees* built from
+these nodes.  The fiber-extraction algorithm of the paper (§III-A)
+operates directly on these trees: leaf nodes (constants, scalar reads,
+memory loads) are live-ins and remain unassigned to fibers, while
+interior operation nodes are partitioned into fibers.
+
+Nodes support Python operator overloading so kernels read naturally::
+
+    rsq = dx * dx + dy * dy + dz * dz
+    guard = rsq < cutsq
+
+Each node carries a ``dtype``; mixed int/float arithmetic promotes to
+``F64`` and comparisons yield ``BOOL``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Union
+
+from .types import BOOL, F64, I64, DType, unify
+
+#: Binary operators understood by the IR, the interpreter and the
+#: instruction lowering.  Comparison/logical operators yield ``BOOL``.
+BINARY_OPS = frozenset(
+    {
+        "add", "sub", "mul", "div", "mod",
+        "min", "max",
+        "lt", "le", "gt", "ge", "eq", "ne",
+        "and", "or", "xor",
+        "shl", "shr",
+    }
+)
+
+#: Unary operators.
+UNARY_OPS = frozenset({"neg", "not"})
+
+#: Pure intrinsic calls (no side effects); all take/return F64 except
+#: ``itrunc`` which converts F64 -> I64 and ``i2f`` the reverse.
+INTRINSICS = frozenset(
+    {"sqrt", "exp", "log", "sin", "cos", "abs", "floor", "itrunc", "i2f", "pow"}
+)
+
+_COMPARISONS = frozenset({"lt", "le", "gt", "ge", "eq", "ne"})
+_LOGICAL = frozenset({"and", "or", "xor"})
+_INT_ONLY = frozenset({"shl", "shr"})
+
+ExprLike = Union["Expr", int, float, bool]
+
+
+def as_expr(value: ExprLike) -> "Expr":
+    """Coerce a Python scalar into a :class:`Const`; pass Exprs through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value), I64)
+    if isinstance(value, int):
+        return Const(value, I64)
+    if isinstance(value, float):
+        return Const(value, F64)
+    raise TypeError(f"cannot convert {value!r} to an IR expression")
+
+
+@dataclass(eq=False)
+class Expr:
+    """Base class for expression nodes.
+
+    Node identity is object identity; structural equality is provided by
+    :func:`repro.ir.visitors.structurally_equal`.  ``nid`` is a
+    tree-unique id assigned by the numbering pass before fiber
+    extraction (it is not meaningful across statements).
+    """
+
+    nid: int = field(default=-1, init=False, compare=False)
+
+    # -- metadata ----------------------------------------------------
+    @property
+    def dtype(self) -> DType:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def is_leaf(self) -> bool:
+        """Paper §III-A: leaves are memory loads or literal values (we
+        also treat scalar variable reads as leaves: they are register
+        live-ins of the statement)."""
+        return isinstance(self, (Const, VarRef, Load))
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+    # -- operator sugar ---------------------------------------------
+    def _bin(self, op: str, other: ExprLike, swap: bool = False) -> "BinOp":
+        lhs, rhs = as_expr(other if swap else self), as_expr(self if swap else other)
+        return BinOp(op, lhs, rhs)
+
+    def __add__(self, o: ExprLike) -> "BinOp":
+        return self._bin("add", o)
+
+    def __radd__(self, o: ExprLike) -> "BinOp":
+        return self._bin("add", o, swap=True)
+
+    def __sub__(self, o: ExprLike) -> "BinOp":
+        return self._bin("sub", o)
+
+    def __rsub__(self, o: ExprLike) -> "BinOp":
+        return self._bin("sub", o, swap=True)
+
+    def __mul__(self, o: ExprLike) -> "BinOp":
+        return self._bin("mul", o)
+
+    def __rmul__(self, o: ExprLike) -> "BinOp":
+        return self._bin("mul", o, swap=True)
+
+    def __truediv__(self, o: ExprLike) -> "BinOp":
+        return self._bin("div", o)
+
+    def __rtruediv__(self, o: ExprLike) -> "BinOp":
+        return self._bin("div", o, swap=True)
+
+    def __mod__(self, o: ExprLike) -> "BinOp":
+        return self._bin("mod", o)
+
+    def __rmod__(self, o: ExprLike) -> "BinOp":
+        return self._bin("mod", o, swap=True)
+
+    def __lshift__(self, o: ExprLike) -> "BinOp":
+        return self._bin("shl", o)
+
+    def __rshift__(self, o: ExprLike) -> "BinOp":
+        return self._bin("shr", o)
+
+    def __and__(self, o: ExprLike) -> "BinOp":
+        return self._bin("and", o)
+
+    def __or__(self, o: ExprLike) -> "BinOp":
+        return self._bin("or", o)
+
+    def __xor__(self, o: ExprLike) -> "BinOp":
+        return self._bin("xor", o)
+
+    def __lt__(self, o: ExprLike) -> "BinOp":
+        return self._bin("lt", o)
+
+    def __le__(self, o: ExprLike) -> "BinOp":
+        return self._bin("le", o)
+
+    def __gt__(self, o: ExprLike) -> "BinOp":
+        return self._bin("gt", o)
+
+    def __ge__(self, o: ExprLike) -> "BinOp":
+        return self._bin("ge", o)
+
+    def eq(self, o: ExprLike) -> "BinOp":
+        """Equality comparison (``==`` is reserved for object identity)."""
+        return self._bin("eq", o)
+
+    def ne(self, o: ExprLike) -> "BinOp":
+        return self._bin("ne", o)
+
+    def __neg__(self) -> "UnOp":
+        return UnOp("neg", self)
+
+    def __invert__(self) -> "UnOp":
+        return UnOp("not", self)
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard
+        raise TypeError(
+            "IR expressions are not truthy; use .eq()/.ne() and If statements"
+        )
+
+
+@dataclass(eq=False)
+class Const(Expr):
+    """Literal value (leaf)."""
+
+    value: float | int
+    _dtype: DType
+
+    def __init__(self, value: float | int, dtype: DType | None = None):
+        super().__init__()
+        if dtype is None:
+            dtype = F64 if isinstance(value, float) else I64
+        self.value = value
+        self._dtype = dtype
+
+    @property
+    def dtype(self) -> DType:
+        return self._dtype
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+@dataclass(eq=False)
+class VarRef(Expr):
+    """Read of a scalar variable (loop index, temporary or parameter)."""
+
+    name: str
+    _dtype: DType
+
+    def __init__(self, name: str, dtype: DType):
+        super().__init__()
+        self.name = name
+        self._dtype = dtype
+
+    @property
+    def dtype(self) -> DType:
+        return self._dtype
+
+    def __repr__(self) -> str:
+        return f"VarRef({self.name})"
+
+
+@dataclass(eq=False)
+class ArraySym:
+    """Declaration of a (1-D) array living in shared memory.
+
+    ``alias_group`` — arrays in the same group may refer to overlapping
+    storage; arrays in different groups (or with ``alias_group=None``)
+    are guaranteed disjoint.  ``miss_rate`` feeds the profile-directed
+    cost model (§III-I limitation 3) and the simulator's cache model.
+    """
+
+    name: str
+    dtype: DType = F64
+    length: int | None = None
+    alias_group: str | None = None
+    miss_rate: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.miss_rate <= 1.0):
+            raise ValueError(f"miss_rate out of range: {self.miss_rate}")
+
+    def __getitem__(self, index: ExprLike) -> "Load":
+        return Load(self, as_expr(index))
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ArraySym) and other.name == self.name
+
+    def __repr__(self) -> str:
+        return f"ArraySym({self.name}:{self.dtype.value})"
+
+
+@dataclass(eq=False)
+class Load(Expr):
+    """Memory load ``array[index]`` (leaf for fiber extraction)."""
+
+    array: ArraySym
+    index: Expr
+
+    def __init__(self, array: ArraySym, index: ExprLike):
+        super().__init__()
+        self.array = array
+        self.index = as_expr(index)
+
+    @property
+    def dtype(self) -> DType:
+        return self.array.dtype
+
+    def children(self) -> Sequence[Expr]:
+        # NOTE: the index expression is *part of the leaf* for fiber
+        # extraction purposes only when trivial; the normalizer hoists
+        # non-trivial index expressions into temporaries so that by the
+        # time fibers are extracted, ``index`` is a VarRef or Const.
+        return (self.index,)
+
+    def __repr__(self) -> str:
+        return f"Load({self.array.name}[{self.index!r}])"
+
+
+@dataclass(eq=False)
+class BinOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __init__(self, op: str, lhs: ExprLike, rhs: ExprLike):
+        super().__init__()
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        self.op = op
+        self.lhs = as_expr(lhs)
+        self.rhs = as_expr(rhs)
+        if op in _INT_ONLY and (self.lhs.dtype.is_float or self.rhs.dtype.is_float):
+            raise TypeError(f"{op} requires integer operands")
+
+    @property
+    def dtype(self) -> DType:
+        if self.op in _COMPARISONS or self.op in _LOGICAL:
+            return BOOL
+        return unify(self.lhs.dtype, self.rhs.dtype)
+
+    def children(self) -> Sequence[Expr]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op}, {self.lhs!r}, {self.rhs!r})"
+
+
+@dataclass(eq=False)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+    def __init__(self, op: str, operand: ExprLike):
+        super().__init__()
+        if op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {op!r}")
+        self.op = op
+        self.operand = as_expr(operand)
+
+    @property
+    def dtype(self) -> DType:
+        return BOOL if self.op == "not" else self.operand.dtype
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"UnOp({self.op}, {self.operand!r})"
+
+
+@dataclass(eq=False)
+class Call(Expr):
+    """Pure intrinsic call (sqrt, exp, ...)."""
+
+    fn: str
+    args: tuple[Expr, ...]
+
+    def __init__(self, fn: str, *args: ExprLike):
+        super().__init__()
+        if fn not in INTRINSICS:
+            raise ValueError(f"unknown intrinsic {fn!r}")
+        self.fn = fn
+        self.args = tuple(as_expr(a) for a in args)
+
+    @property
+    def dtype(self) -> DType:
+        if self.fn == "itrunc":
+            return I64
+        if self.fn == "abs":
+            return self.args[0].dtype
+        return F64
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+    def __repr__(self) -> str:
+        return f"Call({self.fn}, {', '.join(map(repr, self.args))})"
+
+
+@dataclass(eq=False)
+class Select(Expr):
+    """Ternary select ``cond ? a : b`` (single instruction on the
+    simulated core).  Produced by the control-flow speculation pass
+    (§III-H) to commit one of two speculatively computed values without
+    rollback; also usable directly in kernels."""
+
+    cond: Expr
+    a: Expr
+    b: Expr
+
+    def __init__(self, cond: ExprLike, a: ExprLike, b: ExprLike):
+        super().__init__()
+        self.cond = as_expr(cond)
+        self.a = as_expr(a)
+        self.b = as_expr(b)
+
+    @property
+    def dtype(self) -> DType:
+        return unify(self.a.dtype, self.b.dtype)
+
+    def children(self) -> Sequence[Expr]:
+        return (self.cond, self.a, self.b)
+
+    def __repr__(self) -> str:
+        return f"Select({self.cond!r}, {self.a!r}, {self.b!r})"
+
+
+def select(cond: ExprLike, a: ExprLike, b: ExprLike) -> Select:
+    return Select(cond, a, b)
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors used pervasively by kernels.
+# ----------------------------------------------------------------------
+
+def sqrt(x: ExprLike) -> Call:
+    return Call("sqrt", x)
+
+
+def exp(x: ExprLike) -> Call:
+    return Call("exp", x)
+
+
+def log(x: ExprLike) -> Call:
+    return Call("log", x)
+
+
+def sin(x: ExprLike) -> Call:
+    return Call("sin", x)
+
+
+def cos(x: ExprLike) -> Call:
+    return Call("cos", x)
+
+
+def fabs(x: ExprLike) -> Call:
+    return Call("abs", x)
+
+
+def floor(x: ExprLike) -> Call:
+    return Call("floor", x)
+
+
+def itrunc(x: ExprLike) -> Call:
+    """Float -> int truncation (used for table/spline indexing)."""
+    return Call("itrunc", x)
+
+
+def i2f(x: ExprLike) -> Call:
+    """Int -> float conversion."""
+    return Call("i2f", x)
+
+
+def fmin(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("min", a, b)
+
+
+def fmax(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("max", a, b)
+
+
+def iter_nodes(root: Expr) -> Iterator[Expr]:
+    """Post-order traversal of an expression tree (operands first), the
+    order used by the paper's fiber-partitioning algorithm (§III-A)."""
+    for child in root.children():
+        yield from iter_nodes(child)
+    yield root
+
+
+def count_ops(root: Expr) -> int:
+    """Number of interior (operation) nodes in a tree."""
+    return sum(1 for n in iter_nodes(root) if not n.is_leaf)
+
+
+def eval_const(node: Expr) -> float | int | None:
+    """Fold a constant subtree to a Python value, or None."""
+    if isinstance(node, Const):
+        return node.value
+    if isinstance(node, UnOp):
+        v = eval_const(node.operand)
+        if v is None:
+            return None
+        return -v if node.op == "neg" else int(not v)
+    if isinstance(node, BinOp):
+        a, b = eval_const(node.lhs), eval_const(node.rhs)
+        if a is None or b is None:
+            return None
+        try:
+            return _fold_bin(node.op, a, b)
+        except (ZeroDivisionError, ValueError, OverflowError):
+            return None
+    return None
+
+
+def _fold_bin(op: str, a, b):
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        return a / b if isinstance(a, float) or isinstance(b, float) else _idiv(a, b)
+    if op == "mod":
+        return math.fmod(a, b) if isinstance(a, float) or isinstance(b, float) else _imod(a, b)
+    if op == "min":
+        return min(a, b)
+    if op == "max":
+        return max(a, b)
+    if op == "lt":
+        return int(a < b)
+    if op == "le":
+        return int(a <= b)
+    if op == "gt":
+        return int(a > b)
+    if op == "ge":
+        return int(a >= b)
+    if op == "eq":
+        return int(a == b)
+    if op == "ne":
+        return int(a != b)
+    if op == "and":
+        return int(bool(a) and bool(b))
+    if op == "or":
+        return int(bool(a) or bool(b))
+    if op == "xor":
+        return int(bool(a) != bool(b))
+    if op == "shl":
+        return int(a) << int(b)
+    if op == "shr":
+        return int(a) >> int(b)
+    raise ValueError(op)
+
+
+def _idiv(a: int, b: int) -> int:
+    """C-style truncating integer division."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _imod(a: int, b: int) -> int:
+    """C-style remainder (sign of dividend)."""
+    return a - _idiv(a, b) * b

@@ -1,0 +1,250 @@
+"""Normalization: structured loop body -> flat predicated statements.
+
+This implements the paper's front-end preprocessing:
+
+* **Compound-expression splitting** (§III-A): "the expression trees are
+  pre-processed to reduce the depth of the tree by splitting compound
+  expressions into multiple statements.  This makes it possible to
+  detect even more fine-grained parallelism."  Controlled by
+  ``max_height``: any subtree whose operation height exceeds the limit
+  is hoisted into a fresh temporary statement.
+* **Load-index hoisting**: non-trivial index expressions of memory
+  accesses become their own statements, so Loads are genuine leaves for
+  fiber extraction.
+* **Control-predicate computation** (§III-E): each conditional's test is
+  assigned to a condition temporary (kind ``"cond"``); statements inside
+  the branch carry the predicate chain ``(..., (cond, True/False))``.
+* **Upward-exposed-read detection**: temporaries read before a
+  dominating definition within one iteration are *loop-carried*
+  (reduction accumulators, recurrences); the partitioner must keep all
+  their defining/reading fibers on one core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .nodes import Const, Expr, Load, VarRef, count_ops
+from .stmts import (
+    Assign,
+    FlatBody,
+    FlatStmt,
+    If,
+    Loop,
+    PredChain,
+    Stmt,
+    Store,
+    is_prefix,
+)
+from .types import I64, DType
+from .visitors import map_expr, op_height, var_names
+
+
+@dataclass
+class _Ctx:
+    max_height: int
+    stmts: list[FlatStmt] = field(default_factory=list)
+    counter: int = 0
+    cond_counter: int = 0
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"__{prefix}{self.counter}"
+
+    def emit(self, **kw) -> FlatStmt:
+        st = FlatStmt(sid=len(self.stmts), **kw)
+        self.stmts.append(st)
+        return st
+
+
+def normalize(loop: Loop, max_height: int = 3) -> FlatBody:
+    """Flatten + split ``loop`` into a :class:`FlatBody`.
+
+    ``max_height`` bounds the operation height of every emitted
+    expression tree; smaller values expose finer-grained fibers
+    (paper §III-A).  ``max_height < 1`` is rejected.
+    """
+    if max_height < 1:
+        raise ValueError("max_height must be >= 1")
+    ctx = _Ctx(max_height=max_height)
+    _flatten_block(loop.body, (), ctx)
+    body = FlatBody(loop=loop, stmts=ctx.stmts)
+    body.carried = _carried_temps(body)
+    _validate(body)
+    return body
+
+
+# ----------------------------------------------------------------------
+# Flattening
+# ----------------------------------------------------------------------
+
+def _flatten_block(block: list[Stmt], pred: PredChain, ctx: _Ctx) -> None:
+    for stmt in block:
+        if isinstance(stmt, Assign):
+            expr = _prepare(stmt.expr, pred, stmt.line, ctx)
+            ctx.emit(
+                kind="assign",
+                pred=pred,
+                expr=expr,
+                target=stmt.target,
+                dtype=stmt.dtype,
+                line=stmt.line,
+            )
+        elif isinstance(stmt, Store):
+            index = _leaf_index(stmt.index, pred, stmt.line, ctx)
+            expr = _prepare(stmt.expr, pred, stmt.line, ctx)
+            ctx.emit(
+                kind="store",
+                pred=pred,
+                expr=expr,
+                array=stmt.array,
+                index=index,
+                line=stmt.line,
+            )
+        elif isinstance(stmt, If):
+            cexpr = _prepare(stmt.cond, pred, stmt.line, ctx)
+            ctx.cond_counter += 1
+            cname = f"__c{ctx.cond_counter}"
+            ctx.emit(
+                kind="cond",
+                pred=pred,
+                expr=cexpr,
+                target=cname,
+                dtype=cexpr.dtype,
+                line=stmt.line,
+            )
+            _flatten_block(stmt.then, pred + ((cname, True),), ctx)
+            _flatten_block(stmt.orelse, pred + ((cname, False),), ctx)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown statement {stmt!r}")
+
+
+def _prepare(expr: Expr, pred: PredChain, line: int, ctx: _Ctx) -> Expr:
+    """Hoist load indices, then split for height."""
+    expr = _hoist_indices(expr, pred, line, ctx)
+    return _split_height(expr, pred, line, ctx)
+
+
+def _leaf_index(index: Expr, pred: PredChain, line: int, ctx: _Ctx) -> Expr:
+    """Return a leaf (VarRef/Const) index, hoisting if necessary."""
+    if isinstance(index, (VarRef, Const)):
+        return _hoist_indices(index, pred, line, ctx)
+    hoisted = _prepare(index, pred, line, ctx)
+    if isinstance(hoisted, (VarRef, Const)):
+        return hoisted
+    if hoisted.dtype != I64:
+        raise TypeError(f"array index must be integer, got {hoisted.dtype}")
+    name = ctx.fresh("x")
+    ctx.emit(kind="assign", pred=pred, expr=hoisted, target=name, dtype=I64, line=line)
+    return VarRef(name, I64)
+
+
+def _hoist_indices(expr: Expr, pred: PredChain, line: int, ctx: _Ctx) -> Expr:
+    """Rebuild ``expr`` such that every Load's index is a leaf."""
+
+    def fix(node: Expr) -> Expr | None:
+        if isinstance(node, Load) and not isinstance(node.index, (VarRef, Const)):
+            if node.index.dtype != I64:
+                raise TypeError(
+                    f"array index must be integer, got {node.index.dtype}"
+                )
+            # the index tree has itself been rebuilt already (map_expr is
+            # bottom-up) but may still be compound: split it, then hoist.
+            idx = _split_height(node.index, pred, line, ctx)
+            name = ctx.fresh("x")
+            ctx.emit(kind="assign", pred=pred, expr=idx, target=name, dtype=I64, line=line)
+            return Load(node.array, VarRef(name, I64))
+        return None
+
+    return map_expr(expr, fix)
+
+
+def _split_height(expr: Expr, pred: PredChain, line: int, ctx: _Ctx) -> Expr:
+    """Bound the op-height of ``expr`` by hoisting deep subtrees."""
+    if op_height(expr) <= ctx.max_height:
+        return expr
+
+    def fix(node: Expr) -> Expr | None:
+        # Children have already been fixed (bottom-up), so each child's
+        # height is <= max_height.  If this node exceeds the limit,
+        # hoist its tallest children until it fits.
+        if node.is_leaf or op_height(node) <= ctx.max_height:
+            return None
+        from .nodes import BinOp, Call, UnOp  # local to avoid cycle noise
+
+        def hoist(child: Expr) -> Expr:
+            if child.is_leaf or op_height(child) < ctx.max_height:
+                return child
+            name = ctx.fresh("e")
+            ctx.emit(
+                kind="assign", pred=pred, expr=child, target=name,
+                dtype=child.dtype, line=line,
+            )
+            return VarRef(name, child.dtype)
+
+        if isinstance(node, BinOp):
+            return BinOp(node.op, hoist(node.lhs), hoist(node.rhs))
+        if isinstance(node, UnOp):
+            return UnOp(node.op, hoist(node.operand))
+        if isinstance(node, Call):
+            return Call(node.fn, *(hoist(a) for a in node.args))
+        return None  # pragma: no cover
+
+    return map_expr(expr, fix)
+
+
+# ----------------------------------------------------------------------
+# Carried-temp detection & validation
+# ----------------------------------------------------------------------
+
+def _carried_temps(body: FlatBody) -> frozenset[str]:
+    """Temps read at a point not dominated by a same-iteration def."""
+    from ..analysis.reachdefs import dominates_use
+
+    loop = body.loop
+    assigned = {s.target for s in body.stmts if s.target is not None}
+    carried: set[str] = set()
+    # defs seen so far: name -> list of pred chains of defs
+    seen: dict[str, list[PredChain]] = {}
+    for st in body.stmts:
+        for name in _reads_of(st):
+            if name not in assigned:
+                continue  # pure live-in parameter; never redefined
+            defs = seen.get(name, [])
+            if not dominates_use(set(defs), st.pred):
+                carried.add(name)
+        if st.target is not None:
+            seen.setdefault(st.target, []).append(st.pred)
+    # A carried temp must have an initial value: require it to be a
+    # declared parameter/accumulator (checked in _validate).
+    return frozenset(carried)
+
+
+def _reads_of(st: FlatStmt) -> set[str]:
+    names = var_names(st.expr)
+    if st.index is not None:
+        names |= var_names(st.index)
+    return names
+
+
+def _validate(body: FlatBody) -> None:
+    loop = body.loop
+    declared = set(loop.param_names()) | {loop.index}
+    assigned = {s.target for s in body.stmts if s.target is not None}
+    for st in body.stmts:
+        for name in _reads_of(st):
+            if name not in declared and name not in assigned:
+                raise NameError(
+                    f"{loop.name}: '{name}' read in {st!r} but never "
+                    "defined or declared as a parameter"
+                )
+    for name in body.carried:
+        if name not in declared:
+            raise NameError(
+                f"{loop.name}: '{name}' is read before any dominating "
+                "definition but has no initial value; declare it with "
+                "param()/accumulator()"
+            )
+    for name in loop.live_out:
+        if name not in assigned and name not in declared:
+            raise NameError(f"{loop.name}: live-out '{name}' never defined")

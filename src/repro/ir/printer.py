@@ -1,0 +1,76 @@
+"""Human-readable rendering of IR expressions, statements and loops."""
+
+from __future__ import annotations
+
+from .nodes import BinOp, Call, Const, Expr, Load, Select, UnOp, VarRef
+from .stmts import Assign, FlatBody, If, Loop, Stmt, Store
+
+_INFIX = {
+    "add": "+", "sub": "-", "mul": "*", "div": "/", "mod": "%",
+    "lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "!=",
+    "and": "&&", "or": "||", "xor": "^", "shl": "<<", "shr": ">>",
+}
+
+
+def fmt_expr(e: Expr) -> str:
+    if isinstance(e, Const):
+        return repr(e.value)
+    if isinstance(e, VarRef):
+        return e.name
+    if isinstance(e, Load):
+        return f"{e.array.name}[{fmt_expr(e.index)}]"
+    if isinstance(e, BinOp):
+        if e.op in _INFIX:
+            return f"({fmt_expr(e.lhs)} {_INFIX[e.op]} {fmt_expr(e.rhs)})"
+        return f"{e.op}({fmt_expr(e.lhs)}, {fmt_expr(e.rhs)})"
+    if isinstance(e, UnOp):
+        return f"(-{fmt_expr(e.operand)})" if e.op == "neg" else f"(!{fmt_expr(e.operand)})"
+    if isinstance(e, Call):
+        return f"{e.fn}({', '.join(fmt_expr(a) for a in e.args)})"
+    if isinstance(e, Select):
+        return f"({fmt_expr(e.cond)} ? {fmt_expr(e.a)} : {fmt_expr(e.b)})"
+    raise TypeError(type(e))
+
+
+def fmt_stmt(s: Stmt, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(s, Assign):
+        return f"{pad}{s.target} = {fmt_expr(s.expr)}"
+    if isinstance(s, Store):
+        return f"{pad}{s.array.name}[{fmt_expr(s.index)}] = {fmt_expr(s.expr)}"
+    if isinstance(s, If):
+        lines = [f"{pad}if {fmt_expr(s.cond)}:"]
+        lines += [fmt_stmt(t, indent + 1) for t in s.then] or [f"{pad}  pass"]
+        if s.orelse:
+            lines.append(f"{pad}else:")
+            lines += [fmt_stmt(t, indent + 1) for t in s.orelse]
+        return "\n".join(lines)
+    raise TypeError(type(s))
+
+
+def fmt_loop(loop: Loop) -> str:
+    head = [
+        f"loop {loop.name}  # {loop.source}" if loop.source else f"loop {loop.name}",
+        f"  arrays: {', '.join(a.name for a in loop.arrays)}",
+        f"  params: {', '.join(p.name for p in loop.params)}",
+    ]
+    if loop.live_out:
+        head.append(f"  live_out: {', '.join(loop.live_out)}")
+    head.append(f"  for {loop.index} in range({loop.trip}):")
+    body = [fmt_stmt(s, 2) for s in loop.body]
+    return "\n".join(head + body)
+
+
+def fmt_flat(body: FlatBody) -> str:
+    lines = [f"flat {body.loop.name} ({len(body.stmts)} stmts)"]
+    if body.carried:
+        lines.append(f"  carried: {', '.join(sorted(body.carried))}")
+    for st in body.stmts:
+        guard = "".join(f"[{c}={'T' if v else 'F'}]" for c, v in st.pred)
+        if st.is_store:
+            lhs = f"{st.array.name}[{fmt_expr(st.index)}]"
+        else:
+            lhs = st.target
+        tag = "c" if st.kind == "cond" else " "
+        lines.append(f"  S{st.sid:<3}{tag} {guard}{lhs} = {fmt_expr(st.expr)}")
+    return "\n".join(lines)

@@ -1,0 +1,244 @@
+"""Statements and loop containers of the mini-IR.
+
+Two levels of representation exist:
+
+* the *structured* form built by kernels (:class:`Assign`,
+  :class:`Store`, :class:`If` nested inside a :class:`Loop`), and
+* the *flat* form produced by :mod:`repro.ir.normalize`
+  (:class:`FlatStmt` with an explicit control-flow predicate chain),
+  which is what the compiler passes operate on.  The predicate chain is
+  the paper's §III-E "set of control flow predicates for each
+  statement": a sequence of (condition-variable, required-value) pairs,
+  ordered outermost-first, mirroring the nesting structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from .nodes import ArraySym, Expr, ExprLike, as_expr
+from .types import BOOL, DType
+
+
+# ----------------------------------------------------------------------
+# Structured statements
+# ----------------------------------------------------------------------
+
+@dataclass(eq=False)
+class Stmt:
+    """Base class of structured statements."""
+
+    line: int = field(default=0, init=False)
+
+
+@dataclass(eq=False)
+class Assign(Stmt):
+    """``target = expr`` where ``target`` is a scalar temporary."""
+
+    target: str
+    expr: Expr
+    dtype: DType
+
+    def __init__(self, target: str, expr: ExprLike, dtype: DType | None = None):
+        super().__init__()
+        self.expr = as_expr(expr)
+        self.target = target
+        self.dtype = dtype if dtype is not None else self.expr.dtype
+
+    def __repr__(self) -> str:
+        return f"Assign({self.target} = {self.expr!r})"
+
+
+@dataclass(eq=False)
+class Store(Stmt):
+    """``array[index] = expr``."""
+
+    array: ArraySym
+    index: Expr
+    expr: Expr
+
+    def __init__(self, array: ArraySym, index: ExprLike, expr: ExprLike):
+        super().__init__()
+        self.array = array
+        self.index = as_expr(index)
+        self.expr = as_expr(expr)
+
+    def __repr__(self) -> str:
+        return f"Store({self.array.name}[{self.index!r}] = {self.expr!r})"
+
+
+@dataclass(eq=False)
+class If(Stmt):
+    """Structured conditional with optional else block."""
+
+    cond: Expr
+    then: list[Stmt]
+    orelse: list[Stmt]
+
+    def __init__(self, cond: ExprLike, then: list[Stmt], orelse: list[Stmt] | None = None):
+        super().__init__()
+        self.cond = as_expr(cond)
+        self.then = list(then)
+        self.orelse = list(orelse or [])
+
+    def __repr__(self) -> str:
+        return f"If({self.cond!r}, then={len(self.then)}, else={len(self.orelse)})"
+
+
+def walk_stmts(body: Sequence[Stmt]) -> Iterator[Stmt]:
+    """Pre-order walk over structured statements (Ifs included)."""
+    for s in body:
+        yield s
+        if isinstance(s, If):
+            yield from walk_stmts(s.then)
+            yield from walk_stmts(s.orelse)
+
+
+# ----------------------------------------------------------------------
+# Loop container
+# ----------------------------------------------------------------------
+
+@dataclass(eq=False)
+class ScalarParam:
+    """Loop-invariant scalar input (transferred to secondary cores by
+    the runtime's argument-passing protocol, §III-G)."""
+
+    name: str
+    dtype: DType
+
+
+@dataclass(eq=False)
+class Loop:
+    """An innermost counted loop — the compilation unit of the paper.
+
+    ``index`` iterates 0..trip-1.  ``params`` are loop-invariant scalar
+    live-ins.  ``live_out`` names temporaries whose final value is used
+    after the loop (§III-F copies them back to the primary core).
+    ``accumulators`` maps reduction variables to their initial parameter
+    (they are both live-in and live-out, carried across iterations).
+    """
+
+    name: str
+    index: str
+    trip: str  # name of the trip-count parameter
+    body: list[Stmt]
+    arrays: list[ArraySym] = field(default_factory=list)
+    params: list[ScalarParam] = field(default_factory=list)
+    live_out: list[str] = field(default_factory=list)
+    source: str = ""  # "file.c:function:line" provenance label
+
+    def array(self, name: str) -> ArraySym:
+        for a in self.arrays:
+            if a.name == name:
+                return a
+        raise KeyError(name)
+
+    def param_names(self) -> list[str]:
+        return [p.name for p in self.params]
+
+    def __repr__(self) -> str:
+        return f"Loop({self.name}, body={len(self.body)} stmts)"
+
+
+# ----------------------------------------------------------------------
+# Flat form (output of the normalizer)
+# ----------------------------------------------------------------------
+
+#: One element of a control-flow predicate chain: (condition temp, value
+#: the condition must have for the statement to execute).
+PredItem = tuple[str, bool]
+PredChain = tuple[PredItem, ...]
+
+
+def common_prefix(a: PredChain, b: PredChain) -> PredChain:
+    """Longest common prefix of two predicate chains (used to place
+    communication so that sender and receiver are statically paired)."""
+    out = []
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        out.append(x)
+    return tuple(out)
+
+
+def is_prefix(p: PredChain, q: PredChain) -> bool:
+    """True if ``p`` is a (non-strict) prefix of ``q``."""
+    return len(p) <= len(q) and q[: len(p)] == p
+
+
+@dataclass(eq=False)
+class FlatStmt:
+    """A statement of the flat (normalized) loop body.
+
+    ``kind`` is one of:
+
+    * ``"assign"`` — scalar assignment ``target = expr``;
+    * ``"store"``  — memory store ``array[index_var] = expr``;
+    * ``"cond"``   — assignment of a branch condition temporary
+      (an ``assign`` that other statements' predicate chains refer to).
+
+    After normalization every ``expr`` has bounded depth, every Load
+    index is a leaf (VarRef/Const), and predicate chains reflect the
+    original nesting.
+    """
+
+    sid: int
+    kind: str
+    pred: PredChain
+    expr: Expr
+    target: Optional[str] = None        # assign/cond
+    dtype: Optional[DType] = None       # assign/cond
+    array: Optional[ArraySym] = None    # store
+    index: Optional[Expr] = None        # store
+    line: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind in ("assign", "cond"):
+            if self.target is None:
+                raise ValueError("assign requires a target")
+            if self.dtype is None:
+                self.dtype = self.expr.dtype
+        elif self.kind == "store":
+            if self.array is None or self.index is None:
+                raise ValueError("store requires array and index")
+        else:
+            raise ValueError(f"bad FlatStmt kind {self.kind!r}")
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind == "store"
+
+    def __repr__(self) -> str:
+        guard = "".join(f"[{c}={'T' if v else 'F'}]" for c, v in self.pred)
+        if self.is_store:
+            return f"S{self.sid}{guard} {self.array.name}[{self.index!r}] = {self.expr!r}"
+        return f"S{self.sid}{guard} {self.target} = {self.expr!r}"
+
+
+@dataclass(eq=False)
+class FlatBody:
+    """Normalized loop: flat statement list + interface metadata."""
+
+    loop: Loop
+    stmts: list[FlatStmt]
+    #: temps that are read before (re)definition within one iteration,
+    #: i.e. their value flows in from the previous iteration or from
+    #: loop setup (reduction accumulators and the like).
+    carried: frozenset[str] = frozenset()
+
+    @property
+    def index(self) -> str:
+        return self.loop.index
+
+    def stmt(self, sid: int) -> FlatStmt:
+        return self.stmts[sid]
+
+    def defs_of(self, temp: str) -> list[FlatStmt]:
+        return [s for s in self.stmts if s.target == temp]
+
+    def __iter__(self) -> Iterator[FlatStmt]:
+        return iter(self.stmts)
+
+    def __len__(self) -> int:
+        return len(self.stmts)

@@ -1,0 +1,64 @@
+"""Value types for the mini-IR.
+
+The hardware model (paper §II, §V) distinguishes two register files and,
+correspondingly, two classes of communication queues: floating-point
+values travel through FP queues and integer/general-purpose values
+through GPR queues.  Every IR expression therefore carries a
+:class:`DType` from which its queue class (:class:`VClass`) is derived.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class VClass(enum.Enum):
+    """Queue/register class of a value (paper §V: "separate queues for
+    floating point values and for general-purpose register values")."""
+
+    GPR = "gpr"
+    FPR = "fpr"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VClass.{self.name}"
+
+
+class DType(enum.Enum):
+    """Scalar data types supported by the IR.
+
+    ``BOOL`` values are carried in general-purpose registers (0/1), like
+    condition codes materialised into a GPR on the A2.
+    """
+
+    F64 = "f64"
+    I64 = "i64"
+    BOOL = "bool"
+
+    @property
+    def vclass(self) -> VClass:
+        """Queue class used when this value crosses cores."""
+        return VClass.FPR if self is DType.F64 else VClass.GPR
+
+    @property
+    def is_float(self) -> bool:
+        return self is DType.F64
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+
+F64 = DType.F64
+I64 = DType.I64
+BOOL = DType.BOOL
+
+
+def unify(a: DType, b: DType) -> DType:
+    """Result type of an arithmetic op combining ``a`` and ``b``.
+
+    Mixed int/float arithmetic promotes to ``F64`` (the simulator's
+    functional semantics promote the same way).  Boolean operands behave
+    as integers, matching the untyped condition registers of the target.
+    """
+    if DType.F64 in (a, b):
+        return DType.F64
+    return DType.I64

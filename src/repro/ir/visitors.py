@@ -1,0 +1,137 @@
+"""Generic expression-tree utilities: cloning, structural comparison,
+variable collection, mapping."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .nodes import ArraySym, BinOp, Call, Const, Expr, Load, Select, UnOp, VarRef
+
+
+def clone(node: Expr) -> Expr:
+    """Deep-copy an expression tree (fresh node identities, nid reset)."""
+    if isinstance(node, Const):
+        return Const(node.value, node.dtype)
+    if isinstance(node, VarRef):
+        return VarRef(node.name, node.dtype)
+    if isinstance(node, Load):
+        return Load(node.array, clone(node.index))
+    if isinstance(node, BinOp):
+        return BinOp(node.op, clone(node.lhs), clone(node.rhs))
+    if isinstance(node, UnOp):
+        return UnOp(node.op, clone(node.operand))
+    if isinstance(node, Call):
+        return Call(node.fn, *(clone(a) for a in node.args))
+    if isinstance(node, Select):
+        return Select(clone(node.cond), clone(node.a), clone(node.b))
+    raise TypeError(type(node))
+
+
+def substitute(node: Expr, mapping: dict[str, Expr]) -> Expr:
+    """Clone ``node`` replacing VarRefs by ``mapping[name]`` (cloned)."""
+    if isinstance(node, VarRef) and node.name in mapping:
+        return clone(mapping[node.name])
+    if isinstance(node, Const):
+        return Const(node.value, node.dtype)
+    if isinstance(node, VarRef):
+        return VarRef(node.name, node.dtype)
+    if isinstance(node, Load):
+        return Load(node.array, substitute(node.index, mapping))
+    if isinstance(node, BinOp):
+        return BinOp(node.op, substitute(node.lhs, mapping), substitute(node.rhs, mapping))
+    if isinstance(node, UnOp):
+        return UnOp(node.op, substitute(node.operand, mapping))
+    if isinstance(node, Call):
+        return Call(node.fn, *(substitute(a, mapping) for a in node.args))
+    if isinstance(node, Select):
+        return Select(
+            substitute(node.cond, mapping),
+            substitute(node.a, mapping),
+            substitute(node.b, mapping),
+        )
+    raise TypeError(type(node))
+
+
+def structurally_equal(a: Expr, b: Expr) -> bool:
+    """Structural (not identity) equality of two trees."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Const):
+        return a.value == b.value and a.dtype == b.dtype
+    if isinstance(a, VarRef):
+        return a.name == b.name
+    if isinstance(a, Load):
+        return a.array == b.array and structurally_equal(a.index, b.index)
+    if isinstance(a, BinOp):
+        return (
+            a.op == b.op
+            and structurally_equal(a.lhs, b.lhs)
+            and structurally_equal(a.rhs, b.rhs)
+        )
+    if isinstance(a, UnOp):
+        return a.op == b.op and structurally_equal(a.operand, b.operand)
+    if isinstance(a, Call):
+        return (
+            a.fn == b.fn
+            and len(a.args) == len(b.args)
+            and all(structurally_equal(x, y) for x, y in zip(a.args, b.args))
+        )
+    if isinstance(a, Select):
+        return all(
+            structurally_equal(x, y)
+            for x, y in zip(a.children(), b.children())
+        )
+    raise TypeError(type(a))
+
+
+def var_reads(node: Expr) -> Iterator[VarRef]:
+    """All scalar VarRef leaves, including those inside Load indices."""
+    if isinstance(node, VarRef):
+        yield node
+    for c in node.children():
+        yield from var_reads(c)
+
+
+def var_names(node: Expr) -> set[str]:
+    return {v.name for v in var_reads(node)}
+
+
+def loads(node: Expr) -> Iterator[Load]:
+    if isinstance(node, Load):
+        yield node
+    for c in node.children():
+        yield from loads(c)
+
+
+def arrays_read(node: Expr) -> set[ArraySym]:
+    return {ld.array for ld in loads(node)}
+
+
+def op_height(node: Expr) -> int:
+    """Length of the longest operation chain in a tree (leaves = 0)."""
+    if node.is_leaf:
+        return 0
+    return 1 + max((op_height(c) for c in node.children()), default=0)
+
+
+def map_expr(node: Expr, fn: Callable[[Expr], Expr | None]) -> Expr:
+    """Bottom-up rebuild; ``fn`` may replace any rebuilt node (return
+    None to keep it)."""
+    if isinstance(node, (Const, VarRef)):
+        rebuilt: Expr = clone(node)
+    elif isinstance(node, Load):
+        rebuilt = Load(node.array, map_expr(node.index, fn))
+    elif isinstance(node, BinOp):
+        rebuilt = BinOp(node.op, map_expr(node.lhs, fn), map_expr(node.rhs, fn))
+    elif isinstance(node, UnOp):
+        rebuilt = UnOp(node.op, map_expr(node.operand, fn))
+    elif isinstance(node, Call):
+        rebuilt = Call(node.fn, *(map_expr(a, fn) for a in node.args))
+    elif isinstance(node, Select):
+        rebuilt = Select(
+            map_expr(node.cond, fn), map_expr(node.a, fn), map_expr(node.b, fn)
+        )
+    else:  # pragma: no cover - defensive
+        raise TypeError(type(node))
+    out = fn(rebuilt)
+    return rebuilt if out is None else out

@@ -1,0 +1,22 @@
+"""Machine ISA and code generation back end.
+
+A small register machine modeled on an in-order single-issue core,
+extended with the paper's ``enqueue``/``dequeue`` instructions (§II).
+:mod:`repro.isa.lower` turns compiler plans into per-core
+:class:`Program` objects, including the outlined functions (§III-C) and
+the runtime driver protocol (§III-G).
+"""
+
+from .instructions import Imm, Instr, QueueId
+from .lower import LoweredKernel, lower_plan
+from .program import Function, Program
+
+__all__ = [
+    "Function",
+    "Imm",
+    "Instr",
+    "LoweredKernel",
+    "Program",
+    "QueueId",
+    "lower_plan",
+]

@@ -1,0 +1,118 @@
+"""Machine instructions of the simulated core.
+
+The instruction set is a classic in-order RISC register machine plus
+the paper's queue instructions:
+
+    enqueue: "takes a queue identifier and a register as parameters ...
+    the value in the register is placed in the next available slot in
+    the corresponding queue.  If there is no empty slot, the
+    instruction execution stalls until a slot becomes available."
+
+    dequeue: "... the next available value in the corresponding queue
+    is loaded into the register.  If there is no valid entry in the
+    queue, the instruction execution stalls until one becomes
+    available."
+
+Register files are unbounded and per-core (named registers).  Operands
+are register names (``str``) or :class:`Imm` literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..ir.types import VClass
+
+
+@dataclass(frozen=True)
+class Imm:
+    """Immediate operand."""
+
+    value: Union[int, float]
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+Operand = Union[str, Imm]
+
+
+@dataclass(frozen=True)
+class QueueId:
+    """Identifies one hardware queue: ordered core pair + value class
+    (§V: "there are separate queues for floating point values and for
+    general-purpose register values")."""
+
+    src: int
+    dst: int
+    vclass: VClass
+
+    def __repr__(self) -> str:
+        return f"Q{self.src}->{self.dst}.{self.vclass.value}"
+
+
+#: instruction opcodes
+OPCODES = frozenset(
+    {
+        "bin",     # dst = fn(a, b)             (fn: IR binary op name)
+        "un",      # dst = fn(a)                (fn: neg/not)
+        "call",    # dst = fn(args...)          (intrinsics)
+        "select",  # dst = a if c else b
+        "mov",     # dst = a
+        "load",    # dst = array[a]
+        "store",   # array[a] = b
+        "enq",     # enqueue a to queue
+        "deq",     # dequeue from queue into dst
+        "fjp",     # jump to label if a is zero (false)
+        "tjp",     # jump to label if a is nonzero
+        "jp",      # unconditional jump
+        "lab",     # label pseudo-instruction (0 cycles)
+        "callr",   # call function whose table index is in register a
+        "ret",     # return from function
+        "halt",    # stop this core
+    }
+)
+
+
+@dataclass(eq=False)
+class Instr:
+    """One machine instruction.
+
+    ``is_float`` disambiguates int/float semantics for ``bin``/``un``
+    (the result class; also selects FP vs fixed-point latency).
+    """
+
+    op: str
+    dst: Optional[str] = None
+    a: Optional[Operand] = None
+    b: Optional[Operand] = None
+    c: Optional[Operand] = None
+    fn: Optional[str] = None
+    array: Optional[str] = None
+    label: Optional[str] = None
+    queue: Optional[QueueId] = None
+    is_float: bool = False
+    #: provenance for traces (sid of the originating statement, if any)
+    sid: int = -1
+
+    def __post_init__(self) -> None:
+        if self.op not in OPCODES:
+            raise ValueError(f"unknown opcode {self.op!r}")
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        if self.fn:
+            parts.append(self.fn)
+        if self.dst is not None:
+            parts.append(f"{self.dst} <-")
+        for x in (self.a, self.b, self.c):
+            if x is not None:
+                parts.append(repr(x) if isinstance(x, Imm) else x)
+        if self.array is not None:
+            parts.append(f"[{self.array}]")
+        if self.queue is not None:
+            parts.append(repr(self.queue))
+        if self.label is not None:
+            parts.append(f"@{self.label}")
+        return " ".join(parts)

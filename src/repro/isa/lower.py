@@ -1,0 +1,403 @@
+"""Lowering: compiler plans → per-core machine programs.
+
+This is where the remaining paper transformations materialise:
+
+* **Outlining (§III-C, Fig 5)** — every non-primary partition becomes a
+  separate function ``F<pid>`` in its core's program; the primary
+  partition stays inline in ``main``.
+* **Communication insertion (§III-D, Fig 6)** — planned transfers
+  become ``enq``/``deq`` instructions on the right hardware queue.
+* **Branch replication (§III-E, Fig 7)** — every run of same-predicate
+  items is wrapped in (replicated) conditional jumps testing the
+  locally held condition registers, outermost condition first
+  (short-circuit, so inner conditions are only tested on paths where
+  they were actually computed).
+* **Live-variable copy-out (§III-F, Fig 8)** — after the loop, each
+  secondary partition enqueues the live-out temporaries it owns to the
+  primary.
+* **Runtime threads (§III-G, Fig 9)** — secondary cores run a driver
+  loop that dequeues a function pointer, dispatches, and returns to
+  waiting; the primary sends the pointer and the arguments, and
+  collects per-thread completion tokens as the barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compiler.comm import Transfer
+from ..compiler.fibers import Op
+from ..compiler.pipeline import ParallelPlan
+from ..compiler.schedule import EmitItem, PartitionSchedule
+from ..ir.nodes import BinOp, Call, Const, Expr, Load, Select, UnOp, VarRef
+from ..ir.stmts import PredChain
+from ..ir.types import VClass
+from .instructions import Imm, Instr, Operand, QueueId
+from .program import Function, Program
+
+#: function-pointer value the driver interprets as "terminate" (§III-G).
+STOP = -1
+
+
+class LowerError(RuntimeError):
+    pass
+
+
+@dataclass
+class LoweredKernel:
+    """Per-core programs for one transformed kernel."""
+
+    plan: ParallelPlan
+    programs: list[Program]          # index == pid == core id
+    primary_params: list[str]        # registers the loader must preload
+    #: per secondary pid: parameter registers it receives via queues,
+    #: in transfer order (trip count first).
+    secondary_params: dict[int, list[str]]
+    #: live-out temp -> owning pid
+    liveout_owner: dict[str, int]
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.programs)
+
+
+class _FnEmitter:
+    """Accumulates instructions for one function."""
+
+    def __init__(self, name: str, pid: int):
+        self.name = name
+        self.pid = pid
+        self.instrs: list[Instr] = []
+        self._label_counter = 0
+        self._scratch = 0
+
+    def emit(self, **kw) -> Instr:
+        ins = Instr(**kw)
+        self.instrs.append(ins)
+        return ins
+
+    def fresh_label(self, base: str) -> str:
+        self._label_counter += 1
+        return f"{base}_{self._label_counter}"
+
+    def fresh_reg(self, base: str) -> str:
+        self._scratch += 1
+        return f"__{base}{self._scratch}"
+
+    def build(self) -> Function:
+        return Function(self.name, self.instrs)
+
+
+# ----------------------------------------------------------------------
+# Expression-op lowering
+# ----------------------------------------------------------------------
+
+def _leaf_operand(fe: _FnEmitter, leaf: Expr, sid: int) -> Operand:
+    if isinstance(leaf, Const):
+        return Imm(leaf.value)
+    if isinstance(leaf, VarRef):
+        return leaf.name
+    if isinstance(leaf, Load):
+        idx = _leaf_operand(fe, leaf.index, sid)
+        dst = fe.fresh_reg("ld")
+        fe.emit(op="load", dst=dst, a=idx, array=leaf.array.name, sid=sid)
+        return dst
+    raise LowerError(f"not a leaf: {leaf!r}")
+
+
+def _operand_of(fe: _FnEmitter, child: Expr, sid: int) -> Operand:
+    if child.is_leaf:
+        return _leaf_operand(fe, child, sid)
+    # interior node: its value register was written by its own op
+    name = f"v{sid}_{child.nid}"
+    return name
+
+
+def _emit_op(fe: _FnEmitter, op: Op) -> None:
+    sid = op.sid
+    if op.kind == "expr":
+        node = op.node
+        dst = op.value_name
+        if isinstance(node, BinOp):
+            a = _operand_of(fe, node.lhs, sid)
+            b = _operand_of(fe, node.rhs, sid)
+            is_f = node.lhs.dtype.is_float or node.rhs.dtype.is_float
+            fe.emit(op="bin", fn=node.op, dst=dst, a=a, b=b, is_float=is_f, sid=sid)
+        elif isinstance(node, UnOp):
+            a = _operand_of(fe, node.operand, sid)
+            fe.emit(
+                op="un", fn=node.op, dst=dst, a=a,
+                is_float=node.dtype.is_float, sid=sid,
+            )
+        elif isinstance(node, Call):
+            args = [_operand_of(fe, c, sid) for c in node.args]
+            pads = args + [None] * (3 - len(args))
+            fe.emit(
+                op="call", fn=node.fn, dst=dst,
+                a=pads[0], b=pads[1], c=pads[2],
+                is_float=node.dtype.is_float, sid=sid,
+            )
+        elif isinstance(node, Select):
+            cond = _operand_of(fe, node.cond, sid)
+            tv = _operand_of(fe, node.a, sid)
+            fv = _operand_of(fe, node.b, sid)
+            fe.emit(
+                op="select", dst=dst, a=tv, b=fv, c=cond,
+                is_float=node.dtype.is_float, sid=sid,
+            )
+        else:  # pragma: no cover - defensive
+            raise LowerError(f"cannot lower node {node!r}")
+    elif op.kind == "move":
+        src = op.stmt.expr
+        if isinstance(src, Load):
+            idx = _leaf_operand(fe, src.index, sid)
+            fe.emit(op="load", dst=op.writes, a=idx, array=src.array.name, sid=sid)
+        else:
+            fe.emit(
+                op="mov", dst=op.writes, a=_leaf_operand(fe, src, sid),
+                is_float=(op.stmt.dtype.is_float if op.stmt.dtype else False),
+                sid=sid,
+            )
+    elif op.kind == "store":
+        st = op.stmt
+        val = _operand_of(fe, st.expr, sid)
+        idx = _leaf_operand(fe, st.index, sid)
+        fe.emit(op="store", array=st.array.name, a=idx, b=val, sid=sid)
+    else:  # pragma: no cover - defensive
+        raise LowerError(f"unknown op kind {op.kind}")
+
+
+def _emit_comm(fe: _FnEmitter, item: EmitItem) -> None:
+    t: Transfer = item.transfer
+    q = QueueId(t.src_pid, t.dst_pid, t.vclass)
+    if item.kind == "enq":
+        src: Operand = Imm(1) if t.kind == "token" else t.reg
+        fe.emit(op="enq", queue=q, a=src, sid=t.producer_op.sid)
+    else:
+        fe.emit(op="deq", queue=q, dst=t.reg, sid=t.producer_op.sid)
+
+
+# ----------------------------------------------------------------------
+# Guarded segment emission (§III-E)
+# ----------------------------------------------------------------------
+
+def _emit_items(fe: _FnEmitter, items: list[EmitItem]) -> None:
+    i = 0
+    n = len(items)
+    while i < n:
+        pred = items[i].pred
+        j = i
+        while j < n and items[j].pred == pred:
+            j += 1
+        run = items[i:j]
+        if pred:
+            skip = fe.fresh_label("Lskip")
+            for cond, want in pred:
+                # outermost first; short-circuit so inner conditions are
+                # only tested when the outer ones held (they are defined
+                # on exactly those paths).
+                fe.emit(op=("fjp" if want else "tjp"), a=cond, label=skip)
+            for it in run:
+                _emit_item(fe, it)
+            fe.emit(op="lab", label=skip)
+        else:
+            for it in run:
+                _emit_item(fe, it)
+        i = j
+
+
+def _emit_item(fe: _FnEmitter, item: EmitItem) -> None:
+    if item.kind == "op":
+        _emit_op(fe, item.op)
+    else:
+        _emit_comm(fe, item)
+
+
+def _emit_loop(fe: _FnEmitter, plan: ParallelPlan, sched: PartitionSchedule) -> None:
+    loop = plan.loop
+    top = fe.fresh_label("Ltop")
+    exit_ = fe.fresh_label("Lexit")
+    fe.emit(op="mov", dst=loop.index, a=Imm(0))
+    fe.emit(op="lab", label=top)
+    fe.emit(op="bin", fn="lt", dst="__lc", a=loop.index, b=loop.trip)
+    fe.emit(op="fjp", a="__lc", label=exit_)
+    _emit_items(fe, sched.items)
+    fe.emit(op="bin", fn="add", dst=loop.index, a=loop.index, b=Imm(1))
+    fe.emit(op="jp", label=top)
+    fe.emit(op="lab", label=exit_)
+
+
+# ----------------------------------------------------------------------
+# Interface computation
+# ----------------------------------------------------------------------
+
+def _partition_reads(sched: PartitionSchedule) -> set[str]:
+    from ..compiler.schedule import _reads_of_op  # shared helper
+
+    reads: set[str] = set()
+    writes: set[str] = set()
+    for it in sched.items:
+        if it.kind == "op":
+            reads |= _reads_of_op(it.op) - writes
+            if it.op.writes is not None:
+                writes.add(it.op.writes)
+        elif it.kind == "deq":
+            writes.add(it.transfer.reg)
+        for cond, _ in it.pred:
+            if cond not in writes:
+                reads.add(cond)
+    return reads - writes
+
+
+def _needed_params(plan: ParallelPlan, sched: PartitionSchedule) -> list[str]:
+    loop = plan.loop
+    param_names = set(loop.param_names())
+    needed: list[str] = []
+    locally_written = {
+        it.op.writes
+        for it in sched.items
+        if it.kind == "op" and it.op.writes is not None
+    }
+    deq_regs = {it.transfer.reg for it in sched.items if it.kind == "deq"}
+    for name in sorted(_partition_reads(sched)):
+        if name in (loop.index, loop.trip):
+            continue
+        if name in deq_regs:
+            continue
+        if name in param_names:
+            needed.append(name)
+            continue
+        if name in locally_written:
+            continue
+        raise LowerError(
+            f"partition {sched.pid} reads {name!r} which is neither a "
+            "parameter, a dequeued value, nor locally defined"
+        )
+    # carried temps that are params AND locally written still need their
+    # initial value delivered:
+    for name in sorted(param_names):
+        if name in locally_written and name not in needed:
+            reads_anywhere = name in _partition_reads_incl_writes(sched)
+            if reads_anywhere:
+                needed.append(name)
+    return sorted(set(needed))
+
+
+def _partition_reads_incl_writes(sched: PartitionSchedule) -> set[str]:
+    from ..compiler.schedule import _reads_of_op
+
+    reads: set[str] = set()
+    for it in sched.items:
+        if it.kind == "op":
+            reads |= _reads_of_op(it.op)
+        for cond, _ in it.pred:
+            reads.add(cond)
+    return reads
+
+
+# ----------------------------------------------------------------------
+# Whole-kernel lowering
+# ----------------------------------------------------------------------
+
+def lower_plan(plan: ParallelPlan) -> LoweredKernel:
+    """Produce one :class:`Program` per partition/core."""
+    loop = plan.loop
+    param_dtype = {p.name: p.dtype for p in loop.params}
+    n_parts = len(plan.partitions)
+
+    # live-out ownership: the partition holding the final defs (§III-F
+    # cohesion in the pipeline guarantees uniqueness).
+    liveout_owner: dict[str, int] = {}
+    for name in loop.live_out:
+        owner = None
+        for sched in plan.schedules:
+            for it in sched.items:
+                if it.kind == "op" and it.op.writes == name:
+                    owner = sched.pid
+        if owner is None:
+            owner = plan.primary_pid  # never assigned: pure parameter
+        liveout_owner[name] = owner
+
+    secondary_params: dict[int, list[str]] = {}
+    for sched in plan.schedules:
+        if sched.pid != plan.primary_pid:
+            secondary_params[sched.pid] = _needed_params(plan, sched)
+
+    programs: list[Program] = []
+    for sched in plan.schedules:
+        pid = sched.pid
+        if pid == plan.primary_pid:
+            fe = _FnEmitter("main", pid)
+            # §III-G dispatch: send function pointer then arguments.
+            for s in range(n_parts):
+                if s == plan.primary_pid:
+                    continue
+                gq = QueueId(pid, s, VClass.GPR)
+                fe.emit(op="enq", queue=gq, a=Imm(1))  # F_s table index
+                fe.emit(op="enq", queue=gq, a=loop.trip)
+                for pname in secondary_params[s]:
+                    vc = param_dtype[pname].vclass
+                    fe.emit(op="enq", queue=QueueId(pid, s, vc), a=pname)
+            _emit_loop(fe, plan, sched)
+            # §III-F/G: collect live-outs, then completion tokens.
+            for s in range(n_parts):
+                if s == plan.primary_pid:
+                    continue
+                for name in sorted(loop.live_out):
+                    if liveout_owner[name] == s:
+                        vc = _liveout_vclass(plan, name, param_dtype)
+                        fe.emit(op="deq", queue=QueueId(s, pid, vc), dst=name)
+                fe.emit(op="deq", queue=QueueId(s, pid, VClass.GPR), dst=f"__done{s}")
+            for s in range(n_parts):
+                if s == plan.primary_pid:
+                    continue
+                fe.emit(op="enq", queue=QueueId(pid, s, VClass.GPR), a=Imm(STOP))
+            fe.emit(op="halt")
+            programs.append(Program(f"core{pid}", [fe.build()], entry=0))
+        else:
+            drv = _FnEmitter("driver", pid)
+            top = drv.fresh_label("Ldrv")
+            done = drv.fresh_label("Ldone")
+            gq_in = QueueId(plan.primary_pid, pid, VClass.GPR)
+            drv.emit(op="lab", label=top)
+            drv.emit(op="deq", queue=gq_in, dst="__fn")
+            drv.emit(op="bin", fn="eq", dst="__stop", a="__fn", b=Imm(STOP))
+            drv.emit(op="tjp", a="__stop", label=done)
+            drv.emit(op="callr", a="__fn")
+            drv.emit(op="jp", label=top)
+            drv.emit(op="lab", label=done)
+            drv.emit(op="halt")
+
+            fn = _FnEmitter(f"F{pid}", pid)
+            fn.emit(op="deq", queue=gq_in, dst=loop.trip)
+            for pname in secondary_params[pid]:
+                vc = param_dtype[pname].vclass
+                fn.emit(op="deq", queue=QueueId(plan.primary_pid, pid, vc), dst=pname)
+            _emit_loop(fn, plan, sched)
+            for name in sorted(loop.live_out):
+                if liveout_owner[name] == pid:
+                    vc = _liveout_vclass(plan, name, param_dtype)
+                    fn.emit(
+                        op="enq", queue=QueueId(pid, plan.primary_pid, vc), a=name
+                    )
+            fn.emit(op="enq", queue=QueueId(pid, plan.primary_pid, VClass.GPR), a=Imm(1))
+            fn.emit(op="ret")
+            programs.append(Program(f"core{pid}", [drv.build(), fn.build()], entry=0))
+
+    primary_params = sorted({p.name for p in loop.params})
+    return LoweredKernel(
+        plan=plan,
+        programs=programs,
+        primary_params=primary_params,
+        secondary_params=secondary_params,
+        liveout_owner=liveout_owner,
+    )
+
+
+def _liveout_vclass(plan: ParallelPlan, name: str, param_dtype) -> VClass:
+    for st in plan.body.stmts:
+        if st.target == name:
+            return st.dtype.vclass
+    if name in param_dtype:
+        return param_dtype[name].vclass
+    raise LowerError(f"unknown live-out {name!r}")

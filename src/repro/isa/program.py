@@ -1,0 +1,63 @@
+"""Programs: per-core collections of assembled functions.
+
+Each core runs one :class:`Program`: a function table plus the index of
+its entry function.  Labels are resolved to instruction indices at
+assembly time; ``lab`` pseudo-instructions are kept (zero-cycle) so
+indices stay stable for traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .instructions import Instr
+
+
+@dataclass
+class Function:
+    name: str
+    instrs: list[Instr]
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.labels = {}
+        for idx, ins in enumerate(self.instrs):
+            if ins.op == "lab":
+                if ins.label in self.labels:
+                    raise ValueError(f"duplicate label {ins.label!r} in {self.name}")
+                self.labels[ins.label] = idx
+        for ins in self.instrs:
+            if ins.op in ("jp", "fjp", "tjp") and ins.label not in self.labels:
+                raise ValueError(
+                    f"undefined label {ins.label!r} in function {self.name}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+@dataclass
+class Program:
+    """One core's code: function table + entry point."""
+
+    name: str
+    functions: list[Function]
+    entry: int = 0
+
+    def fn_index(self, name: str) -> int:
+        for i, f in enumerate(self.functions):
+            if f.name == name:
+                return i
+        raise KeyError(name)
+
+    @property
+    def n_instrs(self) -> int:
+        return sum(len(f) for f in self.functions)
+
+    def dump(self) -> str:
+        out = [f"program {self.name} (entry={self.functions[self.entry].name})"]
+        for i, f in enumerate(self.functions):
+            out.append(f"  fn[{i}] {f.name}:")
+            for j, ins in enumerate(f.instrs):
+                out.append(f"    {j:4d}  {ins!r}")
+        return "\n".join(out)

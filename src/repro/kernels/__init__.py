@@ -1,0 +1,21 @@
+"""Kernel suite: the 18 Table-I loops + the full 51-loop §IV corpus."""
+
+from .base import (
+    CATEGORIES,
+    KernelSpec,
+    all_kernels,
+    corpus_kernels,
+    get_kernel,
+    register,
+    table1_kernels,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "KernelSpec",
+    "all_kernels",
+    "corpus_kernels",
+    "get_kernel",
+    "register",
+    "table1_kernels",
+]

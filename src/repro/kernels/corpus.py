@@ -1,0 +1,225 @@
+"""The non-amenable hot loops of the §IV characterization study.
+
+Together with the 18 Table-I kernels these make up the 51 hot loops the
+paper identified across the five Sequoia tier-1 applications:
+
+* 6 loops "lack arithmetic operations" — initialisation loops
+  performing simple assignments to array elements;
+* 25 loops "better suited to traditional loop parallelization" — few
+  operations per iteration, many of them vector dot products; among
+  them 8 perform reductions on scalar variables and 1 (in amg)
+  performs reductions on array elements;
+* 2 loops (in umt2k) have "many conditionals in the loop body, with
+  variables in the conditional expressions involved in read-after-write
+  dependences".
+
+The loop bodies are synthetic but category-faithful: the classifier in
+:mod:`repro.characterize` must recover the taxonomy from the IR alone.
+"""
+
+from __future__ import annotations
+
+from ..ir import F64, I64, LoopBuilder, fabs, sqrt
+from ..workload import ArraySpec
+from .base import KernelSpec, register
+
+
+def _init_loop(name: str, source: str, value: float | None):
+    def build():
+        b = LoopBuilder(name, trip="n", source=source)
+        i = b.index
+        dst = b.array("dst", F64, miss_rate=0.05)
+        if value is None:
+            src = b.array("src", F64, miss_rate=0.05)
+            b.store(dst, i, src[i])
+        else:
+            b.store(dst, i, value)
+        return b.build()
+
+    return build
+
+
+def _dot_loop(name: str, source: str):
+    def build():
+        b = LoopBuilder(name, trip="n", source=source)
+        i = b.index
+        xv = b.array("xv", F64, miss_rate=0.08)
+        yv = b.array("yv", F64, miss_rate=0.08)
+        acc = b.accumulator("acc", F64)
+        b.set(acc, acc + xv[i] * yv[i])
+        return b.build()
+
+    return build
+
+
+def _axpy_loop(name: str, source: str, nops: int = 1):
+    def build():
+        b = LoopBuilder(name, trip="n", source=source)
+        i = b.index
+        a = b.param("a", F64)
+        xv = b.array("xv", F64, miss_rate=0.08)
+        yv = b.array("yv", F64, miss_rate=0.08)
+        e = a * xv[i] + yv[i]
+        for _ in range(nops - 1):
+            e = e * 0.5 + xv[i]
+        b.store(yv, i, e)
+        return b.build()
+
+    return build
+
+
+def _scale_loop(name: str, source: str):
+    def build():
+        b = LoopBuilder(name, trip="n", source=source)
+        i = b.index
+        c = b.param("c", F64)
+        xv = b.array("xv", F64, miss_rate=0.08)
+        out = b.array("out", F64, miss_rate=0.08)
+        b.store(out, i, xv[i] * c)
+        return b.build()
+
+    return build
+
+
+def _sum_loop(name: str, source: str, kind: str):
+    def build():
+        b = LoopBuilder(name, trip="n", source=source)
+        i = b.index
+        xv = b.array("xv", F64, miss_rate=0.08)
+        acc = b.accumulator("acc", F64)
+        if kind == "sum":
+            b.set(acc, acc + xv[i])
+        elif kind == "sumsq":
+            b.set(acc, acc + xv[i] * xv[i])
+        elif kind == "abs":
+            b.set(acc, acc + fabs(xv[i]))
+        else:  # max via arithmetic-free compare chain
+            b.set(acc, (acc + xv[i] + fabs(acc - xv[i])) * 0.5)
+        return b.build()
+
+    return build
+
+
+def _array_reduction_loop(name: str, source: str):
+    """amg: reductions on array elements (harder to parallelize)."""
+
+    def build():
+        b = LoopBuilder(name, trip="n", source=source)
+        i = b.index
+        rows = b.array("rows", I64, miss_rate=0.06)
+        vals = b.array("vals", F64, miss_rate=0.08)
+        diag = b.array("diag", F64, miss_rate=0.10)
+        r = b.let("r", rows[i])
+        b.store(diag, r, diag[r] + vals[i])
+        return b.build()
+
+    return build
+
+
+def _conditional_serial_loop(name: str, source: str):
+    """umt2k: conditional chains with read-after-write condition vars."""
+
+    def build():
+        b = LoopBuilder(name, trip="n", source=source)
+        i = b.index
+        xv = b.array("xv", F64, miss_rate=0.08)
+        out = b.array("out", F64, miss_rate=0.08)
+        state = b.accumulator("state", F64)
+        v = b.let("v", xv[i] + state * 0.5)
+        with b.if_(v < 0.0) as br1:
+            s1 = b.let("s1", -v)
+        with br1.otherwise():
+            s1 = b.let("s1", v * 0.25)
+        with b.if_(s1 > 1.0) as br2:
+            s2 = b.let("s2", s1 - 1.0)
+        with br2.otherwise():
+            s2 = b.let("s2", s1)
+        b.set(state, s2)
+        b.store(out, i, s2)
+        return b.build()
+
+    return build
+
+
+def _reg(name, app, source, pct, category, build, **kw):
+    register(
+        KernelSpec(
+            name=name, app=app, source=source, pct_time=pct,
+            category=category, build=build, **kw,
+        )
+    )
+
+
+# ---------------------------------------------------------------------
+# 6 initialisation loops
+# ---------------------------------------------------------------------
+_reg("lammps-i1", "lammps", "atom.cpp, Atom::grow, line 140", 0.4,
+     "init", _init_loop("lammps-i1", "atom.cpp", 0.0))
+_reg("lammps-i2", "lammps", "fix_nve.cpp, FixNVE::setup, line 61", 0.3,
+     "init", _init_loop("lammps-i2", "fix_nve.cpp", None))
+_reg("irs-i1", "irs", "Hydro.c, HydroInit, line 88", 0.5,
+     "init", _init_loop("irs-i1", "Hydro.c", 1.0))
+_reg("umt2k-i1", "umt2k", "snflwxyz.f90, snflwxyz, line 44", 0.6,
+     "init", _init_loop("umt2k-i1", "snflwxyz.f90", 0.0))
+_reg("sphot-i1", "sphot", "genxsec.f, genxsec, line 31", 0.2,
+     "init", _init_loop("sphot-i1", "genxsec.f", None))
+_reg("amg-i1", "amg", "hypre_struct.c, InitVector, line 210", 0.4,
+     "init", _init_loop("amg-i1", "hypre_struct.c", 0.0))
+
+# ---------------------------------------------------------------------
+# 25 "traditional" loops: 16 vector ops + 8 scalar reductions + 1 amg
+# array reduction
+# ---------------------------------------------------------------------
+_VEC = [
+    ("lammps-t1", "lammps", "verlet.cpp, Verlet::force_clear, line 301", 1.1, _axpy_loop, {}),
+    ("lammps-t2", "lammps", "fix_nve.cpp, FixNVE::initial_integrate, 75", 2.2, _axpy_loop, {"nops": 2}),
+    ("lammps-t3", "lammps", "fix_nve.cpp, FixNVE::final_integrate, 96", 1.8, _scale_loop, {}),
+    ("irs-t1", "irs", "MatrixSolve.c, MatrixSolveCG, line 203", 3.0, _axpy_loop, {}),
+    ("irs-t2", "irs", "MatrixSolve.c, MatrixSolveCG, line 231", 2.1, _axpy_loop, {"nops": 2}),
+    ("irs-t3", "irs", "RadiationBoundary.c, radbc, line 77", 0.9, _scale_loop, {}),
+    ("irs-t4", "irs", "Eos.c, eos_gamma, line 133", 1.4, _axpy_loop, {}),
+    ("umt2k-t1", "umt2k", "snqq.f90, snqq, line 66", 2.6, _axpy_loop, {}),
+    ("umt2k-t2", "umt2k", "snmref.f90, snmref, line 52", 1.2, _scale_loop, {}),
+    ("umt2k-t3", "umt2k", "snmoments.f90, snmoments, line 83", 3.4, _axpy_loop, {"nops": 2}),
+    ("sphot-t1", "sphot", "copyglob.f, copyglob, line 24", 0.7, _scale_loop, {}),
+    ("sphot-t2", "sphot", "rtstep.f, rtstep, line 55", 1.9, _axpy_loop, {}),
+    ("amg-t1", "amg", "csr_matvec.c, Matvec, line 182", 8.5, _axpy_loop, {"nops": 2}),
+    ("amg-t2", "amg", "vector.c, Axpy, line 98", 4.2, _axpy_loop, {}),
+    ("amg-t3", "amg", "vector.c, Scale, line 61", 1.6, _scale_loop, {}),
+    ("amg-t4", "amg", "vector.c, Copy, line 40", 1.3, _scale_loop, {}),
+]
+for name, app, src, pct, fac, kw in _VEC:
+    _reg(name, app, src, pct, "traditional", fac(name, src, **kw))
+
+_RED = [
+    ("lammps-r1", "lammps", "thermo.cpp, Thermo::compute_pe, line 512", 0.8, "sum"),
+    ("lammps-r2", "lammps", "thermo.cpp, Thermo::compute_temp, 498", 0.9, "sumsq"),
+    ("irs-r1", "irs", "MatrixSolve.c, MatrixSolveCG, line 176", 2.8, "dot"),
+    ("irs-r2", "irs", "MatrixSolve.c, MatrixSolveCG, line 262", 2.3, "dot"),
+    ("umt2k-r1", "umt2k", "snswp3d.f90, snswp3d, line 238", 1.5, "sum"),
+    ("umt2k-r2", "umt2k", "rtorder.f90, rtorder, line 71", 1.1, "abs"),
+    ("sphot-r1", "sphot", "execute.f, execute, line 402", 2.4, "sum"),
+    ("amg-r1", "amg", "vector.c, InnerProd, line 120", 6.1, "dot"),
+]
+for name, app, src, pct, kind in _RED:
+    if kind == "dot":
+        _reg(name, app, src, pct, "reduction-scalar", _dot_loop(name, src),
+             scalars={"acc": 0.0})
+    else:
+        _reg(name, app, src, pct, "reduction-scalar", _sum_loop(name, src, kind),
+             scalars={"acc": 0.0})
+
+_reg("amg-r2", "amg", "par_relax.c, GaussSeidelRelax, line 307", 3.9,
+     "reduction-array", _array_reduction_loop("amg-r2", "par_relax.c"))
+
+# ---------------------------------------------------------------------
+# 2 conditional-dominated umt2k loops
+# ---------------------------------------------------------------------
+_reg("umt2k-c1", "umt2k", "snswp3d.f90, snswp3d, line 262", 2.0,
+     "conditional", _conditional_serial_loop("umt2k-c1", "snswp3d.f90"),
+     scalars={"state": 0.0},
+     specs={"xv": ArraySpec(F64, low=-2.0, high=2.0)})
+_reg("umt2k-c2", "umt2k", "snswp3d.f90, snswp3d, line 291", 1.7,
+     "conditional", _conditional_serial_loop("umt2k-c2", "snswp3d.f90"),
+     scalars={"state": 0.5},
+     specs={"xv": ArraySpec(F64, low=-2.0, high=2.0)})

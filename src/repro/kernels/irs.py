@@ -1,0 +1,281 @@
+"""irs kernels (Table I rows 6-10): implicit radiation solver.
+
+* irs-1 — ``rmatmult3``: the 27-point block-stencil matrix-vector
+  product (the dominant 55.6% loop).  27 independent
+  coefficient*neighbour products feeding a reduction tree: the largest
+  regular source of fine-grained parallelism in the suite.
+* irs-2/irs-3 — conjugate-gradient vector updates from
+  ``MatrixSolveCG`` (multi-vector fused updates).
+* irs-4/irs-5 — ``DiffCoeff_3D``: geometric assembly of face-centred
+  diffusion coefficients (coordinate differences, cross products, zone
+  volumes) — long arithmetic chains with very dense dependence
+  structure (irs-5 is the paper's largest kernel: 390 fibers, 698
+  deps).
+"""
+
+from __future__ import annotations
+
+from ..ir import F64, I64, LoopBuilder, fabs, sqrt
+from ..workload import ArraySpec
+from .base import KernelSpec, register
+
+# 27-point stencil offsets of a jp/kp-plane 3-D grid (jp=8, kp=64 for
+# the synthetic workload; offsets baked as constants like the unrolled
+# Fortran/C source).
+_JP, _KP = 8, 64
+_OFFSETS = [
+    dj * _JP + dk * _KP + di
+    for dk in (-1, 0, 1)
+    for dj in (-1, 0, 1)
+    for di in (-1, 0, 1)
+]
+_NAMES = [
+    f"a{dk + 1}{dj + 1}{di + 1}"
+    for dk in (-1, 0, 1)
+    for dj in (-1, 0, 1)
+    for di in (-1, 0, 1)
+]
+
+
+def _build_irs1():
+    b = LoopBuilder(
+        "irs-1", trip="n", source="rmatmult3.c, rmatmult3, line 75",
+    )
+    i = b.index
+    xv = b.array("xv", F64, miss_rate=0.10)
+    bv = b.array("bv", F64, miss_rate=0.08)
+    coeffs = {
+        name: b.array(name, F64, miss_rate=0.06) for name in _NAMES
+    }
+    center = _KP + _JP + 1  # keep i+offset >= 0
+    terms = [
+        coeffs[name][i] * xv[i + (off + center)]
+        for name, off in zip(_NAMES, _OFFSETS)
+    ]
+    # balanced reduction tree (the source sums band by band)
+    acc = terms
+    k = 0
+    while len(acc) > 1:
+        nxt = []
+        for j in range(0, len(acc) - 1, 2):
+            nxt.append(acc[j] + acc[j + 1])
+        if len(acc) % 2:
+            nxt.append(acc[-1])
+        acc = [b.let(f"s{k}_{j}", e) for j, e in enumerate(nxt)] if len(nxt) > 4 else nxt
+        k += 1
+    b.store(bv, i, acc[0])
+    return b.build()
+
+
+register(
+    KernelSpec(
+        name="irs-1",
+        app="irs",
+        source="rmatmult3.c, rmatmult3, line 75",
+        pct_time=55.6,
+        category="amenable",
+        build=_build_irs1,
+        trip=96,
+        specs={"xv": ArraySpec(F64, extra=2 * (_KP + _JP + 2))},
+        notes="27-point block stencil matvec",
+    )
+)
+
+
+def _build_irs2():
+    b = LoopBuilder(
+        "irs-2", trip="n", source="MatrixSolve.c, MatrixSolveCG, line 287",
+    )
+    i = b.index
+    alpha = b.param("alpha", F64)
+    beta = b.param("beta", F64)
+    omega = b.param("omega", F64)
+    xv = b.array("xv", F64, miss_rate=0.08)
+    rv = b.array("rv", F64, miss_rate=0.08)
+    pv = b.array("pv", F64, miss_rate=0.08)
+    qv = b.array("qv", F64, miss_rate=0.08)
+    zv = b.array("zv", F64, miss_rate=0.08)
+    dv = b.array("dv", F64, miss_rate=0.08)
+
+    # fused CG updates: x += alpha p ; r -= alpha q ; z = r/d ; p = z + beta p
+    xn = b.let("xn", xv[i] + alpha * pv[i])
+    rn = b.let("rn", rv[i] - alpha * qv[i])
+    zn = b.let("zn", rn / (dv[i] + omega))
+    pn = b.let("pn", zn + beta * pv[i])
+    b.store(xv, i, xn)
+    b.store(rv, i, rn)
+    b.store(zv, i, zn)
+    b.store(pv, i, pn)
+    return b.build()
+
+
+register(
+    KernelSpec(
+        name="irs-2",
+        app="irs",
+        source="MatrixSolve.c, MatrixSolveCG, line 287",
+        pct_time=5.1,
+        category="amenable",
+        build=_build_irs2,
+        scalars={"alpha": 0.37, "beta": 0.21, "omega": 0.05},
+        notes="fused preconditioned-CG vector updates",
+    )
+)
+
+
+def _build_irs3():
+    b = LoopBuilder(
+        "irs-3", trip="n", source="MatrixSolve.c, MatrixSolveCG, line 250",
+    )
+    i = b.index
+    alpha = b.param("alpha", F64)
+    rv = b.array("rv", F64, miss_rate=0.08)
+    qv = b.array("qv", F64, miss_rate=0.08)
+    sv = b.array("sv", F64, miss_rate=0.08)
+    tv = b.array("tv", F64, miss_rate=0.08)
+
+    rn = b.let("rn", rv[i] - alpha * qv[i])
+    sn = b.let("sn", fabs(rn) * (rn * rn + 0.5))
+    b.store(rv, i, rn)
+    b.store(sv, i, sn)
+    b.store(tv, i, rn * 0.5 + sn)
+    return b.build()
+
+
+register(
+    KernelSpec(
+        name="irs-3",
+        app="irs",
+        source="MatrixSolve.c, MatrixSolveCG, line 250",
+        pct_time=2.5,
+        category="amenable",
+        build=_build_irs3,
+        scalars={"alpha": 0.42},
+        notes="residual update + diagnostics",
+    )
+)
+
+
+def _build_irs4():
+    b = LoopBuilder(
+        "irs-4", trip="n", source="DiffCoeff.c, DiffCoeff_3D, line 191",
+    )
+    i = b.index
+    xz = b.array("xz", F64, miss_rate=0.08)
+    yz = b.array("yz", F64, miss_rate=0.08)
+    zz = b.array("zz", F64, miss_rate=0.08)
+    sigma = b.array("sigma", F64, miss_rate=0.06)
+    dcx = b.array("dcx", F64, miss_rate=0.06)
+    dcy = b.array("dcy", F64, miss_rate=0.06)
+
+    # face-centred gradients: coordinate differences in three directions
+    dx1 = b.let("dx1", xz[i + 1] - xz[i])
+    dy1 = b.let("dy1", yz[i + 1] - yz[i])
+    dz1 = b.let("dz1", zz[i + 1] - zz[i])
+    dx2 = b.let("dx2", xz[i + _JP] - xz[i])
+    dy2 = b.let("dy2", yz[i + _JP] - yz[i])
+    dz2 = b.let("dz2", zz[i + _JP] - zz[i])
+    dx3 = b.let("dx3", xz[i + _KP] - xz[i])
+    dy3 = b.let("dy3", yz[i + _KP] - yz[i])
+    dz3 = b.let("dz3", zz[i + _KP] - zz[i])
+    # face normal = (d1 x d2); throughput = normal . d3
+    nx = b.let("nx", dy1 * dz2 - dz1 * dy2)
+    ny = b.let("ny", dz1 * dx2 - dx1 * dz2)
+    nz = b.let("nz", dx1 * dy2 - dy1 * dx2)
+    vol = b.let("vol", nx * dx3 + ny * dy3 + nz * dz3)
+    area2 = b.let("area2", nx * nx + ny * ny + nz * nz)
+    sig = b.let("sig", sigma[i] + 0.05)
+    b.store(dcx, i, area2 / (fabs(vol) * sig + 0.01))
+    b.store(dcy, i, (nx + ny + nz) / (sqrt(area2) + 0.01) * sig)
+    return b.build()
+
+
+register(
+    KernelSpec(
+        name="irs-4",
+        app="irs",
+        source="DiffCoeff.c, DiffCoeff_3D, line 191",
+        pct_time=0.6,
+        category="amenable",
+        build=_build_irs4,
+        trip=96,
+        specs={
+            "xz": ArraySpec(F64, extra=_KP + 2),
+            "yz": ArraySpec(F64, extra=_KP + 2),
+            "zz": ArraySpec(F64, extra=_KP + 2),
+        },
+        notes="face geometry: cross products + zone throughput",
+    )
+)
+
+
+def _build_irs5():
+    b = LoopBuilder(
+        "irs-5", trip="n", source="DiffCoeff.c, DiffCoeff_3D, line 317",
+    )
+    i = b.index
+    xz = b.array("xz", F64, miss_rate=0.08)
+    yz = b.array("yz", F64, miss_rate=0.08)
+    zz = b.array("zz", F64, miss_rate=0.08)
+    den = b.array("den", F64, miss_rate=0.06)
+    dcz = b.array("dcz", F64, miss_rate=0.06)
+    dtz = b.array("dtz", F64, miss_rate=0.06)
+
+    # eight corner coordinates of the zone (hexahedron)
+    corners = [0, 1, _JP, _JP + 1, _KP, _KP + 1, _KP + _JP, _KP + _JP + 1]
+    xs = [b.let(f"cx{k}", xz[i + off]) for k, off in enumerate(corners)]
+    ys = [b.let(f"cy{k}", yz[i + off]) for k, off in enumerate(corners)]
+    zs = [b.let(f"cz{k}", zz[i + off]) for k, off in enumerate(corners)]
+
+    # six tetrahedral sub-volumes via triple products — dense, deep
+    # arithmetic (the paper's biggest kernel: hundreds of fibers).
+    tets = [
+        (0, 1, 3, 7), (0, 3, 2, 7), (0, 2, 6, 7),
+        (0, 6, 4, 7), (0, 4, 5, 7), (0, 5, 1, 7),
+    ]
+    vols = []
+    for t, (p0, p1, p2, p3) in enumerate(tets):
+        ax = b.let(f"ax{t}", xs[p1] - xs[p0])
+        ay = b.let(f"ay{t}", ys[p1] - ys[p0])
+        az = b.let(f"az{t}", zs[p1] - zs[p0])
+        bx = b.let(f"bx{t}", xs[p2] - xs[p0])
+        by = b.let(f"by{t}", ys[p2] - ys[p0])
+        bz = b.let(f"bz{t}", zs[p2] - zs[p0])
+        cx = b.let(f"ccx{t}", xs[p3] - xs[p0])
+        cy = b.let(f"ccy{t}", ys[p3] - ys[p0])
+        cz = b.let(f"ccz{t}", zs[p3] - zs[p0])
+        crx = b.let(f"crx{t}", ay * bz - az * by)
+        cry = b.let(f"cry{t}", az * bx - ax * bz)
+        crz = b.let(f"crz{t}", ax * by - ay * bx)
+        vols.append(b.let(f"tv{t}", crx * cx + cry * cy + crz * cz))
+    v01 = b.let("v01", vols[0] + vols[1])
+    v23 = b.let("v23", vols[2] + vols[3])
+    v45 = b.let("v45", vols[4] + vols[5])
+    vzone = b.let("vzone", v01 + v23 + v45)
+    # characteristic lengths per direction
+    lx = b.let("lx", fabs(xs[1] - xs[0]) + fabs(xs[3] - xs[2]) + 0.01)
+    ly = b.let("ly", fabs(ys[2] - ys[0]) + fabs(ys[3] - ys[1]) + 0.01)
+    lz = b.let("lz", fabs(zs[4] - zs[0]) + fabs(zs[5] - zs[1]) + 0.01)
+    rho = b.let("rho", den[i] + 0.05)
+    b.store(dcz, i, fabs(vzone) / (lx * ly * lz * rho))
+    b.store(dtz, i, sqrt(lx * lx + ly * ly + lz * lz) * rho / (fabs(vzone) + 0.01))
+    return b.build()
+
+
+register(
+    KernelSpec(
+        name="irs-5",
+        app="irs",
+        source="DiffCoeff.c, DiffCoeff_3D, line 317",
+        pct_time=1.5,
+        category="amenable",
+        build=_build_irs5,
+        trip=96,
+        specs={
+            "xz": ArraySpec(F64, extra=_KP + _JP + 4),
+            "yz": ArraySpec(F64, extra=_KP + _JP + 4),
+            "zz": ArraySpec(F64, extra=_KP + _JP + 4),
+        },
+        notes="zone volumes via six tetrahedral triple products",
+    )
+)

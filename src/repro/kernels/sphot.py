@@ -1,0 +1,137 @@
+"""sphot kernels (Table I rows 17-18): Monte Carlo photon transport.
+
+Randomness is an explicit linear-congruential generator *in the IR*
+(integer multiply/mask chains), as in the Fortran source — the RNG state
+is a loop-carried integer, and the physics consuming each random number
+is independent arithmetic, which is what gives sphot-1 its speedup
+despite having only 5 fibers.
+
+* sphot-1 — source-particle initialisation (position + direction from
+  two RNG draws);
+* sphot-2 — one tracking step: distance to collision (log of a random
+  number), distance to boundary, the branch between collision and
+  boundary crossing, energy deposition and flux tallies.
+"""
+
+from __future__ import annotations
+
+from ..ir import F64, I64, LoopBuilder, cos, exp, fabs, log, sin, sqrt
+from ..ir.nodes import fmax, fmin
+from ..workload import ArraySpec
+from .base import KernelSpec, register
+
+#: LCG constants (numerical recipes ranqd1-style, 32-bit wrap by mask)
+_A, _C, _M = 1664525, 1013904223, (1 << 32)
+_INV = 1.0 / float(1 << 32)
+
+
+def _build_sphot1():
+    b = LoopBuilder("sphot-1", trip="n", source="execute.f, execute, line 88")
+    i = b.index
+    dxsrc = b.param("dxsrc", F64)
+    twopi = b.param("twopi", F64)
+    xsrc = b.array("xsrc", F64, miss_rate=0.05)
+    musrc = b.array("musrc", F64, miss_rate=0.05)
+    phisrc = b.array("phisrc", F64, miss_rate=0.05)
+    seed = b.accumulator("seed", I64)
+
+    s1 = b.let("s1", (seed * _A + _C) % _M)
+    s2 = b.let("s2", (s1 * _A + _C) % _M)
+    b.set(seed, s2)
+    r1 = b.let("r1", (s1 + 0) * _INV)
+    r2 = b.let("r2", (s2 + 0) * _INV)
+    b.store(xsrc, i, r1 * dxsrc)
+    b.store(musrc, i, 2.0 * r2 - 1.0)
+    b.store(phisrc, i, sin(twopi * r1) * cos(twopi * r2))
+    return b.build()
+
+
+register(
+    KernelSpec(
+        name="sphot-1",
+        app="sphot",
+        source="execute.f, execute, line 88",
+        pct_time=0.6,
+        category="amenable",
+        build=_build_sphot1,
+        scalars={"seed": 12345, "dxsrc": 2.0, "twopi": 6.283185307179586},
+        notes="source-particle initialisation: LCG + direction sampling",
+    )
+)
+
+
+def _build_sphot2():
+    b = LoopBuilder("sphot-2", trip="n", source="execute.f, execute, line 300")
+    i = b.index
+    dcell = b.param("dcell", F64)
+    wlow = b.param("wlow", F64)
+    xs = b.array("xpos", F64, miss_rate=0.08)
+    mus = b.array("mus", F64, miss_rate=0.08)
+    wts = b.array("wts", F64, miss_rate=0.08)
+    sig_t = b.array("sig_t", F64, miss_rate=0.06)
+    sig_s = b.array("sig_s", F64, miss_rate=0.06)
+    cell = b.array("cell", I64, miss_rate=0.06)
+    tal_c = b.array("tal_c", F64, miss_rate=0.08)
+    tal_b = b.array("tal_b", F64, miss_rate=0.08)
+    newx = b.array("newx", F64, miss_rate=0.08)
+    neww = b.array("neww", F64, miss_rate=0.08)
+    seed = b.accumulator("seed", I64)
+
+    # two RNG draws for this step
+    s1 = b.let("s1", (seed * _A + _C) % _M)
+    s2 = b.let("s2", (s1 * _A + _C) % _M)
+    b.set(seed, s2)
+    r1 = b.let("r1", fmax((s1 + 0) * _INV, 1e-12))
+    r2 = b.let("r2", (s2 + 0) * _INV)
+
+    zc = b.let("zc", cell[i])
+    st = b.let("st", sig_t[zc] + 0.05)
+    ss = b.let("ss", sig_s[zc])
+    # distance to collision and to the cell boundary
+    dcol = b.let("dcol", -log(r1) / st)
+    mu = b.let("mu", mus[i])
+    absmu = b.let("absmu", fabs(mu) + 1e-3)
+    dbnd = b.let("dbnd", dcell / absmu)
+    # attenuation and scattering physics (independent of the branch test)
+    att = b.let("att", exp(-st * fmin(dcol, dbnd)))
+    wexit = b.let("wexit", wts[i] * att)
+    scat_mu = b.let("scat_mu", 2.0 * r2 - 1.0)
+    ratio = b.let("ratio", ss / st)
+    dep = b.let("dep", wts[i] * (1.0 - att) * (1.0 - ratio))
+    collide = b.let("collide", dcol < dbnd)
+    # the recurring "*ptrVar = CND ? f() : g()" pattern of §III-H: both
+    # arms tally into the same zone slot and write the same particle
+    # state, with arm-specific values.
+    with b.if_(collide) as br:
+        b.store(tal_c, zc, tal_c[zc] + dep)
+        b.store(newx, i, xs[i] + mu * dcol)
+        b.store(neww, i, fmax(wexit * ratio, wlow))
+    with br.otherwise():
+        b.store(tal_c, zc, tal_c[zc] + dep * 0.25)
+        b.store(newx, i, xs[i] + mu * dbnd)
+        b.store(neww, i, wexit)
+    b.store(tal_b, zc, tal_b[zc] + dep * 0.5)
+    # post-step diagnostics: more independent arithmetic
+    spread = b.let("spread", sqrt(fabs(scat_mu) + 0.01) * (1.0 + ratio))
+    b.store(mus, i, fmin(fmax(scat_mu * spread, -1.0), 1.0))
+    return b.build()
+
+
+register(
+    KernelSpec(
+        name="sphot-2",
+        app="sphot",
+        source="execute.f, execute, line 300",
+        pct_time=37.5,
+        category="amenable",
+        build=_build_sphot2,
+        scalars={"seed": 987654321, "dcell": 0.5, "wlow": 1e-6},
+        specs={
+            "mus": ArraySpec(F64, low=-1.0, high=1.0),
+            "wts": ArraySpec(F64, low=0.1, high=1.0),
+            "sig_t": ArraySpec(F64, low=0.2, high=2.0),
+            "sig_s": ArraySpec(F64, low=0.05, high=0.18),
+        },
+        notes="MC tracking step: collision/boundary branch + tallies",
+    )
+)

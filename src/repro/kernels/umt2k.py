@@ -1,0 +1,256 @@
+"""umt2k kernels (Table I rows 11-16): Sn photon-transport sweep
+(``snswp3d.f90``).
+
+The sweep updates angular fluxes zone by zone: incoming face fluxes are
+combined with the source and attenuated by the total cross section.
+
+* umt2k-1 — small incoming-flux preparation (11 fibers);
+* umt2k-2/3 — sign-classified flux reductions *inside* conditionals:
+  the paper's pathological load-balance cases (ratios 87.5 / 55.0,
+  speedups 1.01 / 1.25) — nearly all work is a guarded serial reduction;
+* umt2k-4 — the main angular-flux update (22.6% of app time);
+* umt2k-5 — small dense face-flux extrapolation;
+* umt2k-6 — chained data-dependent conditionals with tiny blocks: the
+  one kernel the paper reports *slowing down* (0.90) because there is
+  no independent work between the conditionals.
+"""
+
+from __future__ import annotations
+
+from ..ir import F64, I64, LoopBuilder, fabs
+from ..ir.nodes import fmax
+from ..workload import ArraySpec
+from .base import KernelSpec, register
+
+
+def _build_umt2k1():
+    b = LoopBuilder("umt2k-1", trip="n", source="snswp3d.f90, snswp3d, line 96")
+    i = b.index
+    mu = b.param("mu", F64)
+    eta = b.param("eta", F64)
+    xi_ = b.param("xi", F64)
+    psifp = b.array("psifp", F64, miss_rate=0.08)
+    psiep = b.array("psiep", F64, miss_rate=0.08)
+    psibp = b.array("psibp", F64, miss_rate=0.08)
+    afp = b.array("afp", F64, miss_rate=0.06)
+
+    a = b.let("a", mu * psifp[i])
+    c = b.let("c", eta * psiep[i])
+    d = b.let("d", xi_ * psibp[i])
+    b.store(afp, i, a + c + d)
+    return b.build()
+
+
+register(
+    KernelSpec(
+        name="umt2k-1",
+        app="umt2k",
+        source="snswp3d.f90, snswp3d, line 96",
+        pct_time=5.5,
+        category="amenable",
+        build=_build_umt2k1,
+        scalars={"mu": 0.57, "eta": 0.34, "xi": 0.75},
+        notes="incoming angular-flux preparation",
+    )
+)
+
+
+def _build_umt2k2():
+    b = LoopBuilder("umt2k-2", trip="n", source="snswp3d.f90, snswp3d, line 117")
+    i = b.index
+    w = b.param("w", F64)
+    af = b.array("af", F64, miss_rate=0.08)
+    sumneg = b.accumulator("sumneg", F64)
+    sumpos = b.accumulator("sumpos", F64)
+
+    v = b.let("v", af[i] * w)
+    with b.if_(v < 0.0) as br:
+        b.set(sumneg, sumneg + v)
+    with br.otherwise():
+        b.set(sumpos, sumpos + v)
+    return b.build()
+
+
+register(
+    KernelSpec(
+        name="umt2k-2",
+        app="umt2k",
+        source="snswp3d.f90, snswp3d, line 117",
+        pct_time=8.0,
+        category="amenable",
+        build=_build_umt2k2,
+        scalars={"w": 0.8, "sumneg": 0.0, "sumpos": 0.0},
+        specs={"af": ArraySpec(F64, low=-1.0, high=1.0)},
+        notes="guarded sign-split reductions; paper load balance 87.5",
+    )
+)
+
+
+def _build_umt2k3():
+    b = LoopBuilder("umt2k-3", trip="n", source="snswp3d.f90, snswp3d, line 145")
+    i = b.index
+    w = b.param("w", F64)
+    tol = b.param("tol", F64)
+    af = b.array("af", F64, miss_rate=0.08)
+    fixup = b.accumulator("fixup", F64)
+    total = b.accumulator("total", F64)
+    nneg = b.accumulator("nneg", I64)
+
+    v = b.let("v", af[i] * w)
+    b.set(total, total + v)
+    with b.if_(v < tol):
+        b.set(fixup, fixup + (tol - v))
+        b.set(nneg, nneg + 1)
+    return b.build()
+
+
+register(
+    KernelSpec(
+        name="umt2k-3",
+        app="umt2k",
+        source="snswp3d.f90, snswp3d, line 145",
+        pct_time=5.2,
+        category="amenable",
+        build=_build_umt2k3,
+        scalars={"w": 0.8, "tol": 0.0, "fixup": 0.0, "total": 0.0, "nneg": 0},
+        specs={"af": ArraySpec(F64, low=-1.0, high=1.0)},
+        notes="negative-flux fixup reductions; paper load balance 55.0",
+    )
+)
+
+
+def _build_umt2k4():
+    b = LoopBuilder("umt2k-4", trip="n", source="snswp3d.f90, snswp3d, line 158")
+    i = b.index
+    mu = b.param("mu", F64)
+    eta = b.param("eta", F64)
+    xi_ = b.param("xi", F64)
+    qext = b.param("qext", F64)
+    afp = b.array("afp", F64, miss_rate=0.08)
+    afe = b.array("afe", F64, miss_rate=0.08)
+    afb = b.array("afb", F64, miss_rate=0.08)
+    sigt = b.array("sigt", F64, miss_rate=0.06)
+    vol = b.array("vol", F64, miss_rate=0.06)
+    qsrc = b.array("qsrc", F64, miss_rate=0.06)
+    psi = b.array("psi", F64, miss_rate=0.06)
+    psif = b.array("psif", F64, miss_rate=0.06)
+    psie = b.array("psie", F64, miss_rate=0.06)
+    psib = b.array("psib", F64, miss_rate=0.06)
+
+    area_f = b.array("area_f", F64, miss_rate=0.06)
+    area_e = b.array("area_e", F64, miss_rate=0.06)
+    area_b = b.array("area_b", F64, miss_rate=0.06)
+
+    sigv = b.let("sigv", sigt[i] * vol[i])
+    qq = b.let("qq", (qsrc[i] + qext) * vol[i])
+    # per-face incoming contributions: direction cosine * face area *
+    # incoming angular flux (each face an independent product chain)
+    cf = b.let("cf", mu * area_f[i])
+    ce = b.let("ce", eta * area_e[i])
+    cb = b.let("cb", xi_ * area_b[i])
+    numf = b.let("numf", cf * afp[i])
+    nume = b.let("nume", ce * afe[i])
+    numb = b.let("numb", xi_ * area_b[i] * afb[i])
+    denom = b.let("denom", sigv + cf + ce + cb)
+    pz = b.let("pz", (qq + 2.0 * (numf + nume + numb)) / denom)
+    b.store(psi, i, pz)
+    # outgoing face fluxes by the diamond-difference closure
+    b.store(psif, i, 2.0 * pz - afp[i])
+    b.store(psie, i, 2.0 * pz - afe[i])
+    b.store(psib, i, 2.0 * pz - afb[i])
+    return b.build()
+
+
+register(
+    KernelSpec(
+        name="umt2k-4",
+        app="umt2k",
+        source="snswp3d.f90, snswp3d, line 158",
+        pct_time=22.6,
+        category="amenable",
+        build=_build_umt2k4,
+        scalars={"mu": 0.57, "eta": 0.34, "xi": 0.75, "qext": 0.2},
+        notes="main angular-flux update (diamond difference)",
+    )
+)
+
+
+def _build_umt2k5():
+    b = LoopBuilder("umt2k-5", trip="n", source="snswp3d.f90, snswp3d, line 178")
+    i = b.index
+    theta = b.param("theta", F64)
+    psif = b.array("psif", F64, miss_rate=0.08)
+    psie = b.array("psie", F64, miss_rate=0.08)
+    phi = b.array("phi", F64, miss_rate=0.06)
+
+    # dense extrapolation: few fibers (9), many deps (28)
+    t1 = b.let("t1", psif[i] * theta + psie[i] * (1.0 - theta))
+    t2 = b.let("t2", t1 * t1 * 0.5 + t1)
+    t3 = b.let("t3", (t2 - t1) * (t2 + t1))
+    t4 = b.let("t4", t3 / (fabs(t2) + 1.0))
+    b.store(phi, i, t4 + t2 * 0.25)
+    return b.build()
+
+
+register(
+    KernelSpec(
+        name="umt2k-5",
+        app="umt2k",
+        source="snswp3d.f90, snswp3d, line 178",
+        pct_time=1.0,
+        category="amenable",
+        build=_build_umt2k5,
+        scalars={"theta": 0.6},
+        notes="face-flux extrapolation; dense dependence structure",
+    )
+)
+
+
+def _build_umt2k6():
+    b = LoopBuilder("umt2k-6", trip="n", source="snswp3d.f90, snswp3d, line 208")
+    i = b.index
+    floor_ = b.param("fluxfloor", F64)
+    psif = b.array("psif", F64, miss_rate=0.08)
+    psie = b.array("psie", F64, miss_rate=0.08)
+    psib = b.array("psib", F64, miss_rate=0.08)
+    outf = b.array("outf", F64, miss_rate=0.06)
+
+    # chained data-dependent fixups: each conditional consumes the value
+    # the previous one produced — almost no independent work (the paper's
+    # only slowdown kernel).
+    v1 = b.let("v1", psif[i])
+    with b.if_(v1 < floor_) as br1:
+        w1 = b.let("w1", floor_ - v1)
+    with br1.otherwise():
+        w1 = b.let("w1", v1)
+    v2 = b.let("v2", w1 + psie[i] * 0.125)
+    with b.if_(v2 < floor_) as br2:
+        w2 = b.let("w2", floor_ + v2 * 0.5)
+    with br2.otherwise():
+        w2 = b.let("w2", v2)
+    v3 = b.let("v3", w2 + psib[i] * 0.125)
+    with b.if_(v3 < floor_) as br3:
+        w3 = b.let("w3", floor_)
+    with br3.otherwise():
+        w3 = b.let("w3", v3)
+    b.store(outf, i, w3)
+    return b.build()
+
+
+register(
+    KernelSpec(
+        name="umt2k-6",
+        app="umt2k",
+        source="snswp3d.f90, snswp3d, line 208",
+        pct_time=5.7,
+        category="amenable",
+        build=_build_umt2k6,
+        scalars={"fluxfloor": 0.5},
+        specs={
+            "psif": ArraySpec(F64, low=-0.5, high=1.5),
+            "psie": ArraySpec(F64, low=-1.0, high=1.0),
+            "psib": ArraySpec(F64, low=-1.0, high=1.0),
+        },
+        notes="serial chained conditionals; expected slowdown",
+    )
+)

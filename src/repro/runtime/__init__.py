@@ -1,0 +1,13 @@
+"""Runtime: binds a lowered kernel to a machine and runs it (§III-G).
+
+The thread-management protocol itself (driver loops, function-pointer
+dispatch, argument transfer, completion barrier) is *generated code* —
+see :mod:`repro.isa.lower`.  This package provides the host-side glue:
+loading workload data into shared memory, preloading the primary core's
+registers (the enclosing application context), and launching the
+machine.
+"""
+
+from .exec import execute_kernel, compile_loop
+
+__all__ = ["compile_loop", "execute_kernel"]

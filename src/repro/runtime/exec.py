@@ -1,0 +1,51 @@
+"""Compile-and-run helpers: the shortest path from a Loop to a SimResult."""
+
+from __future__ import annotations
+
+from ..compiler.config import CompilerConfig
+from ..compiler.pipeline import ParallelPlan, parallelize
+from ..ir.stmts import Loop
+from ..isa.lower import LoweredKernel, lower_plan
+from ..sim.machine import Machine, MachineParams, SimResult
+from ..sim.memory import SharedMemory
+from ..workload import Workload
+
+
+def compile_loop(
+    loop: Loop,
+    n_cores: int,
+    config: CompilerConfig | None = None,
+) -> LoweredKernel:
+    """Run the full compiler pipeline and lower to machine programs."""
+    plan = parallelize(loop, n_cores, config)
+    return lower_plan(plan)
+
+
+def execute_kernel(
+    kernel: LoweredKernel,
+    workload: Workload,
+    params: MachineParams | None = None,
+    detect_races: bool = False,
+    trace: bool = False,
+) -> SimResult:
+    """Run a lowered kernel on (a copy of) ``workload``.
+
+    The primary core's registers are preloaded with all scalar
+    parameters — it plays the role of the original function's context;
+    secondary cores receive what they need through the §III-G argument
+    transfer encoded in their programs.
+    """
+    loop = kernel.plan.loop
+    workload.validate_for(loop)
+    memory = SharedMemory({k: v.copy() for k, v in workload.arrays.items()})
+    preload: dict[int, dict[str, float | int]] = {0: {}}
+    for p in loop.params:
+        v = workload.scalars[p.name]
+        preload[0][p.name] = float(v) if p.dtype.is_float else int(v)
+    machine = Machine(
+        kernel.programs, memory, params,
+        preload_regs=preload, detect_races=detect_races, trace=trace,
+    )
+    result = machine.run(live_out=loop.live_out, primary=0)
+    result.trace = machine.trace_recorder
+    return result

@@ -1,0 +1,28 @@
+"""Cycle-level multi-core simulator with hardware queues (paper §II/§V).
+
+Substitution for the Mambo BG/Q simulator: deterministic in-order cores,
+per-core LRU caches, shared functional memory, and the paper's
+enqueue/dequeue instructions with parameterised queue depth and transfer
+latency.
+"""
+
+from .core import Core, CoreStats, SimError
+from .machine import (
+    BudgetExceeded,
+    DeadlockError,
+    Machine,
+    MachineParams,
+    QueueStat,
+    SimResult,
+)
+from .memory import CoreCache, MemoryFault, SharedMemory
+from .queues import HwQueue
+from .race import Race, RaceDetector
+from .trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "BudgetExceeded", "Core", "CoreCache", "CoreStats", "DeadlockError",
+    "HwQueue", "Machine", "MachineParams", "MemoryFault", "QueueStat",
+    "Race", "RaceDetector", "SharedMemory", "SimError", "SimResult",
+    "TraceEvent", "TraceRecorder",
+]

@@ -1,0 +1,207 @@
+"""Multi-core machine: conservative dataflow replay of all cores.
+
+Cores interact only through single-producer/single-consumer hardware
+queues, so each core can be *processed* far ahead of the others while
+simulated timestamps remain exact: every queue records enqueue-ready
+and dequeue-completion times, and a core that needs an event that has
+not been processed yet is suspended and resumed later (its stall time
+is computed from timestamps, not from processing order).
+
+Deadlock (all unfinished cores waiting on queue events that will never
+be produced) is detected and reported with full queue diagnostics —
+this is the runtime manifestation of a compiler failure to statically
+pair senders and receivers (§III-I), or of an undersized queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.cost import LatencyTable, default_latencies
+from ..isa.instructions import QueueId
+from ..isa.program import Program
+from .core import Core, CoreStats, SimError
+from .memory import CoreCache, SharedMemory
+from .queues import HwQueue
+
+
+class DeadlockError(RuntimeError):
+    pass
+
+
+class BudgetExceeded(RuntimeError):
+    pass
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Hardware configuration (paper §V defaults: 20-slot queues,
+    5-cycle transfer latency)."""
+
+    queue_depth: int = 20
+    queue_latency: int = 5
+    latencies: LatencyTable = field(default_factory=default_latencies)
+    cache_lines: int = 1024
+    line_elems: int = 8
+    #: total instruction budget across cores (runaway watchdog).
+    max_instrs: int = 500_000_000
+    #: instructions per scheduling slice.
+    slice_budget: int = 100_000
+
+
+@dataclass
+class QueueStat:
+    qid: QueueId
+    n_transfers: int
+    max_outstanding: int
+
+
+@dataclass
+class SimResult:
+    """Outcome of one machine run."""
+
+    cycles: float                   # makespan (max core finish time)
+    core_times: list[float]
+    core_stats: list[CoreStats]
+    arrays: dict[str, np.ndarray]
+    scalars: dict[str, float | int]  # primary-core live-out registers
+    queue_stats: list[QueueStat]
+    total_instrs: int
+    #: races found by the (optional) happens-before detector
+    races: list = field(default_factory=list)
+    #: TraceRecorder when tracing was enabled (set by the runtime)
+    trace: object | None = None
+
+    @property
+    def total_queue_stall(self) -> float:
+        return sum(s.queue_stall for s in self.core_stats)
+
+
+class Machine:
+    def __init__(
+        self,
+        programs: list[Program],
+        memory: SharedMemory,
+        params: MachineParams | None = None,
+        preload_regs: dict[int, dict[str, float | int]] | None = None,
+        detect_races: bool = False,
+        trace: bool = False,
+    ) -> None:
+        self.params = params or MachineParams()
+        self.memory = memory
+        self.queues: dict[QueueId, HwQueue] = {}
+        self.race_detector = None
+        if detect_races:
+            from .race import RaceDetector
+
+            self.race_detector = RaceDetector(n_cores=len(programs))
+        self.trace_recorder = None
+        if trace:
+            from .trace import TraceRecorder
+
+            self.trace_recorder = TraceRecorder()
+        self.cores = [
+            Core(
+                cid=i,
+                program=prog,
+                lat=self.params.latencies,
+                cache=CoreCache(self.params.cache_lines, self.params.line_elems),
+                memory=memory,
+                queues=self._queue,
+            )
+            for i, prog in enumerate(programs)
+        ]
+        for cid, regs in (preload_regs or {}).items():
+            self.cores[cid].regs.update(regs)
+        if self.race_detector is not None:
+            for core in self.cores:
+                core.race = self.race_detector
+        if self.trace_recorder is not None:
+            for core in self.cores:
+                core.trace = self.trace_recorder
+
+    def _queue(self, qid: QueueId) -> HwQueue:
+        q = self.queues.get(qid)
+        if q is None:
+            q = HwQueue(
+                qid=qid,
+                depth=self.params.queue_depth,
+                transfer_latency=self.params.queue_latency,
+            )
+            self.queues[qid] = q
+        return q
+
+    def run(self, live_out: list[str] | None = None, primary: int = 0) -> SimResult:
+        total = 0
+        budget = self.params.slice_budget
+        while True:
+            progressed = False
+            for core in self.cores:
+                if core.halted or not core.unblocked():
+                    continue
+                total += core.run_slice(budget)
+                progressed = True
+                if total > self.params.max_instrs:
+                    raise BudgetExceeded(
+                        f"instruction budget exceeded ({total} instrs)"
+                    )
+            if all(c.halted for c in self.cores):
+                break
+            if not progressed:
+                raise DeadlockError(self._deadlock_report())
+
+        self._check_drained()
+        scalars = {}
+        for name in live_out or []:
+            if name in self.cores[primary].regs:
+                scalars[name] = self.cores[primary].regs[name]
+        return SimResult(
+            cycles=max(c.time for c in self.cores),
+            core_times=[c.time for c in self.cores],
+            core_stats=[c.stats for c in self.cores],
+            arrays=self.memory.arrays,
+            scalars=scalars,
+            queue_stats=[
+                QueueStat(q.qid, q.n_deq, q.max_outstanding)
+                for q in sorted(
+                    self.queues.values(),
+                    key=lambda q: (q.qid.src, q.qid.dst, q.qid.vclass.value),
+                )
+            ],
+            total_instrs=total,
+            races=list(self.race_detector.races)
+            if self.race_detector is not None
+            else [],
+        )
+
+    def _check_drained(self) -> None:
+        leftovers = [q for q in self.queues.values() if q.outstanding]
+        if leftovers:
+            detail = ", ".join(
+                f"{q.qid!r}:{q.outstanding} left" for q in leftovers
+            )
+            raise SimError(f"unbalanced communication at halt: {detail}")
+
+    def _deadlock_report(self) -> str:
+        lines = ["deadlock: no core can make progress"]
+        for core in self.cores:
+            if core.halted:
+                lines.append(f"  core {core.cid}: halted @ {core.time:.0f}")
+                continue
+            b = core.blocked
+            fn = core.program.functions[core.fn]
+            where = f"{fn.name}:{core.pc} {fn.instrs[core.pc]!r}"
+            if b is None:
+                lines.append(f"  core {core.cid}: runnable?! at {where}")
+            else:
+                lines.append(
+                    f"  core {core.cid}: waiting {b.kind}#{b.index} of "
+                    f"{b.queue.qid!r} since {b.since:.0f} at {where}"
+                )
+        for q in self.queues.values():
+            lines.append(
+                f"  {q.qid!r}: enq={q.n_enq} deq={q.n_deq} depth={q.depth}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Shared functional memory + per-core cache timing model.
+
+Functionally, memory is the workload's NumPy arrays, shared by all
+cores (the paper's cores share memory through L2; the queues carry only
+register values, §II).
+
+For timing, each core has a private LRU cache of ``cache_lines`` lines
+of ``line_elems`` consecutive elements; a hit costs ``load_hit`` and a
+miss ``load_miss`` cycles.  This is the substitution for Mambo's cache
+hierarchy: it preserves the property the evaluation depends on — loads
+have a bimodal cost with spatial/temporal locality — while staying
+deterministic and independent of cross-core interleaving (so sequential
+and parallel runs of the same kernel see comparable memory behaviour).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.cost import LatencyTable
+
+
+class MemoryFault(RuntimeError):
+    """Out-of-bounds access (address and array recorded)."""
+
+
+@dataclass
+class SharedMemory:
+    """Functional storage: name -> NumPy buffer (mutated in place)."""
+
+    arrays: dict[str, np.ndarray]
+    is_float: dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, buf in self.arrays.items():
+            self.is_float[name] = buf.dtype == np.float64
+
+    def load(self, name: str, idx: int):
+        buf = self.arrays[name]
+        if not 0 <= idx < len(buf):
+            raise MemoryFault(f"load {name}[{idx}] out of bounds (len {len(buf)})")
+        v = buf[idx]
+        return float(v) if self.is_float[name] else int(v)
+
+    def store(self, name: str, idx: int, value) -> None:
+        buf = self.arrays[name]
+        if not 0 <= idx < len(buf):
+            raise MemoryFault(f"store {name}[{idx}] out of bounds (len {len(buf)})")
+        buf[idx] = value
+
+
+class CoreCache:
+    """Per-core LRU line cache (timing only)."""
+
+    __slots__ = ("lines", "capacity", "shift", "hits", "misses")
+
+    def __init__(self, cache_lines: int, line_elems: int):
+        self.lines: OrderedDict = OrderedDict()
+        self.capacity = cache_lines
+        self.shift = max(0, line_elems - 1).bit_length()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, name: str, idx: int, lat: LatencyTable) -> int:
+        key = (name, idx >> self.shift)
+        lines = self.lines
+        if key in lines:
+            lines.move_to_end(key)
+            self.hits += 1
+            return lat.load_hit
+        self.misses += 1
+        lines[key] = True
+        if len(lines) > self.capacity:
+            lines.popitem(last=False)
+        return lat.load_miss
+
+    def touch(self, name: str, idx: int) -> None:
+        """Allocate on store (write-allocate), no timing decision."""
+        key = (name, idx >> self.shift)
+        lines = self.lines
+        if key in lines:
+            lines.move_to_end(key)
+        else:
+            lines[key] = True
+            if len(lines) > self.capacity:
+                lines.popitem(last=False)

@@ -1,0 +1,91 @@
+"""Hardware core-to-core queues (paper §II, Fig 3, Fig 11).
+
+Timing semantics reproduced exactly:
+
+* an ``enqueue`` completing at time ``T_A`` makes its value *accessible*
+  to the consumer at ``T_A + transfer_latency`` (Fig 11);
+* a ``dequeue`` issued earlier stalls until that point; a dequeue issued
+  later proceeds immediately;
+* the queue holds at most ``depth`` values; the ``m``-th enqueue cannot
+  complete before the ``(m - depth)``-th dequeue has freed a slot;
+* FIFO order, single producer, single consumer (one queue per ordered
+  core pair and value class).
+
+The simulator processes cores as independent timelines (conservative
+dataflow replay), so the queue records the full enqueue/dequeue history
+with timestamps; "not yet processed" and "stalls in simulated time" are
+distinct notions (see :mod:`repro.sim.machine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instructions import QueueId
+
+
+@dataclass
+class HwQueue:
+    qid: QueueId
+    depth: int
+    transfer_latency: int
+
+    values: list = field(default_factory=list)        # by entry index
+    ready_times: list = field(default_factory=list)   # enq completion + latency
+    deq_times: list = field(default_factory=list)     # dequeue completion times
+    n_enq: int = 0
+    n_deq: int = 0
+    max_outstanding: int = 0
+
+    # -- producer side ---------------------------------------------------
+    def slot_blocker(self) -> int | None:
+        """Index of the dequeue that must be *processed* before the next
+        enqueue can be admitted, or None if a slot is free."""
+        m = self.n_enq
+        if m - self.depth >= self.n_deq:
+            return m - self.depth
+        return None
+
+    def slot_free_time(self) -> float:
+        """Simulated time at which the next enqueue finds a free slot
+        (0 if the queue never filled)."""
+        m = self.n_enq
+        if m - self.depth >= 0:
+            return self.deq_times[m - self.depth]
+        return 0.0
+
+    def push(self, value, ready_time: float) -> None:
+        assert self.slot_blocker() is None, "push on full queue"
+        self.values.append(value)
+        self.ready_times.append(ready_time)
+        self.n_enq += 1
+        self.max_outstanding = max(self.max_outstanding, self.n_enq - self.n_deq)
+
+    # -- consumer side ---------------------------------------------------
+    def entry_blocker(self) -> int | None:
+        """Index of the enqueue that must be processed before the next
+        dequeue can proceed, or None if an entry is available."""
+        if self.n_deq >= self.n_enq:
+            return self.n_deq
+        return None
+
+    def head_ready_time(self) -> float:
+        return self.ready_times[self.n_deq]
+
+    def pop(self, deq_completion: float):
+        assert self.entry_blocker() is None, "pop on empty queue"
+        v = self.values[self.n_deq]
+        self.deq_times.append(deq_completion)
+        self.n_deq += 1
+        return v
+
+    # -- end-of-run checks ------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        return self.n_enq - self.n_deq
+
+    def __repr__(self) -> str:
+        return (
+            f"HwQueue({self.qid!r}, enq={self.n_enq}, deq={self.n_deq}, "
+            f"depth={self.depth})"
+        )

@@ -1,0 +1,134 @@
+"""Happens-before race detector for simulated executions.
+
+The compiler must order every pair of conflicting memory accesses
+through the queues (§III-D memory-ordering tokens) or keep them on one
+core.  This module *verifies* that property dynamically: cores carry
+vector clocks, queue transfers propagate them (a dequeue joins the
+enqueueing core's clock at the time of the enqueue), and every memory
+access is checked against the last conflicting accesses of other cores.
+
+A reported race means the compiler emitted code whose result depends on
+cross-core timing — a miscompile even if this particular run produced
+the right answer.  Used by the test suite as a *failure-injection*
+oracle (removing mem edges must produce detectable races) and as an
+extra invariant over the kernel suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instructions import QueueId
+
+
+@dataclass(frozen=True)
+class Race:
+    array: str
+    index: int
+    first_core: int
+    first_kind: str   # 'load' | 'store'
+    second_core: int
+    second_kind: str
+
+    def __str__(self) -> str:
+        return (
+            f"race on {self.array}[{self.index}]: "
+            f"core {self.first_core} {self.first_kind} vs "
+            f"core {self.second_core} {self.second_kind} (unordered)"
+        )
+
+
+class VectorClock:
+    __slots__ = ("t",)
+
+    def __init__(self, n: int):
+        self.t = [0] * n
+
+    def tick(self, cid: int) -> None:
+        self.t[cid] += 1
+
+    def join(self, other: list[int]) -> None:
+        self.t = [max(a, b) for a, b in zip(self.t, other)]
+
+    def snapshot(self) -> list[int]:
+        return list(self.t)
+
+    def happens_before(self, other: list[int]) -> bool:
+        """self ≤ other componentwise (self is in other's past)."""
+        return all(a <= b for a, b in zip(self.t, other))
+
+
+@dataclass
+class _Access:
+    clock: list[int]
+    core: int
+
+
+@dataclass
+class RaceDetector:
+    """Attach to a :class:`~repro.sim.machine.Machine` before running.
+
+    The machine calls :meth:`on_load` / :meth:`on_store` /
+    :meth:`on_enq` / :meth:`on_deq`; races accumulate in
+    :attr:`races` (deduplicated per (array, kinds, cores) signature).
+    """
+
+    n_cores: int
+    clocks: list[VectorClock] = field(init=False)
+    races: list[Race] = field(default_factory=list)
+    _last_store: dict = field(default_factory=dict)   # (arr, idx) -> _Access
+    _last_loads: dict = field(default_factory=dict)   # (arr, idx) -> list[_Access]
+    _msg_clock: dict = field(default_factory=dict)    # (queue, entry#) -> clock
+    _seen: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.clocks = [VectorClock(self.n_cores) for _ in range(self.n_cores)]
+
+    # -- queue events ---------------------------------------------------
+    def on_enq(self, cid: int, qid: QueueId, entry: int) -> None:
+        self.clocks[cid].tick(cid)
+        self._msg_clock[(qid, entry)] = self.clocks[cid].snapshot()
+
+    def on_deq(self, cid: int, qid: QueueId, entry: int) -> None:
+        self.clocks[cid].tick(cid)
+        sent = self._msg_clock.pop((qid, entry), None)
+        if sent is not None:
+            self.clocks[cid].join(sent)
+
+    # -- memory events --------------------------------------------------
+    def _report(self, arr: str, idx: int, prev: _Access, kind_prev: str,
+                cid: int, kind_now: str) -> None:
+        sig = (arr, prev.core, kind_prev, cid, kind_now)
+        if sig in self._seen:
+            return
+        self._seen.add(sig)
+        self.races.append(
+            Race(arr, idx, prev.core, kind_prev, cid, kind_now)
+        )
+
+    def on_load(self, cid: int, arr: str, idx: int) -> None:
+        self.clocks[cid].tick(cid)
+        me = self.clocks[cid].t
+        st = self._last_store.get((arr, idx))
+        if st is not None and st.core != cid:
+            if not all(a <= b for a, b in zip(st.clock, me)):
+                self._report(arr, idx, st, "store", cid, "load")
+        self._last_loads.setdefault((arr, idx), []).append(
+            _Access(self.clocks[cid].snapshot(), cid)
+        )
+
+    def on_store(self, cid: int, arr: str, idx: int) -> None:
+        self.clocks[cid].tick(cid)
+        me = self.clocks[cid].t
+        key = (arr, idx)
+        st = self._last_store.get(key)
+        if st is not None and st.core != cid:
+            if not all(a <= b for a, b in zip(st.clock, me)):
+                self._report(arr, idx, st, "store", cid, "store")
+        for ld in self._last_loads.get(key, []):
+            if ld.core != cid and not all(
+                a <= b for a, b in zip(ld.clock, me)
+            ):
+                self._report(arr, idx, ld, "load", cid, "store")
+        self._last_store[key] = _Access(self.clocks[cid].snapshot(), cid)
+        self._last_loads[key] = []

@@ -1,0 +1,83 @@
+"""Execution tracing: per-core event timelines and ASCII rendering.
+
+Attach a :class:`TraceRecorder` to a machine (``trace=True`` on
+:func:`repro.runtime.execute_kernel` or the Machine constructor) to
+capture communication and control events with simulated timestamps,
+then render a queue-centric timeline — the visual equivalent of the
+paper's Fig 11 — or summarise where each core spent its cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instructions import QueueId
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    core: int
+    kind: str            # 'enq' | 'deq' | 'halt'
+    queue: QueueId | None = None
+    value: object = None
+    stall: float = 0.0   # cycles this event waited (readiness / slot)
+
+
+@dataclass
+class TraceRecorder:
+    events: list[TraceEvent] = field(default_factory=list)
+    max_events: int = 200_000
+
+    def record(self, **kw) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(TraceEvent(**kw))
+
+    # -- queries ---------------------------------------------------------
+    def by_core(self, core: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.core == core]
+
+    def by_queue(self, qid: QueueId) -> list[TraceEvent]:
+        return [e for e in self.events if e.queue == qid]
+
+    def total_stall(self, core: int | None = None) -> float:
+        return sum(
+            e.stall for e in self.events if core is None or e.core == core
+        )
+
+    # -- rendering ---------------------------------------------------------
+    def render_timeline(self, width: int = 72, until: float | None = None) -> str:
+        """ASCII timeline: one row per queue, '>' enqueues, '<' dequeues
+        placed proportionally to simulated time."""
+        if not self.events:
+            return "(no events)"
+        end = until if until is not None else max(e.time for e in self.events)
+        end = max(end, 1.0)
+        queues = sorted(
+            {e.queue for e in self.events if e.queue is not None},
+            key=lambda q: (q.src, q.dst, q.vclass.value),
+        )
+        lines = [f"timeline 0 .. {end:.0f} cycles"]
+        for q in queues:
+            row = ["."] * width
+            for e in self.by_queue(q):
+                pos = min(width - 1, int(e.time / end * (width - 1)))
+                mark = ">" if e.kind == "enq" else "<"
+                row[pos] = mark if row[pos] == "." else "*"
+            label = f"{q.src}->{q.dst}.{q.vclass.value:3s}"
+            lines.append(f"  {label:12s} |{''.join(row)}|")
+        lines.append("  ('>' enqueue, '<' dequeue, '*' both)")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        cores = sorted({e.core for e in self.events})
+        lines = ["trace summary:"]
+        for c in cores:
+            evs = self.by_core(c)
+            n_enq = sum(1 for e in evs if e.kind == "enq")
+            n_deq = sum(1 for e in evs if e.kind == "deq")
+            lines.append(
+                f"  core {c}: {n_enq} enq, {n_deq} deq, "
+                f"{self.total_stall(c):.0f} stall cycles"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Workloads: concrete input data for a kernel loop.
+
+A :class:`Workload` binds the loop's arrays to NumPy buffers and its
+scalar parameters (including the trip count) to values.  Both the
+reference interpreter and the machine simulator mutate a *copy* of the
+arrays, so a single workload can be reused across runs and configs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from .ir.stmts import Loop
+from .ir.types import DType
+
+
+@dataclass
+class Workload:
+    """Input binding for one kernel execution."""
+
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    scalars: dict[str, float | int] = field(default_factory=dict)
+
+    def copy(self) -> "Workload":
+        return Workload(
+            arrays={k: v.copy() for k, v in self.arrays.items()},
+            scalars=dict(self.scalars),
+        )
+
+    def trip(self, loop: Loop) -> int:
+        return int(self.scalars[loop.trip])
+
+    def validate_for(self, loop: Loop) -> None:
+        """Check the workload provides everything ``loop`` declares."""
+        for arr in loop.arrays:
+            if arr.name not in self.arrays:
+                raise KeyError(f"workload missing array {arr.name!r}")
+            buf = self.arrays[arr.name]
+            if arr.dtype.is_float and buf.dtype != np.float64:
+                raise TypeError(f"array {arr.name!r} must be float64")
+            if not arr.dtype.is_float and buf.dtype != np.int64:
+                raise TypeError(f"array {arr.name!r} must be int64")
+        for p in loop.params:
+            if p.name not in self.scalars:
+                raise KeyError(f"workload missing scalar {p.name!r}")
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Recipe for generating one input array."""
+
+    dtype: DType
+    length: int | None = None  # None -> default length
+    #: trip-relative sizing: length = trip + extra (stencil slack that
+    #: scales with the iteration count); overrides the default slack,
+    #: ignored when ``length`` is set.
+    extra: int | None = None
+    low: float = 0.1
+    high: float = 2.0
+    # for integer arrays: values drawn uniformly from [ilow, ihigh)
+    ilow: int = 0
+    ihigh: int | None = None  # None -> default length (index arrays)
+
+
+def random_workload(
+    loop: Loop,
+    trip: int,
+    seed: int = 0,
+    *,
+    length: int | None = None,
+    specs: Mapping[str, ArraySpec] | None = None,
+    scalars: Mapping[str, float | int] | None = None,
+) -> Workload:
+    """Generate a deterministic random workload for ``loop``.
+
+    ``length`` defaults to a buffer comfortably larger than the trip
+    count so stencil-style ``i+k`` accesses stay in bounds.  Integer
+    arrays default to valid index values (< default length) so indirect
+    accesses are safe.
+    """
+    rng = np.random.default_rng(seed)
+    default_len = length if length is not None else trip + 64
+    specs = dict(specs or {})
+    wl = Workload()
+    for arr in loop.arrays:
+        spec = specs.get(arr.name)
+        if spec and spec.length:
+            n = spec.length
+        elif spec and spec.extra is not None:
+            n = trip + spec.extra
+        else:
+            n = arr.length or default_len
+        if arr.dtype.is_float:
+            low = spec.low if spec else 0.1
+            high = spec.high if spec else 2.0
+            wl.arrays[arr.name] = rng.uniform(low, high, size=n).astype(np.float64)
+        else:
+            ihigh = (spec.ihigh if spec and spec.ihigh is not None else None) or default_len
+            ilow = spec.ilow if spec else 0
+            wl.arrays[arr.name] = rng.integers(ilow, ihigh, size=n, dtype=np.int64)
+    wl.scalars[loop.trip] = trip
+    for p in loop.params:
+        if p.name == loop.trip:
+            continue
+        if scalars and p.name in scalars:
+            wl.scalars[p.name] = scalars[p.name]
+        elif p.dtype.is_float:
+            wl.scalars[p.name] = float(rng.uniform(0.5, 1.5))
+        else:
+            wl.scalars[p.name] = int(rng.integers(1, 8))
+    if scalars:
+        for k, v in scalars.items():
+            wl.scalars[k] = v
+    return wl

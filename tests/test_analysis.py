@@ -1,0 +1,188 @@
+"""Unit tests for alias analysis, the cost model and reaching defs."""
+
+import pytest
+
+from repro.analysis import (
+    AffineIndex,
+    ConflictKind,
+    CostModel,
+    affine_of,
+    classify_conflict,
+    default_latencies,
+)
+from repro.analysis.reachdefs import (
+    compatible,
+    dominates_use,
+    live_at_exit,
+    reaching_defs,
+    saturate,
+)
+from repro.ir import F64, I64, ArraySym, LoopBuilder, VarRef, normalize, sqrt
+
+
+class TestAffine:
+    def i(self):
+        return VarRef("i", I64)
+
+    def test_plain_index(self):
+        assert affine_of(self.i(), "i") == AffineIndex(1, 0)
+
+    def test_constant(self):
+        from repro.ir import as_expr
+
+        assert affine_of(as_expr(7), "i") == AffineIndex(0, 7)
+
+    def test_offset_forms(self):
+        i = self.i()
+        assert affine_of(i + 3, "i") == AffineIndex(1, 3)
+        assert affine_of(3 + i, "i") == AffineIndex(1, 3)
+        assert affine_of(i - 2, "i") == AffineIndex(1, -2)
+        assert affine_of(-i, "i") == AffineIndex(-1, 0)
+
+    def test_scaled(self):
+        i = self.i()
+        assert affine_of(i * 4, "i") == AffineIndex(4, 0)
+        assert affine_of(2 * i + 5, "i") == AffineIndex(2, 5)
+
+    def test_opaque(self):
+        a = ArraySym("idx", I64)
+        assert affine_of(a[self.i()], "i") is None
+        assert affine_of(VarRef("j", I64), "i") is None
+        assert affine_of(self.i() * self.i(), "i") is None
+
+
+class TestConflicts:
+    def setup_method(self):
+        self.a = ArraySym("a", F64)
+        self.b = ArraySym("b", F64)
+        self.i = VarRef("i", I64)
+
+    def test_distinct_arrays_never_conflict(self):
+        k = classify_conflict(self.a, self.i, self.b, self.i, "i")
+        assert k is ConflictKind.NONE
+
+    def test_alias_group_conflicts(self):
+        p = ArraySym("p", F64, alias_group="g")
+        q = ArraySym("q", F64, alias_group="g")
+        assert classify_conflict(p, self.i, q, self.i, "i") is ConflictKind.BOTH
+
+    def test_same_index_same_iter(self):
+        k = classify_conflict(self.a, self.i, self.a, self.i, "i")
+        assert k is ConflictKind.SAME_ITER
+
+    def test_fixed_slot_is_both(self):
+        from repro.ir import as_expr
+
+        k = classify_conflict(self.a, as_expr(0), self.a, as_expr(0), "i")
+        assert k is ConflictKind.BOTH
+
+    def test_shifted_is_carried(self):
+        k = classify_conflict(self.a, self.i, self.a, self.i + 1, "i")
+        assert k is ConflictKind.CARRIED
+
+    def test_distinct_slots_none(self):
+        from repro.ir import as_expr
+
+        k = classify_conflict(self.a, as_expr(0), self.a, as_expr(1), "i")
+        assert k is ConflictKind.NONE
+
+    def test_incommensurate_strides_none(self):
+        k = classify_conflict(self.a, self.i * 2, self.a, self.i * 2 + 1, "i")
+        assert k is ConflictKind.NONE
+
+    def test_opaque_is_both(self):
+        idx = ArraySym("idx", I64)
+        k = classify_conflict(self.a, idx[self.i], self.a, self.i, "i")
+        assert k is ConflictKind.BOTH
+
+
+class TestCostModel:
+    def test_expected_load_latency(self):
+        lat = default_latencies()
+        assert lat.load_expected(0.0) == lat.load_hit
+        assert lat.load_expected(1.0) == lat.load_miss
+        mid = lat.load_expected(0.5)
+        assert lat.load_hit < mid < lat.load_miss
+
+    def test_float_ops_cost_more(self):
+        lat = default_latencies()
+        assert lat.binop("mul", True) >= lat.binop("mul", False)
+        assert lat.binop("div", True) > lat.binop("add", True)
+
+    def test_tree_cost_monotone(self):
+        cm = CostModel()
+        x = VarRef("x", F64)
+        small = x + 1.0
+        big = sqrt(x + 1.0) * (x - 2.0)
+        assert cm.tree_cost(big) > cm.tree_cost(small)
+
+    def test_miss_rate_override(self):
+        cm = CostModel(miss_rates={"hot": 0.5})
+        arr = ArraySym("hot", F64, miss_rate=0.01)
+        other = ArraySym("cold", F64, miss_rate=0.01)
+        assert cm.leaf_cost(arr[VarRef("i", I64)]) > cm.leaf_cost(
+            other[VarRef("i", I64)]
+        )
+
+
+class TestReachingDefs:
+    def test_compatible_chains(self):
+        assert compatible((("c", True),), (("c", True), ("d", False)))
+        assert not compatible((("c", True),), (("c", False),))
+        assert compatible((), (("c", True),))
+
+    def test_saturate_merges_siblings(self):
+        chains = {(("c", True),), (("c", False),)}
+        assert () in saturate(chains)
+
+    def test_saturate_nested(self):
+        chains = {
+            (("c", True), ("d", True)),
+            (("c", True), ("d", False)),
+            (("c", False),),
+        }
+        sat = saturate(chains)
+        assert (("c", True),) in sat and () in sat
+
+    def test_dominates_use(self):
+        assert dominates_use({()}, (("c", True),))
+        assert not dominates_use({(("c", True),)}, ())
+        assert dominates_use(
+            {(("c", True),), (("c", False),)}, (("x", True),)
+        )
+
+    def test_kill_by_unconditional_redef(self):
+        b = LoopBuilder("k")
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        b.let("t", x[b.index])
+        b.let("u", VarRef("t", F64) + 1.0)
+        b.set("t", 0.0)
+        b.store(o, b.index, VarRef("t", F64))
+        body = normalize(b.build())
+        uses = {(u.sid, u.var): u for u in reaching_defs(body)}
+        store_use = [u for (sid, v), u in uses.items() if v == "t"][-1]
+        # the store's read of t sees only the redefinition
+        assert len(store_use.defs) == 1
+
+    def test_branch_defs_both_reach(self):
+        b = LoopBuilder("k")
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        with b.if_(x[b.index] > 0.0) as br:
+            b.let("w", 1.0)
+        with br.otherwise():
+            b.let("w", 2.0)
+        b.store(o, b.index, VarRef("w", F64))
+        body = normalize(b.build())
+        use = [u for u in reaching_defs(body) if u.var == "w"][-1]
+        assert len(use.defs) == 2 and not use.carried
+
+    def test_live_at_exit(self):
+        b = LoopBuilder("k")
+        o = b.array("o", F64)
+        b.let("t", 1.0)
+        b.set("t", 2.0)
+        b.store(o, b.index, VarRef("t", F64))
+        body = normalize(b.build())
+        assert len(live_at_exit(body, "t")) == 1

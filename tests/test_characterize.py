@@ -1,0 +1,76 @@
+"""Tests for the §IV classifier and characterization report."""
+
+from repro.characterize import characterize_corpus, classify_loop, profile_loop
+from repro.characterize.report import PAPER_COUNTS, format_report, table1_rows
+from repro.ir import F64, LoopBuilder
+from repro.kernels import get_kernel
+
+
+class TestProfileFeatures:
+    def test_init_loop_profile(self):
+        p = profile_loop(get_kernel("irs-i1").loop())
+        assert p.arith_ops == 0
+
+    def test_reduction_detected(self):
+        p = profile_loop(get_kernel("irs-r1").loop())
+        assert p.scalar_reduction_vars >= 1
+
+    def test_array_reduction_detected(self):
+        p = profile_loop(get_kernel("amg-r2").loop())
+        assert p.array_reduction
+
+    def test_conditional_chain_detected(self):
+        p = profile_loop(get_kernel("umt2k-c1").loop())
+        assert p.n_conditionals >= 2 and p.cond_raw_chain
+
+    def test_rich_kernel_profile(self):
+        p = profile_loop(get_kernel("lammps-3").loop())
+        assert p.arith_ops > 20
+        assert 0.0 < p.guarded_op_fraction <= 1.0
+
+
+class TestClassifier:
+    def test_classifies_every_table1_kernel_amenable(self):
+        for spec in (get_kernel(n) for n in ("lammps-1", "irs-1", "sphot-2")):
+            assert classify_loop(spec.loop()) == "amenable"
+
+    def test_handwritten_init(self):
+        b = LoopBuilder("z")
+        o = b.array("o", F64)
+        b.store(o, b.index, 0.0)
+        assert classify_loop(b.build()) == "init"
+
+    def test_handwritten_dot(self):
+        b = LoopBuilder("dot")
+        x = b.array("x", F64)
+        y = b.array("y", F64)
+        s = b.accumulator("s", F64)
+        b.set(s, s + x[b.index] * y[b.index])
+        assert classify_loop(b.build()) == "reduction-scalar"
+
+
+class TestReport:
+    def test_counts_match_paper(self):
+        rep = characterize_corpus()
+        c = rep.taxonomy_counts()
+        for key in ("total", "init", "traditional", "reduction-scalar",
+                    "reduction-array", "conditional", "amenable"):
+            assert c[key] == PAPER_COUNTS[key], key
+
+    def test_full_agreement_with_metadata(self):
+        rep = characterize_corpus()
+        assert rep.accuracy == 1.0
+        assert not rep.mismatches
+
+    def test_table1_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 18
+        assert all(r["pct_time"] > 0 for r in rows)
+
+    def test_coverage_matches_table1_sums(self):
+        rep = characterize_corpus()
+        assert abs(rep.coverage["lammps"] - 87.0) < 0.01
+        assert abs(rep.coverage["sphot"] - 38.1) < 0.01
+
+    def test_format_runs(self):
+        assert "51" in format_report(characterize_corpus())

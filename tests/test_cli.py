@@ -1,0 +1,64 @@
+"""CLI tests (argument parsing + end-to-end command behaviour)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "umt2k-1"])
+        assert args.cores == 4 and args.latency == 5 and not args.speculate
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "lammps-1" in out and "amg-r2" in out
+
+    def test_list_filtered(self, capsys):
+        assert main(["list", "--app", "sphot"]) == 0
+        out = capsys.readouterr().out
+        assert "sphot-1" in out and "lammps-1" not in out
+
+    def test_show(self, capsys):
+        assert main(["show", "umt2k-5"]) == 0
+        out = capsys.readouterr().out
+        assert "loop umt2k-5" in out and "flat umt2k-5" in out
+
+    def test_run_kernel(self, capsys):
+        rc = main(["run", "umt2k-1", "--cores", "2", "--trip", "24"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "speedup" in out and "bit-exact    : True" in out
+
+    def test_run_with_races_flag(self, capsys):
+        rc = main(["run", "umt2k-1", "--cores", "2", "--trip", "12", "--races"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "races        : 0" in out
+
+    def test_run_with_queue_limit(self, capsys):
+        rc = main([
+            "run", "lammps-2", "--cores", "4", "--trip", "12",
+            "--max-queues", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        qline = next(l for l in out.splitlines() if "queues:" in l)
+        assert int(qline.rsplit(":", 1)[1]) <= 2
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "E99"]) == 2
+
+    def test_experiment_e1(self, capsys):
+        assert main(["experiment", "E1"]) == 0
+        assert "51" in capsys.readouterr().out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize"]) == 0
+        assert "amenable" in capsys.readouterr().out

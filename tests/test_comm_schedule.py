@@ -1,0 +1,166 @@
+"""Unit tests for communication planning (§III-D/E) and scheduling."""
+
+from repro.compiler import (
+    CompilerConfig,
+    build_code_graph,
+    merge_partitions,
+    parallelize,
+    plan_communication,
+    schedule_all,
+)
+from repro.ir import F64, LoopBuilder, normalize
+from repro.ir.types import VClass
+from repro.kernels import get_kernel
+
+
+def _pieces(loop, n=4, h=2):
+    body = normalize(loop, max_height=h)
+    g = build_code_graph(body)
+    parts = merge_partitions(g, n, CompilerConfig())
+    comm = plan_communication(g, parts, body)
+    return body, g, parts, comm
+
+
+class TestTransfers:
+    def test_no_transfers_single_partition(self, demo_loop):
+        _, _, _, comm = _pieces(demo_loop, n=1)
+        assert comm.n_com_ops == 0
+
+    def test_cross_partition_edges_covered(self, demo_loop):
+        body, g, parts, comm = _pieces(demo_loop, n=4)
+        home = dict(comm.op_pid)
+        covered = {
+            (id(t.producer_op), t.dst_pid) for t in comm.transfers
+        }
+        for e in g.edges:
+            src = home[id(e.producer)]
+            dst = home[id(e.consumer)]
+            if src != dst:
+                assert (id(e.producer), dst) in covered, e
+
+    def test_dedup_per_destination(self, demo_loop):
+        _, _, _, comm = _pieces(demo_loop, n=4)
+        keys = [
+            (t.kind, id(t.producer_op), t.dst_pid, t.vclass)
+            for t in comm.transfers
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_pred_matches_producer(self, demo_loop):
+        _, _, _, comm = _pieces(demo_loop, n=4)
+        for t in comm.transfers:
+            assert t.pred == t.producer_op.pred
+
+    def test_float_values_use_fpr(self, demo_loop):
+        _, _, _, comm = _pieces(demo_loop, n=4)
+        for t in comm.transfers:
+            if t.kind == "value" and t.dtype is not None and t.dtype.is_float:
+                assert t.vclass is VClass.FPR
+            if t.kind == "token":
+                assert t.vclass is VClass.GPR
+
+    def test_cond_coverage_fixpoint(self):
+        """Every partition that guards items can evaluate the guards."""
+        loop = get_kernel("lammps-3").loop()
+        body, g, parts, comm = _pieces(loop, n=4)
+        cond_defs = {
+            st.target: g.fiberset.root_op[st.sid]
+            for st in body.stmts
+            if st.kind == "cond"
+        }
+        for part in parts:
+            needed = set()
+            for op in part.ops:
+                needed.update(c for c, _ in op.pred)
+            for t in comm.transfers:
+                if part.pid in (t.src_pid, t.dst_pid):
+                    needed.update(c for c, _ in t.pred)
+            for cond in needed:
+                local = any(op is cond_defs[cond] for op in part.ops)
+                received = any(
+                    t.dst_pid == part.pid and t.reg == cond
+                    for t in comm.transfers
+                )
+                assert local or received, (part.pid, cond)
+
+    def test_stats(self):
+        loop = get_kernel("lammps-3").loop()
+        _, _, _, comm = _pieces(loop, n=4)
+        assert comm.n_com_ops == len(comm.transfers)
+        assert 0 < comm.queues_used <= 12  # directed pairs on 4 cores
+        assert comm.hw_queues_used >= comm.queues_used
+
+
+class TestSchedules:
+    def test_all_items_scheduled_once(self, demo_loop):
+        body, g, parts, comm = _pieces(demo_loop, n=4)
+        scheds = schedule_all(parts, g, comm)
+        for part, sched in zip(parts, scheds):
+            ops = [it for it in sched.items if it.kind == "op"]
+            assert len(ops) == len(part.ops)
+            outs, ins = comm.by_partition(part.pid)
+            assert sched.n_enq == len(outs)
+            assert sched.n_deq == len(ins)
+
+    def test_deq_before_consumers(self, demo_loop):
+        body, g, parts, comm = _pieces(demo_loop, n=4)
+        for part, sched in zip(parts, schedule_all(parts, g, comm)):
+            pos = {}
+            for k, it in enumerate(sched.items):
+                if it.kind == "op":
+                    pos[id(it.op)] = k
+            for k, it in enumerate(sched.items):
+                if it.kind == "deq":
+                    for cons in it.transfer.consumer_ops:
+                        assert pos[id(cons)] > k
+
+    def test_enq_after_producer(self, demo_loop):
+        body, g, parts, comm = _pieces(demo_loop, n=4)
+        for part, sched in zip(parts, schedule_all(parts, g, comm)):
+            pos = {id(it.op): k for k, it in enumerate(sched.items) if it.kind == "op"}
+            for k, it in enumerate(sched.items):
+                if it.kind == "enq":
+                    assert pos[id(it.transfer.producer_op)] < k
+
+    def test_comm_items_in_global_rank_order(self):
+        """Deadlock-freedom invariant: each partition's comm items
+        appear in transfer-rank order."""
+        loop = get_kernel("lammps-3").loop()
+        body, g, parts, comm = _pieces(loop, n=4)
+        for sched in schedule_all(parts, g, comm):
+            keys = [
+                (it.transfer.order_key, it.transfer.dst_pid, it.transfer.tid)
+                for it in sched.items
+                if it.kind in ("enq", "deq")
+            ]
+            assert keys == sorted(keys)
+
+    def test_same_queue_fifo_orders_agree(self):
+        loop = get_kernel("irs-5").loop()
+        body, g, parts, comm = _pieces(loop, n=4)
+        scheds = schedule_all(parts, g, comm)
+        per_queue_enq: dict = {}
+        per_queue_deq: dict = {}
+        for sched in scheds:
+            for it in sched.items:
+                if it.kind == "enq":
+                    per_queue_enq.setdefault(it.transfer.queue_key, []).append(
+                        it.transfer.tid
+                    )
+                elif it.kind == "deq":
+                    per_queue_deq.setdefault(it.transfer.queue_key, []).append(
+                        it.transfer.tid
+                    )
+        assert per_queue_enq.keys() == per_queue_deq.keys()
+        for key in per_queue_enq:
+            assert per_queue_enq[key] == per_queue_deq[key]
+
+
+class TestPipelineStats:
+    def test_plan_stats_consistent(self, demo_loop):
+        plan = parallelize(demo_loop, 4)
+        st = plan.stats
+        assert st.initial_fibers == len(plan.graph.fibers)
+        assert st.n_partitions == len(plan.partitions)
+        assert st.com_ops == len(plan.comm.transfers)
+        assert len(st.partition_ops) == st.n_partitions

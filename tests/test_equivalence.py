@@ -1,0 +1,100 @@
+"""Integration: semantic equivalence of parallel simulated execution vs
+the sequential reference interpreter (DESIGN.md invariant 1), across
+the whole kernel suite and every compiler/machine configuration axis.
+"""
+
+import pytest
+
+from repro.compiler import CompilerConfig
+from repro.sim import MachineParams
+from repro.kernels import table1_kernels
+
+from .conftest import assert_equivalent
+
+
+def _spec_scalars(spec):
+    return dict(spec.scalars) or None
+
+
+def _check(spec, n_cores, config=None, machine=None, trip=24):
+    from repro.interp import run_loop
+    from repro.runtime import compile_loop, execute_kernel
+    import numpy as np
+
+    loop = spec.loop()
+    wl = spec.workload(trip=trip)
+    ref = run_loop(loop, wl)
+    kern = compile_loop(loop, n_cores, config)
+    res = execute_kernel(kern, wl, machine)
+    for name, buf in ref.arrays.items():
+        assert np.array_equal(buf, res.arrays[name]), f"{spec.name}: {name}"
+    for name, v in ref.scalars.items():
+        assert res.scalars.get(name) == v, f"{spec.name}: {name}"
+    return res
+
+
+@pytest.mark.parametrize("spec", table1_kernels(), ids=lambda s: s.name)
+@pytest.mark.parametrize("n_cores", [2, 4])
+def test_kernel_equivalence(spec, n_cores):
+    _check(spec, n_cores)
+
+
+@pytest.mark.parametrize("spec", table1_kernels(), ids=lambda s: s.name)
+def test_kernel_equivalence_speculated(spec):
+    _check(spec, 4, CompilerConfig(speculation=True))
+
+
+@pytest.mark.parametrize("spec", table1_kernels(), ids=lambda s: s.name)
+def test_kernel_equivalence_throughput(spec):
+    _check(spec, 4, CompilerConfig(throughput_heuristic=True))
+
+
+@pytest.mark.parametrize("spec", table1_kernels(), ids=lambda s: s.name)
+def test_kernel_equivalence_multipair(spec):
+    _check(spec, 4, CompilerConfig(multi_pair_merge=True))
+
+
+@pytest.mark.parametrize("latency", [1, 20, 50])
+def test_latency_does_not_change_results(latency):
+    for name in ("lammps-3", "sphot-2", "umt2k-6"):
+        spec = next(s for s in table1_kernels() if s.name == name)
+        _check(spec, 4, machine=MachineParams(queue_latency=latency))
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4])
+def test_queue_depth_does_not_change_results(depth):
+    for name in ("irs-1", "irs-5", "lammps-1"):
+        spec = next(s for s in table1_kernels() if s.name == name)
+        _check(spec, 4, machine=MachineParams(queue_depth=depth))
+
+
+@pytest.mark.parametrize("height", [1, 2, 4])
+def test_split_height_does_not_change_results(height, demo_loop):
+    assert_equivalent(
+        demo_loop, 4,
+        config=CompilerConfig(max_expr_height=height),
+        scalars={"s": 0.0},
+    )
+
+
+def test_three_cores(demo_loop):
+    assert_equivalent(demo_loop, 3, scalars={"s": 0.0})
+
+
+def test_more_cores_than_fibers():
+    """Tiny loops may produce fewer partitions than cores."""
+    from repro.ir import F64, LoopBuilder
+
+    b = LoopBuilder("tiny")
+    o = b.array("o", F64)
+    x = b.array("x", F64)
+    b.store(o, b.index, x[b.index] * 2.0)
+    assert_equivalent(b.build(), 4)
+
+
+def test_zero_trip_parallel(demo_loop):
+    assert_equivalent(demo_loop, 4, trip=0, scalars={"s": 2.5})
+
+
+def test_one_trip_parallel(demo_loop):
+    assert_equivalent(demo_loop, 4, trip=1, scalars={"s": 0.0})

@@ -1,0 +1,153 @@
+"""Tests for the experiment harness and each experiment's shape checks.
+
+These use a reduced trip count so the whole module stays fast; the
+benchmarks run the full-size versions.
+"""
+
+import pytest
+
+from repro.experiments import ExpConfig, REGISTRY, amean, geomean, run_kernel
+from repro.experiments import common as C
+from repro.experiments import (
+    ablation_queue_depth,
+    ablation_throughput,
+    fig12_speedup,
+    fig13_latency,
+    fig14_speculation,
+    table1_hotloops,
+    table2_apps,
+    table3_stats,
+)
+from repro.kernels import get_kernel
+
+TRIP = 24
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_cache():
+    yield
+
+
+class TestHarness:
+    def test_run_kernel_correct_and_cached(self):
+        spec = get_kernel("umt2k-1")
+        cfg = ExpConfig(n_cores=2, trip=TRIP)
+        r1 = run_kernel(spec, cfg)
+        r2 = run_kernel(spec, cfg)
+        assert r1 is r2  # memoised
+        assert r1.correct and not r1.deadlocked
+        assert r1.speedup > 0
+
+    def test_means(self):
+        assert amean([1.0, 3.0]) == 2.0
+        assert abs(geomean([1.0, 4.0]) - 2.0) < 1e-12
+        assert geomean([]) == 0.0
+
+    def test_registry_complete(self):
+        assert set(REGISTRY) == {f"E{k}" for k in range(1, 11)}
+
+
+class TestTable1:
+    def test_counts(self):
+        res = table1_hotloops.run()
+        assert res.counts["total"] == 51
+        assert res.counts["amenable"] == 18
+        assert "51" in table1_hotloops.format_result(res)
+
+
+class TestFig12:
+    def test_shape(self):
+        res = fig12_speedup.run(trip=TRIP)
+        assert len(res.rows) == 18
+        # headline shape: 4-core average beats 2-core average, both > 1
+        assert res.avg[4] > res.avg[2] > 1.0
+        # in the paper's band (generous tolerance for a reconstruction)
+        assert 1.1 <= res.avg[2] <= 1.7
+        assert 1.6 <= res.avg[4] <= 2.4
+        assert fig12_speedup.format_result(res)
+
+    def test_pathological_kernels_near_bottom(self):
+        res = fig12_speedup.run(trip=TRIP)
+        by_name = {r["kernel"]: r["speedup_4"] for r in res.rows}
+        ranked = sorted(by_name, key=by_name.get)
+        assert "umt2k-2" in ranked[:5]
+        assert by_name["umt2k-2"] < 1.35
+
+
+class TestTable2:
+    def test_rows_and_shape(self):
+        res = table2_apps.run(trip=TRIP)
+        apps = [r["app"] for r in res.rows]
+        assert apps == ["lammps", "irs", "umt2k", "sphot", "average"]
+        avg = res.by_app("average")
+        assert avg["speedup_4"] >= avg["speedup_2"] >= 1.0
+        assert table2_apps.format_result(res)
+
+    def test_amdahl(self):
+        assert table2_apps.amdahl([(1.0, 2.0)]) == 2.0
+        assert table2_apps.amdahl([]) == 1.0
+        assert abs(table2_apps.amdahl([(0.5, 2.0)]) - 1 / 0.75) < 1e-12
+        with pytest.raises(ValueError):
+            table2_apps.amdahl([(0.8, 2.0), (0.3, 2.0)])
+
+
+class TestTable3:
+    def test_columns_present(self):
+        res = table3_stats.run(trip=TRIP)
+        assert len(res.rows) == 18
+        r = res.rows[0]
+        for key in ("initial_fibers", "data_deps", "load_balance",
+                    "com_ops", "queues", "speedup"):
+            assert key in r
+        assert table3_stats.format_result(res)
+
+    def test_relationships(self):
+        res = table3_stats.run(trip=TRIP)
+        by = {r["kernel"]: r for r in res.rows}
+        # irs-5 is the biggest kernel in both worlds
+        assert by["irs-5"]["initial_fibers"] == max(
+            r["initial_fibers"] for r in res.rows
+        )
+        # queue usage never exceeds the 12 directed pairs of 4 cores
+        assert all(r["queues"] <= 12 for r in res.rows)
+        assert all(r["load_balance"] >= 1.0 for r in res.rows)
+
+
+class TestFig13:
+    def test_monotone_degradation(self):
+        res = fig13_latency.run(trip=TRIP, latencies=(5, 20, 50))
+        assert res.avg[5] > res.avg[20] > res.avg[50]
+        assert res.no_speedup[50] >= res.no_speedup[5]
+        assert fig13_latency.format_result(res)
+
+
+class TestFig14:
+    def test_no_regressions_and_umt2k6_gains(self):
+        res = fig14_speculation.run(trip=TRIP)
+        assert res.avg_spec >= res.avg_base - 0.01
+        by = {r["kernel"]: r for r in res.rows}
+        assert by["umt2k-6"]["gain"] > 1.1
+        assert res.n_improved >= 1
+        assert fig14_speculation.format_result(res)
+
+
+class TestAdaptive:
+    def test_adaptive_helps_on_average(self):
+        from repro.experiments import ablation_adaptive
+
+        res = ablation_adaptive.run(trip=TRIP, latencies=(50,))
+        assert res.avg_adaptive[50] >= res.avg_fixed[50] - 0.05
+        assert ablation_adaptive.format_result(res)
+
+
+class TestAblations:
+    def test_throughput_mixed_outcome(self):
+        res = ablation_throughput.run(trip=TRIP)
+        assert res.improved >= 1 and res.degraded >= 1
+        assert ablation_throughput.format_result(res)
+
+    def test_queue_depth_monotone(self):
+        res = ablation_queue_depth.run(trip=TRIP, depths=(1, 4, 20))
+        assert res.avg[20] >= res.avg[1]
+        assert all(v == 0 for v in res.deadlocks.values())
+        assert ablation_queue_depth.format_result(res)

@@ -1,0 +1,109 @@
+"""Unit + property tests for fiber extraction (§III-A)."""
+
+from hypothesis import given, settings
+
+from repro.compiler import extract_fibers
+from repro.ir import F64, I64, LoopBuilder, normalize
+
+from .strategies import loops
+
+
+def _fiberset(loop, h=2):
+    return extract_fibers(normalize(loop, max_height=h))
+
+
+class TestPaperExample:
+    def test_fig4_three_fibers(self):
+        """(p2 % 7) + a[...] * (p1 % 13) partitions into exactly the
+        paper's three fibers: {C}, {D, B}, {A}."""
+        b = LoopBuilder("fig4")
+        p1 = b.param("p1", I64)
+        p2 = b.param("p2", I64)
+        a = b.array("a", I64)
+        o = b.array("o", I64)
+        b.let("t", (p2 % 7) + a[b.index] * (p1 % 13))
+        b.store(o, b.index, 0)
+        fs = extract_fibers(normalize(b.build(), max_height=8))
+        stmt0 = [f for f in fs.fibers if f.sid == 0]
+        assert len(stmt0) == 3
+        sizes = sorted(len(f.ops) for f in stmt0)
+        assert sizes == [1, 1, 2]  # {C}, {A}, {D,B}
+
+
+class TestStructure:
+    def test_every_interior_node_assigned_once(self, demo_loop):
+        fs = _fiberset(demo_loop)
+        seen = set()
+        for f in fs.fibers:
+            for op in f.ops:
+                assert id(op) not in seen
+                seen.add(id(op))
+        assert seen == {id(op) for op in fs.ops}
+
+    def test_fibers_are_chains(self, demo_loop):
+        """Within a fiber, each op (after the first) consumes the value
+        of the immediately preceding op — a dependence chain, per the
+        definition of a fiber."""
+        from repro.compiler.fibers import interior_operands
+
+        fs = _fiberset(demo_loop)
+        for f in fs.fibers:
+            for prev, cur in zip(f.ops, f.ops[1:]):
+                feeds = any(
+                    fs.op_of_node.get((cur.sid, c.nid)) is prev
+                    for c in interior_operands(cur)
+                )
+                assert feeds, (f, prev, cur)
+
+    def test_each_stmt_has_root(self, demo_loop):
+        fs = _fiberset(demo_loop)
+        body = fs.body
+        assert set(fs.root_op) == {st.sid for st in body.stmts}
+
+    def test_store_gets_pseudo_root(self):
+        b = LoopBuilder("k")
+        o = b.array("o", F64)
+        x = b.array("x", F64)
+        b.store(o, b.index, x[b.index])  # leaf-expr store
+        fs = _fiberset(b.build())
+        root = fs.root_op[0]
+        assert root.kind == "store"
+
+    def test_move_for_leaf_assign(self):
+        b = LoopBuilder("k")
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        b.let("t", x[b.index])
+        b.store(o, b.index, 0.0)
+        fs = _fiberset(b.build())
+        assert fs.root_op[0].kind == "move"
+        assert fs.root_op[0].writes == "t"
+
+    def test_root_writes_temp(self, demo_loop):
+        fs = _fiberset(demo_loop)
+        for st in fs.body.stmts:
+            if st.target is not None:
+                assert fs.root_op[st.sid].writes == st.target
+
+    def test_ranks_strictly_increase(self, demo_loop):
+        fs = _fiberset(demo_loop)
+        ranks = [op.rank for op in fs.ops]
+        assert ranks == sorted(ranks)
+        assert len(set(ranks)) == len(ranks)
+
+    def test_finer_split_more_fibers(self, demo_loop):
+        assert _fiberset(demo_loop, 1).n_initial_fibers >= _fiberset(
+            demo_loop, 3
+        ).n_initial_fibers
+
+
+@settings(max_examples=30, deadline=None)
+@given(loops())
+def test_fiber_partition_valid_on_random_loops(loop):
+    fs = _fiberset(loop)
+    # partition property: every op in exactly one fiber
+    total = sum(len(f.ops) for f in fs.fibers)
+    assert total == len(fs.ops)
+    # fibers never span statements
+    for f in fs.fibers:
+        assert len({op.sid for op in f.ops}) == 1

@@ -1,0 +1,144 @@
+"""Unit tests for the reference interpreter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.interp import run_loop
+from repro.ir import F64, I64, LoopBuilder, Select, sqrt
+from repro.workload import Workload, random_workload
+
+
+def _wl(loop, trip, **scalars):
+    return random_workload(loop, trip=trip, seed=1, scalars=scalars)
+
+
+class TestBasics:
+    def test_axpy(self):
+        b = LoopBuilder("axpy")
+        i = b.index
+        x = b.array("x", F64)
+        y = b.array("y", F64)
+        a = b.param("a", F64)
+        b.store(y, i, a * x[i] + y[i])
+        loop = b.build()
+        wl = _wl(loop, 16, a=2.0)
+        res = run_loop(loop, wl)
+        expect = 2.0 * wl.arrays["x"][:16] + wl.arrays["y"][:16]
+        assert np.allclose(res.arrays["y"][:16], expect)
+        # input workload untouched
+        assert not np.allclose(wl.arrays["y"][:16], expect)
+
+    def test_reduction(self):
+        b = LoopBuilder("sum")
+        x = b.array("x", F64)
+        s = b.accumulator("s", F64)
+        b.set(s, s + x[b.index])
+        loop = b.build()
+        wl = _wl(loop, 32, s=0.0)
+        res = run_loop(loop, wl)
+        assert math.isclose(res.scalars["s"], float(np.sum(wl.arrays["x"][:32])))
+
+    def test_int_accumulator_stays_int(self):
+        b = LoopBuilder("count")
+        x = b.array("x", F64)
+        c = b.accumulator("c", I64)
+        with b.if_(x[b.index] > 1.0):
+            b.set(c, c + 1)
+        loop = b.build()
+        res = run_loop(loop, _wl(loop, 20, c=0))
+        assert isinstance(res.scalars["c"], int)
+
+    def test_conditional_branches(self):
+        b = LoopBuilder("clip")
+        i = b.index
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        with b.if_(x[i] > 1.0) as br:
+            b.store(o, i, 1.0)
+        with br.otherwise():
+            b.store(o, i, x[i])
+        loop = b.build()
+        wl = _wl(loop, 16)
+        res = run_loop(loop, wl)
+        assert np.allclose(res.arrays["o"][:16], np.minimum(wl.arrays["x"][:16], 1.0))
+
+    def test_select_evaluates_both_arms(self):
+        b = LoopBuilder("sel")
+        i = b.index
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        # sqrt of a possibly negative value in the unused arm is fine
+        # (non-trapping semantics)
+        b.store(o, i, Select(x[i] > 0.0, sqrt(x[i]), 0.0))
+        loop = b.build()
+        wl = _wl(loop, 8)
+        wl.arrays["x"][:4] = -1.0
+        res = run_loop(loop, wl)
+        assert np.all(res.arrays["o"][:4] == 0.0)
+
+    def test_indirect_access(self):
+        b = LoopBuilder("gather")
+        i = b.index
+        idx = b.array("idx", I64)
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        b.store(o, i, x[idx[i]])
+        loop = b.build()
+        wl = _wl(loop, 12)
+        res = run_loop(loop, wl)
+        gathered = wl.arrays["x"][wl.arrays["idx"][:12]]
+        assert np.allclose(res.arrays["o"][:12], gathered)
+
+
+class TestErrors:
+    def test_out_of_bounds_load(self):
+        b = LoopBuilder("oob")
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        b.store(o, b.index, x[b.index + 10_000])
+        loop = b.build()
+        with pytest.raises(IndexError):
+            run_loop(loop, _wl(loop, 4))
+
+    def test_out_of_bounds_store(self):
+        b = LoopBuilder("oob2")
+        o = b.array("o", F64)
+        b.store(o, b.index + 10_000, 1.0)
+        loop = b.build()
+        with pytest.raises(IndexError):
+            run_loop(loop, _wl(loop, 4))
+
+    def test_missing_array_in_workload(self):
+        b = LoopBuilder("k")
+        o = b.array("o", F64)
+        b.store(o, b.index, 1.0)
+        loop = b.build()
+        with pytest.raises(KeyError):
+            run_loop(loop, Workload(arrays={}, scalars={"n": 4}))
+
+    def test_undefined_scalar_read(self):
+        from repro.ir import VarRef
+
+        b = LoopBuilder("k")
+        o = b.array("o", F64)
+        b.store(o, b.index, 1.0)
+        loop = b.build()
+        loop.body[0].expr = VarRef("ghost", F64)
+        with pytest.raises(NameError):
+            run_loop(loop, _wl(loop, 4))
+
+
+class TestStats:
+    def test_dynamic_counts(self, demo_loop):
+        wl = random_workload(demo_loop, trip=10, seed=2, scalars={"s": 0.0})
+        res = run_loop(demo_loop, wl)
+        assert res.stmt_execs >= 10 * 4
+        assert res.op_execs > 0 and res.loads > 0 and res.stores == 10
+
+    def test_zero_trip(self, demo_loop):
+        wl = random_workload(demo_loop, trip=0, seed=2, scalars={"s": 1.5})
+        res = run_loop(demo_loop, wl)
+        assert res.scalars["s"] == 1.5
+        assert res.stmt_execs == 0

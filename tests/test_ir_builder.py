@@ -1,0 +1,122 @@
+"""Unit tests for the LoopBuilder DSL."""
+
+import pytest
+
+from repro.ir import F64, I64, Assign, If, LoopBuilder, Store, walk_stmts
+
+
+class TestDeclarations:
+    def test_index_and_trip_names(self):
+        b = LoopBuilder("k", trip="count", index="j")
+        loop = b.build()
+        assert loop.index == "j" and loop.trip == "count"
+        assert loop.param_names() == ["count"]
+
+    def test_duplicate_array_rejected(self):
+        b = LoopBuilder("k")
+        b.array("a")
+        with pytest.raises(ValueError):
+            b.array("a")
+
+    def test_duplicate_param_rejected(self):
+        b = LoopBuilder("k")
+        b.param("p")
+        with pytest.raises(ValueError):
+            b.param("p")
+
+    def test_accumulator_is_param_and_liveout(self):
+        b = LoopBuilder("k")
+        b.accumulator("s")
+        loop = b.build()
+        assert "s" in loop.param_names()
+        assert "s" in loop.live_out
+
+
+class TestStatements:
+    def test_let_returns_ref(self):
+        b = LoopBuilder("k")
+        x = b.array("x", F64)
+        t = b.let("t", x[b.index] + 1.0)
+        assert t.name == "t" and t.dtype is F64
+
+    def test_let_auto_names_unique(self):
+        b = LoopBuilder("k")
+        t1 = b.let(None, 1.0)
+        t2 = b.let(None, 2.0)
+        assert t1.name != t2.name
+
+    def test_let_dtype_conflict_rejected(self):
+        b = LoopBuilder("k")
+        b.let("t", 1.0)
+        with pytest.raises(TypeError):
+            b.let("t", 1)
+
+    def test_set_requires_declared(self):
+        b = LoopBuilder("k")
+        with pytest.raises(NameError):
+            b.set("ghost", 1.0)
+
+    def test_line_numbers_monotone(self):
+        b = LoopBuilder("k")
+        b.let("a", 1.0)
+        b.let("b", 2.0)
+        loop = b.build()
+        lines = [s.line for s in walk_stmts(loop.body)]
+        assert lines == sorted(lines) and len(set(lines)) == len(lines)
+
+
+class TestControlFlow:
+    def test_if_else_structure(self):
+        b = LoopBuilder("k")
+        x = b.array("x", F64)
+        with b.if_(x[b.index] > 0.0) as br:
+            b.let("t", 1.0)
+        with br.otherwise():
+            b.let("t", 2.0)
+        loop = b.build()
+        iff = loop.body[0]
+        assert isinstance(iff, If)
+        assert len(iff.then) == 1 and len(iff.orelse) == 1
+
+    def test_nested_if(self):
+        b = LoopBuilder("k")
+        x = b.array("x", F64)
+        with b.if_(x[b.index] > 0.0):
+            with b.if_(x[b.index] > 1.0):
+                b.store(x, b.index, 0.0)
+        loop = b.build()
+        outer = loop.body[0]
+        assert isinstance(outer.then[0], If)
+
+    def test_unclosed_if_rejected(self):
+        b = LoopBuilder("k")
+        x = b.array("x", F64)
+        ctx = b.if_(x[b.index] > 0.0)
+        ctx.__enter__()
+        with pytest.raises(RuntimeError):
+            b.build()
+
+    def test_store_inside_branch(self):
+        b = LoopBuilder("k")
+        x = b.array("x", F64)
+        with b.if_(x[b.index] > 0.0):
+            b.store(x, b.index, 1.0)
+        loop = b.build()
+        assert isinstance(loop.body[0].then[0], Store)
+
+
+class TestLiveOut:
+    def test_live_out_dedup(self):
+        b = LoopBuilder("k")
+        t = b.let("t", 1.0)
+        b.live_out(t)
+        b.live_out("t")
+        assert b.build().live_out == ["t"]
+
+    def test_loop_array_lookup(self):
+        b = LoopBuilder("k")
+        b.array("data")
+        loop = b.build()
+        assert loop.array("data").name == "data"
+        with pytest.raises(KeyError):
+            loop.array("missing")

@@ -1,0 +1,200 @@
+"""Unit tests for expression nodes, types and operator sugar."""
+
+import pytest
+
+from repro.ir import (
+    BOOL,
+    F64,
+    I64,
+    ArraySym,
+    BinOp,
+    Call,
+    Const,
+    Load,
+    Select,
+    UnOp,
+    VarRef,
+    as_expr,
+    count_ops,
+    fabs,
+    fmax,
+    fmin,
+    i2f,
+    iter_nodes,
+    itrunc,
+    sqrt,
+)
+from repro.ir.nodes import eval_const
+from repro.ir.types import VClass, unify
+
+
+class TestTypes:
+    def test_vclass_of_dtypes(self):
+        assert F64.vclass is VClass.FPR
+        assert I64.vclass is VClass.GPR
+        assert BOOL.vclass is VClass.GPR
+
+    def test_unify_promotes_to_float(self):
+        assert unify(F64, I64) is F64
+        assert unify(I64, F64) is F64
+        assert unify(I64, I64) is I64
+        assert unify(BOOL, I64) is I64
+
+    def test_is_float(self):
+        assert F64.is_float and not I64.is_float and not BOOL.is_float
+
+
+class TestCoercion:
+    def test_int_literal(self):
+        e = as_expr(3)
+        assert isinstance(e, Const) and e.dtype is I64 and e.value == 3
+
+    def test_float_literal(self):
+        e = as_expr(2.5)
+        assert e.dtype is F64
+
+    def test_bool_literal_becomes_int(self):
+        e = as_expr(True)
+        assert e.dtype is I64 and e.value == 1
+
+    def test_expr_passthrough(self):
+        v = VarRef("x", F64)
+        assert as_expr(v) is v
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_expr("nope")
+
+
+class TestOperatorSugar:
+    def setup_method(self):
+        self.x = VarRef("x", F64)
+        self.n = VarRef("n", I64)
+
+    def test_add_builds_binop(self):
+        e = self.x + 1.0
+        assert isinstance(e, BinOp) and e.op == "add"
+        assert e.dtype is F64
+
+    def test_radd_orders_operands(self):
+        e = 1.0 + self.x
+        assert isinstance(e.lhs, Const) and isinstance(e.rhs, VarRef)
+
+    def test_comparison_yields_bool(self):
+        assert (self.x < 2.0).dtype is BOOL
+        assert (self.x >= 2.0).dtype is BOOL
+        assert self.x.eq(2.0).dtype is BOOL
+        assert self.x.ne(2.0).dtype is BOOL
+
+    def test_mixed_arith_promotes(self):
+        assert (self.x + self.n).dtype is F64
+        assert (self.n + self.n).dtype is I64
+
+    def test_neg_and_not(self):
+        assert (-self.x).dtype is F64
+        assert (~(self.x > 0.0)).dtype is BOOL
+
+    def test_shift_requires_int(self):
+        with pytest.raises(TypeError):
+            _ = self.x << 2
+        assert (self.n << 2).dtype is I64
+
+    def test_truthiness_forbidden(self):
+        with pytest.raises(TypeError):
+            bool(self.x > 1.0)
+
+    def test_unknown_ops_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("frobnicate", self.x, self.x)
+        with pytest.raises(ValueError):
+            UnOp("frobnicate", self.x)
+        with pytest.raises(ValueError):
+            Call("frobnicate", self.x)
+
+
+class TestArrays:
+    def test_subscription_builds_load(self):
+        a = ArraySym("a", F64)
+        ld = a[VarRef("i", I64)]
+        assert isinstance(ld, Load) and ld.dtype is F64
+
+    def test_array_identity_by_name(self):
+        assert ArraySym("a", F64) == ArraySym("a", F64)
+        assert ArraySym("a", F64) != ArraySym("b", F64)
+        assert hash(ArraySym("a", F64)) == hash(ArraySym("a", F64))
+
+    def test_miss_rate_validated(self):
+        with pytest.raises(ValueError):
+            ArraySym("a", F64, miss_rate=1.5)
+
+
+class TestIntrinsics:
+    def test_sqrt_dtype(self):
+        assert sqrt(VarRef("x", F64)).dtype is F64
+
+    def test_itrunc_returns_int(self):
+        assert itrunc(VarRef("x", F64)).dtype is I64
+
+    def test_i2f_returns_float(self):
+        assert i2f(VarRef("n", I64)).dtype is F64
+
+    def test_abs_preserves_dtype(self):
+        assert fabs(VarRef("n", I64)).dtype is I64
+        assert fabs(VarRef("x", F64)).dtype is F64
+
+    def test_min_max(self):
+        e = fmin(VarRef("x", F64), 1.0)
+        assert e.op == "min" and e.dtype is F64
+        assert fmax(VarRef("n", I64), 2).dtype is I64
+
+
+class TestSelect:
+    def test_select_dtype(self):
+        s = Select(VarRef("c", BOOL), VarRef("x", F64), 0.0)
+        assert s.dtype is F64
+        assert len(s.children()) == 3
+
+
+class TestTraversal:
+    def test_postorder_operands_first(self):
+        x = VarRef("x", F64)
+        e = (x + 1.0) * (x - 2.0)
+        nodes = list(iter_nodes(e))
+        assert nodes[-1] is e
+        interior = [n for n in nodes if not n.is_leaf]
+        assert [n.op for n in interior] == ["add", "sub", "mul"]
+
+    def test_count_ops(self):
+        x = VarRef("x", F64)
+        assert count_ops(x) == 0
+        assert count_ops(x + 1.0) == 1
+        assert count_ops((x + 1.0) * (x + 2.0)) == 3
+
+    def test_loads_are_leaves(self):
+        a = ArraySym("a", F64)
+        ld = a[VarRef("i", I64)]
+        assert ld.is_leaf
+
+
+class TestConstFold:
+    @pytest.mark.parametrize(
+        "expr,value",
+        [
+            (as_expr(2) + 3, 5),
+            (as_expr(2.0) * 4.0, 8.0),
+            (as_expr(7) % 3, 1),
+            (as_expr(-7) // 1 if False else BinOp("div", -7, 2), -3),
+            (BinOp("lt", 1, 2), 1),
+            (BinOp("shl", 1, 4), 16),
+            (UnOp("neg", 3), -3),
+            (UnOp("not", 0), 1),
+        ],
+    )
+    def test_folds(self, expr, value):
+        assert eval_const(expr) == value
+
+    def test_nonconst_returns_none(self):
+        assert eval_const(VarRef("x", F64) + 1.0) is None
+
+    def test_div_by_zero_returns_none(self):
+        assert eval_const(BinOp("div", 1.0, 0.0)) is None

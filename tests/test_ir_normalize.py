@@ -1,0 +1,172 @@
+"""Unit tests for normalization: flattening, splitting, predicates,
+carried-temp detection and validation."""
+
+import pytest
+
+from repro.ir import F64, I64, LoopBuilder, normalize, op_height, sqrt
+from repro.ir.stmts import common_prefix, is_prefix
+
+
+def test_flatten_simple(straightline_loop):
+    body = normalize(straightline_loop)
+    assert all(st.pred == () for st in body.stmts)
+    assert body.carried == frozenset()
+    kinds = [st.kind for st in body.stmts]
+    assert "store" in kinds and "assign" in kinds
+
+
+class TestHeightBound:
+    def test_all_trees_bounded(self, demo_loop):
+        for h in (1, 2, 3):
+            body = normalize(demo_loop, max_height=h)
+            for st in body.stmts:
+                assert op_height(st.expr) <= h, st
+
+    def test_smaller_height_more_stmts(self, demo_loop):
+        n1 = len(normalize(demo_loop, max_height=1))
+        n3 = len(normalize(demo_loop, max_height=3))
+        assert n1 > n3
+
+    def test_invalid_height_rejected(self, demo_loop):
+        with pytest.raises(ValueError):
+            normalize(demo_loop, max_height=0)
+
+
+class TestIndexHoisting:
+    def test_compound_index_becomes_leaf(self):
+        b = LoopBuilder("k")
+        i = b.index
+        a = b.array("a", F64)
+        idx = b.array("idx", I64)
+        b.store(a, idx[i] + 1, a[idx[i] + 1] * 2.0)
+        body = normalize(b.build())
+        for st in body.stmts:
+            if st.is_store:
+                assert st.index.is_leaf
+            from repro.ir import loads
+
+            for ld in loads(st.expr):
+                assert ld.index.is_leaf
+
+    def test_float_index_rejected(self):
+        b = LoopBuilder("k")
+        a = b.array("a", F64)
+        x = b.param("x", F64)
+        b.store(a, 0, a[0] + x)
+        loop = b.build()
+        normalize(loop)  # constant index fine
+        b2 = LoopBuilder("k2")
+        a2 = b2.array("a", F64)
+        x2 = b2.param("x", F64)
+        from repro.ir import itrunc  # noqa: F401
+
+        b2.let("t", a2[b2.index] + 0.0)
+        # building an f64 index directly:
+        from repro.ir.nodes import BinOp
+
+        b2.store(a2, BinOp("mul", x2, 2.0), 1.0)
+        with pytest.raises(TypeError):
+            normalize(b2.build())
+
+
+class TestPredicates:
+    def test_pred_chains_mirror_nesting(self, branchy_loop):
+        body = normalize(branchy_loop)
+        depths = {len(st.pred) for st in body.stmts}
+        assert depths == {0, 1, 2}
+        conds = [st for st in body.stmts if st.kind == "cond"]
+        assert len(conds) == 2
+        # inner condition is itself guarded by the outer one
+        inner = conds[1]
+        assert len(inner.pred) == 1
+
+    def test_split_temps_inherit_pred(self):
+        b = LoopBuilder("k")
+        i = b.index
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        with b.if_(x[i] > 0.0):
+            b.store(o, i, ((x[i] * 2.0 + 1.0) * x[i] + 3.0) * x[i] + 4.0)
+        body = normalize(b.build(), max_height=1)
+        guarded = [st for st in body.stmts if st.pred]
+        assert len(guarded) >= 3
+        chains = {st.pred for st in guarded}
+        assert len(chains) == 1  # all under the same condition
+
+
+class TestCarried:
+    def test_accumulator_carried(self, demo_loop):
+        body = normalize(demo_loop)
+        assert "s" in body.carried
+
+    def test_then_else_pair_dominates(self):
+        """A temp defined in both arms is NOT carried (Fig 7 pattern)."""
+        b = LoopBuilder("k")
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        with b.if_(x[b.index] > 0.0) as br:
+            b.let("w", 1.0)
+        with br.otherwise():
+            b.let("w", 2.0)
+        b.store(o, b.index, b.let("r", 0.0) + 0.0)
+        body = normalize(b.build())
+        assert "w" not in body.carried
+
+    def test_single_arm_def_is_carried(self):
+        b = LoopBuilder("k")
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        w = b.param("w", F64)  # initial value
+        with b.if_(x[b.index] > 0.0):
+            b.set(w, x[b.index])
+        b.store(o, b.index, w)
+        body = normalize(b.build())
+        assert "w" in body.carried
+
+    def test_carried_without_initial_rejected(self):
+        b = LoopBuilder("k")
+        o = b.array("o", F64)
+        x = b.array("x", F64)
+        b.let("acc", 0.0)  # defined here...
+        b.set("acc", x[b.index])
+        loop = b.build()
+        # swap order manually to create read-before-def
+        loop.body = [loop.body[1], loop.body[0]]
+        loop.body[0].expr = __import__("repro.ir", fromlist=["VarRef"]).VarRef(
+            "acc", F64
+        ) + 1.0
+        with pytest.raises(NameError):
+            normalize(loop)
+
+
+class TestValidation:
+    def test_undefined_read_rejected(self):
+        b = LoopBuilder("k")
+        o = b.array("o", F64)
+        from repro.ir import VarRef
+
+        b.store(o, b.index, VarRef("ghost", F64))
+        with pytest.raises(NameError):
+            normalize(b.build())
+
+    def test_liveout_never_defined_rejected(self):
+        b = LoopBuilder("k")
+        o = b.array("o", F64)
+        b.store(o, b.index, 1.0)
+        b.live_out("phantom")
+        with pytest.raises(NameError):
+            normalize(b.build())
+
+
+class TestPredChainHelpers:
+    def test_is_prefix(self):
+        p = (("c1", True),)
+        q = (("c1", True), ("c2", False))
+        assert is_prefix(p, q) and not is_prefix(q, p)
+        assert is_prefix((), p)
+
+    def test_common_prefix(self):
+        a = (("c1", True), ("c2", False))
+        b = (("c1", True), ("c2", True))
+        assert common_prefix(a, b) == (("c1", True),)
+        assert common_prefix(a, a) == a

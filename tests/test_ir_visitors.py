@@ -1,0 +1,103 @@
+"""Unit tests for tree utilities: clone, substitute, equality, walks."""
+
+from repro.ir import (
+    F64,
+    I64,
+    ArraySym,
+    Select,
+    VarRef,
+    clone,
+    loads,
+    map_expr,
+    op_height,
+    sqrt,
+    structurally_equal,
+    substitute,
+    var_names,
+)
+
+
+def _tree():
+    a = ArraySym("a", F64)
+    x = VarRef("x", F64)
+    i = VarRef("i", I64)
+    return (x + a[i]) * sqrt(x - 1.0) + Select(x > 0.0, x, -x)
+
+
+class TestClone:
+    def test_clone_equal_but_distinct(self):
+        t = _tree()
+        c = clone(t)
+        assert structurally_equal(t, c)
+        assert c is not t
+
+    def test_clone_deep(self):
+        t = _tree()
+        c = clone(t)
+        assert c.children()[0] is not t.children()[0]
+
+
+class TestSubstitute:
+    def test_replaces_named_reads(self):
+        t = VarRef("x", F64) + VarRef("y", F64)
+        out = substitute(t, {"x": VarRef("z", F64)})
+        assert var_names(out) == {"z", "y"}
+
+    def test_substitutes_inside_index(self):
+        a = ArraySym("a", F64)
+        t = a[VarRef("i", I64)]
+        out = substitute(t, {"i": VarRef("j", I64)})
+        assert var_names(out) == {"j"}
+
+
+class TestStructuralEquality:
+    def test_reflexive(self):
+        t = _tree()
+        assert structurally_equal(t, t)
+
+    def test_detects_op_difference(self):
+        x = VarRef("x", F64)
+        assert not structurally_equal(x + 1.0, x - 1.0)
+
+    def test_detects_const_difference(self):
+        x = VarRef("x", F64)
+        assert not structurally_equal(x + 1.0, x + 2.0)
+
+    def test_detects_type_difference(self):
+        assert not structurally_equal(VarRef("x", F64), _tree())
+
+
+class TestWalks:
+    def test_var_names_includes_index_vars(self):
+        t = _tree()
+        assert var_names(t) == {"x", "i"}
+
+    def test_loads_found(self):
+        t = _tree()
+        assert [ld.array.name for ld in loads(t)] == ["a"]
+
+    def test_op_height(self):
+        x = VarRef("x", F64)
+        assert op_height(x) == 0
+        assert op_height(x + 1.0) == 1
+        assert op_height((x + 1.0) * 2.0) == 2
+        assert op_height((x + 1.0) * (x + 2.0)) == 2
+
+
+class TestMapExpr:
+    def test_identity_when_fn_returns_none(self):
+        t = _tree()
+        out = map_expr(t, lambda n: None)
+        assert structurally_equal(t, out)
+
+    def test_rewrites_bottom_up(self):
+        from repro.ir import BinOp, Const
+
+        def double_consts(n):
+            if isinstance(n, Const) and n.dtype is F64:
+                return Const(n.value * 2, F64)
+            return None
+
+        t = VarRef("x", F64) + 1.0
+        out = map_expr(t, double_consts)
+        assert out.rhs.value == 2.0

@@ -1,0 +1,72 @@
+"""Property tests: soundness of the memory disambiguation.
+
+If :func:`classify_conflict` says NONE, no pair of iterations may ever
+touch the same element; if it says SAME_ITER only, no *cross-iteration*
+pair may collide.  Unsoundness here would silently miscompile (missing
+ordering tokens), so these are the most safety-critical properties in
+the analysis layer.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import ConflictKind, affine_of, classify_conflict
+from repro.ir import F64, I64, ArraySym, VarRef
+from repro.ir.nodes import BinOp, Const, UnOp
+
+coeffs = st.integers(min_value=-4, max_value=4)
+consts = st.integers(min_value=-8, max_value=8)
+
+
+def _affine_expr(coeff: int, const: int):
+    i = VarRef("i", I64)
+    return BinOp("add", BinOp("mul", Const(coeff, I64), i), Const(const, I64))
+
+
+@given(coeffs, consts)
+def test_affine_of_recovers_coefficients(a, c):
+    idx = affine_of(_affine_expr(a, c), "i")
+    assert idx is not None and idx.coeff == a and idx.const == c
+
+
+@given(coeffs, consts, coeffs, consts)
+def test_none_classification_is_sound(a1, c1, a2, c2):
+    arr = ArraySym("a", F64)
+    e1, e2 = _affine_expr(a1, c1), _affine_expr(a2, c2)
+    kind = classify_conflict(arr, e1, arr, e2, "i")
+    if kind is ConflictKind.NONE:
+        for i in range(0, 40):
+            for j in range(0, 40):
+                assert a1 * i + c1 != a2 * j + c2 or i == j and a1 == a2, (
+                    f"{a1}*{i}+{c1} == {a2}*{j}+{c2} but classified NONE"
+                )
+
+
+@given(coeffs, consts, coeffs, consts)
+def test_same_iter_only_never_collides_across_iterations(a1, c1, a2, c2):
+    arr = ArraySym("a", F64)
+    kind = classify_conflict(
+        arr, _affine_expr(a1, c1), arr, _affine_expr(a2, c2), "i"
+    )
+    if kind is ConflictKind.SAME_ITER:
+        for i in range(0, 40):
+            for j in range(0, 40):
+                if i != j:
+                    assert a1 * i + c1 != a2 * j + c2, (
+                        f"cross-iteration collision ({i},{j}) but "
+                        f"classified SAME_ITER only"
+                    )
+
+
+@given(coeffs, consts, coeffs, consts)
+def test_classification_symmetric_in_conflict_presence(a1, c1, a2, c2):
+    arr = ArraySym("a", F64)
+    k1 = classify_conflict(arr, _affine_expr(a1, c1), arr, _affine_expr(a2, c2), "i")
+    k2 = classify_conflict(arr, _affine_expr(a2, c2), arr, _affine_expr(a1, c1), "i")
+    assert (k1 is ConflictKind.NONE) == (k2 is ConflictKind.NONE)
+
+
+@given(coeffs, consts)
+def test_negation_handled(a, c):
+    idx = affine_of(UnOp("neg", _affine_expr(a, c)), "i")
+    assert idx is not None and idx.coeff == -a and idx.const == -c

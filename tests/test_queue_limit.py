@@ -1,0 +1,36 @@
+"""Tests for the §II limited-queue-count constraint."""
+
+import pytest
+
+from repro.compiler import CompilerConfig, parallelize
+from repro.kernels import get_kernel
+
+from .conftest import assert_equivalent
+
+
+class TestQueueLimit:
+    @pytest.mark.parametrize("limit", [2, 4, 6])
+    def test_limit_respected(self, limit):
+        loop = get_kernel("lammps-3").loop()
+        plan = parallelize(loop, 4, CompilerConfig(max_queues=limit))
+        assert plan.stats.queues_used <= limit
+
+    def test_limit_zero_forces_single_core(self, demo_loop):
+        plan = parallelize(demo_loop, 4, CompilerConfig(max_queues=0))
+        assert plan.stats.n_partitions == 1
+        assert plan.stats.queues_used == 0
+
+    def test_results_still_correct_under_limit(self, demo_loop):
+        assert_equivalent(
+            demo_loop, 4,
+            config=CompilerConfig(max_queues=3),
+            scalars={"s": 0.0},
+        )
+
+    def test_unconstrained_uses_more_queues(self):
+        loop = get_kernel("irs-5").loop()
+        free = parallelize(loop, 4, CompilerConfig(autotune=False))
+        tight = parallelize(
+            loop, 4, CompilerConfig(max_queues=4, autotune=False)
+        )
+        assert tight.stats.queues_used <= 4 < free.stats.queues_used

@@ -1,0 +1,145 @@
+"""Tests for the runtime glue, pipeline candidates/config and printer."""
+
+import pytest
+
+from repro.compiler import CompilerConfig, parallelize, sequential_plan
+from repro.compiler.refine import refine_partitions
+from repro.compiler.merge import merge_partitions
+from repro.compiler.codegraph import build_code_graph
+from repro.ir import fmt_expr, fmt_flat, fmt_loop, normalize
+from repro.kernels import get_kernel
+from repro.runtime import compile_loop, execute_kernel
+from repro.sim import MachineParams
+
+
+class TestRuntime:
+    def test_execute_does_not_mutate_workload(self, demo_loop):
+        from repro.workload import random_workload
+
+        wl = random_workload(demo_loop, trip=10, seed=1, scalars={"s": 0.0})
+        before = {k: v.copy() for k, v in wl.arrays.items()}
+        kern = compile_loop(demo_loop, 2)
+        execute_kernel(kern, wl)
+        import numpy as np
+
+        for k in before:
+            assert np.array_equal(before[k], wl.arrays[k])
+
+    def test_machine_params_threaded_through(self, straightline_loop):
+        kern = compile_loop(straightline_loop, 2)
+        from repro.workload import random_workload
+
+        wl = random_workload(straightline_loop, trip=32, seed=1)
+        slow = execute_kernel(kern, wl, MachineParams(queue_latency=80))
+        fast = execute_kernel(kern, wl, MachineParams(queue_latency=1))
+        assert slow.cycles >= fast.cycles
+
+    def test_simresult_fields(self, demo_loop):
+        from repro.workload import random_workload
+
+        kern = compile_loop(demo_loop, 4)
+        wl = random_workload(demo_loop, trip=10, seed=1, scalars={"s": 0.0})
+        res = execute_kernel(kern, wl)
+        assert res.cycles == max(res.core_times)
+        assert res.total_instrs > 0
+        assert len(res.core_stats) == kern.n_cores
+        assert res.queue_stats  # at least one queue used
+        for qs in res.queue_stats:
+            assert qs.n_transfers >= 0
+
+
+class TestPipeline:
+    def test_invalid_core_count(self, demo_loop):
+        with pytest.raises(ValueError):
+            parallelize(demo_loop, 0)
+
+    def test_sequential_plan_single_partition(self, demo_loop):
+        plan = sequential_plan(demo_loop)
+        assert plan.stats.n_partitions == 1
+        assert plan.stats.com_ops == 0
+
+    def test_primary_pid_is_zero(self, demo_loop):
+        assert parallelize(demo_loop, 4).primary_pid == 0
+
+    def test_autotune_off_still_compiles(self, demo_loop):
+        plan = parallelize(demo_loop, 4, CompilerConfig(autotune=False))
+        assert plan.stats.n_partitions >= 2
+
+    def test_refine_off_still_compiles(self, demo_loop):
+        plan = parallelize(
+            demo_loop, 4, CompilerConfig(refine=False, autotune=False)
+        )
+        assert plan.stats.n_partitions >= 2
+
+
+class TestRefine:
+    def test_refine_preserves_op_coverage(self):
+        loop = get_kernel("lammps-2").loop()
+        body = normalize(loop, max_height=2)
+        g = build_code_graph(body)
+        cfg = CompilerConfig()
+        base = merge_partitions(g, 4, cfg)
+        refined = refine_partitions(g, base, cfg)
+        before = sorted(id(op) for p in base for op in p.ops)
+        after = sorted(id(op) for p in refined for op in p.ops)
+        assert before == after
+
+    def test_refine_respects_cohesion(self):
+        loop = get_kernel("sphot-2").loop()
+        body = normalize(loop, max_height=2)
+        g = build_code_graph(body)
+        cfg = CompilerConfig()
+        refined = refine_partitions(g, merge_partitions(g, 4, cfg), cfg)
+        home = {}
+        for p in refined:
+            for fid in p.fids:
+                home[fid] = p.pid
+        for group in g.cohesion:
+            assert len({home[f] for f in group}) == 1
+
+    def test_refine_never_increases_estimate(self):
+        from repro.compiler.refine import _makespan, _prepare
+
+        loop = get_kernel("lammps-3").loop()
+        body = normalize(loop, max_height=2)
+        g = build_code_graph(body)
+        cfg = CompilerConfig()
+        base = merge_partitions(g, 4, cfg)
+        refined = refine_partitions(g, base, cfg)
+        est = _prepare(g, cfg.cost)
+        comm = cfg.cost.lat.enqueue + cfg.cost.lat.dequeue + cfg.assumed_queue_latency
+
+        def assign_of(parts):
+            pid_of_op = {}
+            for p in parts:
+                for op in p.ops:
+                    pid_of_op[id(op)] = p.pid
+            return [
+                pid_of_op[id(est.ops[members[0]])] for members in est.units
+            ]
+
+        n = max(len(base), len(refined))
+        assert _makespan(est, assign_of(refined), n, comm) <= _makespan(
+            est, assign_of(base), n, comm
+        ) + 1e-6
+
+
+class TestPrinter:
+    def test_fmt_loop_mentions_everything(self, demo_loop):
+        text = fmt_loop(demo_loop)
+        assert "demo" in text and "live_out" in text and "if" in text
+
+    def test_fmt_flat_shows_guards(self, branchy_loop):
+        text = fmt_flat(normalize(branchy_loop))
+        assert "[__c1=T]" in text and "[__c1=F]" in text
+
+    def test_fmt_expr_select(self):
+        from repro.ir import F64, Select, VarRef
+
+        t = fmt_expr(Select(VarRef("c", F64), 1.0, 2.0))
+        assert "?" in t and ":" in t
+
+    def test_program_dump(self, demo_loop):
+        kern = compile_loop(demo_loop, 2)
+        dump = kern.programs[1].dump()
+        assert "driver" in dump and "F1" in dump

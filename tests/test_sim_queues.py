@@ -1,0 +1,83 @@
+"""Unit tests for the hardware queue model (§II, Fig 11)."""
+
+import pytest
+
+from repro.ir.types import VClass
+from repro.isa import QueueId
+from repro.sim import HwQueue
+
+
+def _q(depth=4, lat=5):
+    return HwQueue(QueueId(0, 1, VClass.GPR), depth=depth, transfer_latency=lat)
+
+
+class TestFig11Timing:
+    def test_value_ready_after_transfer_latency(self):
+        q = _q()
+        q.push(42, ready_time=100 + 5)  # enqueue completes at 100
+        assert q.head_ready_time() == 105
+
+    def test_early_dequeue_must_wait(self):
+        """Fig 11 core 2: dequeue issued before T_A + latency stalls."""
+        q = _q()
+        q.push(1, ready_time=105)
+        # consumer at time 90: completion = max(90, 105) + deq cost
+        assert max(90, q.head_ready_time()) == 105
+
+    def test_late_dequeue_proceeds_immediately(self):
+        """Fig 11 core 3: dequeue after T_A + latency does not stall."""
+        q = _q()
+        q.push(1, ready_time=105)
+        assert max(200, q.head_ready_time()) == 200
+
+
+class TestCapacity:
+    def test_blocks_at_depth(self):
+        q = _q(depth=2)
+        q.push(1, 10)
+        q.push(2, 11)
+        assert q.slot_blocker() == 0  # must wait for dequeue #0
+
+    def test_slot_freed_by_dequeue(self):
+        q = _q(depth=2)
+        q.push(1, 10)
+        q.push(2, 11)
+        q.pop(deq_completion=50)
+        assert q.slot_blocker() is None
+        assert q.slot_free_time() == 50.0
+
+    def test_push_on_full_asserts(self):
+        q = _q(depth=1)
+        q.push(1, 10)
+        with pytest.raises(AssertionError):
+            q.push(2, 11)
+
+
+class TestFifo:
+    def test_order_preserved(self):
+        q = _q()
+        for k in range(4):
+            q.push(k * 10, ready_time=k)
+        assert [q.pop(100 + k) for k in range(4)] == [0, 10, 20, 30]
+
+    def test_empty_blocks(self):
+        q = _q()
+        assert q.entry_blocker() == 0
+        q.push(1, 0)
+        assert q.entry_blocker() is None
+        q.pop(1)
+        assert q.entry_blocker() == 1
+
+    def test_outstanding_and_highwater(self):
+        q = _q(depth=8)
+        for k in range(5):
+            q.push(k, k)
+        assert q.outstanding == 5
+        q.pop(10)
+        q.pop(11)
+        assert q.outstanding == 3
+        assert q.max_outstanding == 5
+
+    def test_pop_empty_asserts(self):
+        with pytest.raises(AssertionError):
+            _q().pop(0)

@@ -1,0 +1,171 @@
+"""Unit tests for control-flow speculation (§III-H)."""
+
+import numpy as np
+
+from repro.compiler import apply_speculation
+from repro.interp import run_loop
+from repro.ir import F64, If, LoopBuilder, Select, Store, fmt_loop, sqrt, walk_stmts
+from repro.workload import random_workload
+
+
+def _equiv(loop, trip=32, seed=9, scalars=None):
+    spec = apply_speculation(loop)
+    wl = random_workload(loop, trip=trip, seed=seed, scalars=scalars)
+    a = run_loop(loop, wl)
+    b = run_loop(spec, wl)
+    for name in a.arrays:
+        assert np.array_equal(a.arrays[name], b.arrays[name]), name
+    assert a.scalars == b.scalars
+    return spec
+
+
+def _has_if(loop):
+    return any(isinstance(s, If) for s in walk_stmts(loop.body))
+
+
+class TestAssignArms:
+    def test_both_arm_assign_speculated(self):
+        b = LoopBuilder("k")
+        i = b.index
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        with b.if_(x[i] > 1.0) as br:
+            b.let("w", x[i] * 2.0)
+        with br.otherwise():
+            b.let("w", x[i] + 3.0)
+        from repro.ir import VarRef
+
+        b.store(o, i, VarRef("w", F64))
+        spec = _equiv(b.build())
+        assert not _has_if(spec)
+        assert any(
+            isinstance(getattr(s, "expr", None), Select)
+            for s in walk_stmts(spec.body)
+        )
+
+    def test_single_arm_with_prior_def(self):
+        b = LoopBuilder("k")
+        i = b.index
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        w = b.let("w", x[i])
+        with b.if_(x[i] > 1.0):
+            b.set(w, x[i] * x[i])
+        b.store(o, i, w + 0.0)
+        spec = _equiv(b.build())
+        assert not _has_if(spec)
+
+    def test_single_arm_without_prior_def_kept(self):
+        b = LoopBuilder("k")
+        i = b.index
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        with b.if_(x[i] > 1.0):
+            b.let("w", x[i] * x[i])
+            b.store(o, i, 1.0)  # mixed arm -> ineligible anyway
+        loop = b.build()
+        spec = apply_speculation(loop)
+        assert _has_if(spec)
+
+    def test_conditional_accumulator(self):
+        b = LoopBuilder("k")
+        i = b.index
+        x = b.array("x", F64)
+        s = b.accumulator("s", F64)
+        with b.if_(x[i] > 1.0) as br:
+            b.set(s, s + x[i])
+        with br.otherwise():
+            b.set(s, s - x[i])
+        spec = _equiv(b.build(), scalars={"s": 0.0})
+        assert not _has_if(spec)
+
+    def test_cross_arm_read_blocks(self):
+        b = LoopBuilder("k")
+        i = b.index
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        from repro.ir import VarRef
+
+        with b.if_(x[i] > 1.0) as br:
+            b.let("u", x[i])
+        with br.otherwise():
+            # reads 'u' which only the other arm writes
+            b.let("v", VarRef("u", F64) if False else x[i])
+            b.let("u", x[i] * 2.0)
+            b.let("w2", VarRef("u", F64))
+        loop = b.build()
+        apply_speculation(loop)  # must not crash; eligibility varies
+
+
+class TestStoreCommit:
+    def test_matching_stores_speculated(self):
+        b = LoopBuilder("k")
+        i = b.index
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        with b.if_(x[i] > 1.0) as br:
+            b.store(o, i, sqrt(x[i]))
+        with br.otherwise():
+            b.store(o, i, x[i] * 0.5)
+        spec = _equiv(b.build())
+        assert not _has_if(spec)
+        stores = [s for s in walk_stmts(spec.body) if isinstance(s, Store)]
+        assert len(stores) == 1
+        assert isinstance(stores[0].expr, Select)
+
+    def test_mismatched_stores_kept(self):
+        b = LoopBuilder("k")
+        i = b.index
+        x = b.array("x", F64)
+        o = b.array("o", F64)
+        p = b.array("p", F64)
+        with b.if_(x[i] > 1.0) as br:
+            b.store(o, i, 1.0)
+        with br.otherwise():
+            b.store(p, i, 2.0)
+        spec = _equiv(b.build())
+        assert _has_if(spec)
+
+    def test_load_after_store_blocks(self):
+        b = LoopBuilder("k")
+        i = b.index
+        o = b.array("o", F64)
+        with b.if_(o[i] > 1.0) as br:
+            b.store(o, i, 1.0)
+            b.let("t", o[i] + 1.0)  # reads o after storing it
+            b.store(o, i + 0, o[i])
+        loop = b.build()
+        spec = apply_speculation(loop)
+        assert _has_if(spec)
+
+    def test_read_modify_write_pattern(self):
+        """tally[z] = tally[z] + v in both arms (the Fig 10 shape)."""
+        b = LoopBuilder("k")
+        i = b.index
+        x = b.array("x", F64)
+        t = b.array("t", F64)
+        with b.if_(x[i] > 1.0) as br:
+            b.store(t, i, t[i] + x[i])
+        with br.otherwise():
+            b.store(t, i, t[i] - x[i])
+        spec = _equiv(b.build())
+        assert not _has_if(spec)
+
+
+class TestNesting:
+    def test_inner_if_speculated_outer_kept(self, branchy_loop):
+        spec = _equiv(branchy_loop)
+        # outer conditional has an eligible inner arm: after transform
+        # at least one level disappears
+        n_ifs_before = sum(
+            1 for s in walk_stmts(branchy_loop.body) if isinstance(s, If)
+        )
+        n_ifs_after = sum(1 for s in walk_stmts(spec.body) if isinstance(s, If))
+        assert n_ifs_after < n_ifs_before
+
+    def test_idempotent_when_no_conditionals(self, straightline_loop):
+        spec = apply_speculation(straightline_loop)
+        assert fmt_loop(spec) == fmt_loop(straightline_loop)
+
+    def test_demo_loop_semantics_preserved(self, demo_loop):
+        _equiv(demo_loop, scalars={"s": 0.0})

@@ -1,0 +1,61 @@
+"""Stress tests: larger runs exercising sustained pipelining, queue
+wrap-around (entry counts far beyond the depth), and cache behaviour."""
+
+import numpy as np
+
+from repro.interp import run_loop
+from repro.kernels import get_kernel
+from repro.runtime import compile_loop, execute_kernel
+from repro.sim import MachineParams
+
+
+def test_long_run_equivalence_and_drained_queues():
+    spec = get_kernel("umt2k-4")
+    loop = spec.loop()
+    wl = spec.workload(trip=600)
+    ref = run_loop(loop, wl)
+    kern = compile_loop(loop, 4)
+    res = execute_kernel(kern, wl)
+    for name in ref.arrays:
+        assert np.array_equal(ref.arrays[name], res.arrays[name])
+    # hundreds of iterations through depth-20 queues: entry indices far
+    # exceed the depth, exercising slot recycling
+    assert any(q.n_transfers > 100 for q in res.queue_stats)
+
+
+def test_tiny_queue_long_run():
+    spec = get_kernel("irs-2")
+    loop = spec.loop()
+    wl = spec.workload(trip=400)
+    ref = run_loop(loop, wl)
+    kern = compile_loop(loop, 4)
+    res = execute_kernel(kern, wl, MachineParams(queue_depth=1))
+    for name in ref.arrays:
+        assert np.array_equal(ref.arrays[name], res.arrays[name])
+
+
+def test_speedup_stable_across_trip_counts():
+    """Startup overhead amortises: speedup at 300 iterations within a
+    few percent of speedup at 150 (the paper's 'negligible cost' claim
+    for large iteration counts)."""
+    spec = get_kernel("irs-1")
+    loop = spec.loop()
+    kern4 = compile_loop(loop, 4)
+    kern1 = compile_loop(loop, 1)
+    speedups = []
+    for trip in (150, 300):
+        wl = spec.workload(trip=trip)
+        seq = execute_kernel(kern1, wl).cycles
+        par = execute_kernel(kern4, wl).cycles
+        speedups.append(seq / par)
+    assert abs(speedups[0] - speedups[1]) / speedups[1] < 0.05
+
+
+def test_cache_model_affects_long_runs():
+    spec = get_kernel("irs-1")
+    loop = spec.loop()
+    wl = spec.workload(trip=200)
+    kern = compile_loop(loop, 1)
+    big = execute_kernel(kern, wl, MachineParams(cache_lines=4096))
+    tiny = execute_kernel(kern, wl, MachineParams(cache_lines=8))
+    assert tiny.cycles > big.cycles

@@ -1,0 +1,71 @@
+"""Tests for execution tracing and timeline rendering."""
+
+from repro.kernels import get_kernel
+from repro.runtime import compile_loop, execute_kernel
+from repro.sim import TraceRecorder
+from repro.sim.trace import TraceEvent
+
+
+class TestRecorder:
+    def test_events_capped(self):
+        rec = TraceRecorder(max_events=3)
+        for k in range(10):
+            rec.record(time=float(k), core=0, kind="enq")
+        assert len(rec.events) == 3
+
+    def test_queries(self):
+        rec = TraceRecorder()
+        rec.record(time=1.0, core=0, kind="enq", stall=2.0)
+        rec.record(time=2.0, core=1, kind="deq", stall=3.0)
+        assert len(rec.by_core(0)) == 1
+        assert rec.total_stall() == 5.0
+        assert rec.total_stall(1) == 3.0
+
+    def test_empty_render(self):
+        assert TraceRecorder().render_timeline() == "(no events)"
+
+
+class TestKernelTracing:
+    def test_trace_captures_comm(self):
+        spec = get_kernel("umt2k-4")
+        kern = compile_loop(spec.loop(), 4)
+        res = execute_kernel(kern, spec.workload(trip=8), trace=True)
+        assert res.trace is not None
+        enqs = [e for e in res.trace.events if e.kind == "enq"]
+        deqs = [e for e in res.trace.events if e.kind == "deq"]
+        assert enqs and len(enqs) == len(deqs)
+        halts = [e for e in res.trace.events if e.kind == "halt"]
+        assert len(halts) == kern.n_cores
+
+    def test_trace_matches_core_stats(self):
+        spec = get_kernel("lammps-2")
+        kern = compile_loop(spec.loop(), 2)
+        res = execute_kernel(kern, spec.workload(trip=8), trace=True)
+        for cid, stats in enumerate(res.core_stats):
+            evs = res.trace.by_core(cid)
+            assert sum(1 for e in evs if e.kind == "enq") == stats.enq_ops
+            assert sum(1 for e in evs if e.kind == "deq") == stats.deq_ops
+
+    def test_timeline_renders(self):
+        spec = get_kernel("umt2k-1")
+        kern = compile_loop(spec.loop(), 4)
+        res = execute_kernel(kern, spec.workload(trip=6), trace=True)
+        text = res.trace.render_timeline(width=40)
+        assert "timeline" in text and "|" in text
+        assert "enqueue" in text
+        summary = res.trace.summary()
+        assert "core 0" in summary
+
+    def test_tracing_off_by_default(self):
+        spec = get_kernel("umt2k-1")
+        kern = compile_loop(spec.loop(), 2)
+        res = execute_kernel(kern, spec.workload(trip=4))
+        assert res.trace is None
+
+    def test_tracing_does_not_change_timing(self):
+        spec = get_kernel("irs-3")
+        kern = compile_loop(spec.loop(), 4)
+        wl = spec.workload(trip=16)
+        a = execute_kernel(kern, wl, trace=True)
+        b = execute_kernel(kern, wl)
+        assert a.cycles == b.cycles

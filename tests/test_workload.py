@@ -1,0 +1,101 @@
+"""Unit tests for workload generation and validation."""
+
+import numpy as np
+import pytest
+
+from repro.ir import F64, I64, LoopBuilder
+from repro.workload import ArraySpec, Workload, random_workload
+
+
+def _loop():
+    b = LoopBuilder("k")
+    b.array("xf", F64)
+    b.array("idx", I64)
+    b.param("p", F64)
+    b.param("m", I64)
+    o = b.array("o", F64)
+    b.store(o, b.index, 0.0)
+    return b.build()
+
+
+class TestRandomWorkload:
+    def test_deterministic_by_seed(self):
+        loop = _loop()
+        w1 = random_workload(loop, trip=8, seed=3)
+        w2 = random_workload(loop, trip=8, seed=3)
+        assert np.array_equal(w1.arrays["xf"], w2.arrays["xf"])
+        assert w1.scalars == w2.scalars
+
+    def test_different_seeds_differ(self):
+        loop = _loop()
+        w1 = random_workload(loop, trip=8, seed=3)
+        w2 = random_workload(loop, trip=8, seed=4)
+        assert not np.array_equal(w1.arrays["xf"], w2.arrays["xf"])
+
+    def test_dtypes(self):
+        wl = random_workload(_loop(), trip=8)
+        assert wl.arrays["xf"].dtype == np.float64
+        assert wl.arrays["idx"].dtype == np.int64
+        assert isinstance(wl.scalars["p"], float)
+        assert isinstance(wl.scalars["m"], int)
+
+    def test_index_arrays_in_bounds(self):
+        wl = random_workload(_loop(), trip=32)
+        n = len(wl.arrays["xf"])
+        assert wl.arrays["idx"].min() >= 0
+        assert wl.arrays["idx"].max() < n
+
+    def test_default_slack_for_stencils(self):
+        wl = random_workload(_loop(), trip=32)
+        assert len(wl.arrays["xf"]) >= 32 + 64
+
+    def test_spec_overrides(self):
+        wl = random_workload(
+            _loop(), trip=8,
+            specs={"xf": ArraySpec(F64, length=10, low=5.0, high=6.0)},
+        )
+        assert len(wl.arrays["xf"]) == 10
+        assert wl.arrays["xf"].min() >= 5.0 and wl.arrays["xf"].max() <= 6.0
+
+    def test_extra_scales_with_trip(self):
+        from repro.workload import ArraySpec
+        from repro.ir import F64
+
+        for trip in (10, 100):
+            wl = random_workload(
+                _loop(), trip=trip,
+                specs={"xf": ArraySpec(F64, extra=30)},
+            )
+            assert len(wl.arrays["xf"]) == trip + 30
+
+    def test_scalar_overrides(self):
+        wl = random_workload(_loop(), trip=8, scalars={"p": 42.0})
+        assert wl.scalars["p"] == 42.0
+        assert wl.scalars["n"] == 8
+
+
+class TestValidation:
+    def test_validate_passes(self):
+        loop = _loop()
+        random_workload(loop, trip=4).validate_for(loop)
+
+    def test_missing_scalar(self):
+        loop = _loop()
+        wl = random_workload(loop, trip=4)
+        del wl.scalars["p"]
+        with pytest.raises(KeyError):
+            wl.validate_for(loop)
+
+    def test_wrong_dtype(self):
+        loop = _loop()
+        wl = random_workload(loop, trip=4)
+        wl.arrays["xf"] = wl.arrays["xf"].astype(np.float32)
+        with pytest.raises(TypeError):
+            wl.validate_for(loop)
+
+    def test_copy_is_deep(self):
+        loop = _loop()
+        wl = random_workload(loop, trip=4)
+        cp = wl.copy()
+        cp.arrays["xf"][0] = -99.0
+        assert wl.arrays["xf"][0] != -99.0
