@@ -12,11 +12,21 @@ Run with::
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    """Benchmarks measure cold-path experiment time: use a per-session
+    temp store so timings are not distorted by a warm cache left over
+    from earlier runs (in-process memoisation across rounds remains)."""
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-store"))
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -62,6 +62,8 @@ from .ir import (
 from .isa import LoweredKernel, lower_plan
 from .runtime import compile_loop, execute_kernel
 from .sim import DeadlockError, Machine, MachineParams, SimResult
+from .store import ResultStore, run_grid
+from .verify import verify_result
 from .workload import ArraySpec, Workload, random_workload
 
 __version__ = "1.0.0"
@@ -69,10 +71,10 @@ __version__ = "1.0.0"
 __all__ = [
     "ArraySpec", "ArraySym", "BOOL", "CompilerConfig", "DType",
     "DeadlockError", "F64", "I64", "Loop", "LoopBuilder", "LoweredKernel",
-    "Machine", "MachineParams", "MergeWeights", "ParallelPlan", "SimResult",
-    "VClass", "Workload", "__version__", "apply_speculation", "compile_loop",
-    "cos", "execute_kernel", "exp", "fabs", "floor", "fmax", "fmin", "i2f",
-    "itrunc", "log", "lower_plan", "normalize", "parallelize",
-    "random_workload", "run_loop", "select", "sequential_plan", "sin",
-    "sqrt",
+    "Machine", "MachineParams", "MergeWeights", "ParallelPlan",
+    "ResultStore", "SimResult", "VClass", "Workload", "__version__",
+    "apply_speculation", "compile_loop", "cos", "execute_kernel", "exp",
+    "fabs", "floor", "fmax", "fmin", "i2f", "itrunc", "log", "lower_plan",
+    "normalize", "parallelize", "random_workload", "run_grid", "run_loop",
+    "select", "sequential_plan", "sin", "sqrt", "verify_result",
 ]

@@ -6,7 +6,10 @@ Commands
 * ``list`` — list registered kernels (optionally by app/category);
 * ``run <kernel>`` — compile + simulate one kernel, print speedup,
   statistics and correctness;
-* ``experiment <id>`` — run one paper artifact (E1..E9) or ``all``;
+* ``experiment <id>`` — run one paper artifact (E1..E10) or ``all``;
+* ``sweep`` — run a kernel × core-count grid through the parallel
+  sweep engine and the persistent result store;
+* ``cache {stats,clear,gc}`` — inspect / maintain the result store;
 * ``show <kernel>`` — print the kernel IR and its flat normalized form;
 * ``characterize`` — run the §IV classifier over the corpus.
 """
@@ -14,7 +17,12 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+
+#: default evaluation trip count for ``experiment`` (matches
+#: :data:`repro.experiments.common.DEFAULT_TRIP`).
+_DEFAULT_TRIP = 64
 
 
 def _cmd_list(args) -> int:
@@ -44,13 +52,12 @@ def _cmd_show(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    import numpy as np
-
     from .compiler import CompilerConfig
     from .interp import run_loop
     from .kernels import get_kernel
     from .runtime import compile_loop, execute_kernel
     from .sim import MachineParams
+    from .verify import verify_result
 
     spec = get_kernel(args.kernel)
     loop = spec.loop()
@@ -70,9 +77,7 @@ def _cmd_run(args) -> int:
     kern = compile_loop(loop, args.cores, config)
     res = execute_kernel(kern, wl, machine, detect_races=args.races)
 
-    ok = all(
-        np.array_equal(ref.arrays[n], res.arrays[n]) for n in ref.arrays
-    ) and all(res.scalars.get(k) == v for k, v in ref.scalars.items())
+    ok = verify_result(ref, res)
     st = kern.plan.stats
     print(f"kernel       : {spec.name} ({spec.source})")
     print(f"cores        : {args.cores}  (partitions: {st.n_partitions})")
@@ -93,7 +98,16 @@ def _cmd_run(args) -> int:
 
 def _cmd_experiment(args) -> int:
     from .experiments import REGISTRY
+    from .store.sweep import WORKERS_ENV, resolve_workers
 
+    if args.workers is not None:
+        try:
+            resolve_workers(args.workers)
+        except ValueError as exc:
+            print(f"--workers: {exc}")
+            return 2
+        os.environ[WORKERS_ENV] = args.workers
+    trip = args.trip if args.trip is not None else _DEFAULT_TRIP
     ids = sorted(REGISTRY) if args.id == "all" else [args.id.upper()]
     for eid in ids:
         if eid not in REGISTRY:
@@ -101,9 +115,95 @@ def _cmd_experiment(args) -> int:
             return 2
         mod, title = REGISTRY[eid]
         print(f"===== {eid}: {title} =====")
-        res = mod.run() if eid == "E1" else mod.run(trip=args.trip)
+        if eid == "E1":
+            if args.trip is not None:
+                print("note: E1 is a static characterization; --trip is ignored")
+            res = mod.run()
+        else:
+            res = mod.run(trip=trip)
         print(mod.format_result(res))
         print()
+    return 0
+
+
+def _parse_int_list(text: str) -> list[int]:
+    return [int(tok) for tok in text.split(",") if tok.strip()]
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments.common import ExpConfig
+    from .kernels import get_kernel, table1_kernels
+    from .store.disk import default_store
+    from .store.sweep import run_grid
+
+    if args.kernels == "all":
+        specs = table1_kernels()
+    else:
+        try:
+            specs = [get_kernel(name.strip()) for name in args.kernels.split(",")]
+        except KeyError as exc:
+            print(f"unknown kernel {exc.args[0]!r}; see `python -m repro list`")
+            return 2
+    try:
+        cores = _parse_int_list(args.cores)
+    except ValueError:
+        print(f"--cores expects a comma-separated list of integers, got {args.cores!r}")
+        return 2
+    configs = [
+        ExpConfig(
+            n_cores=n,
+            trip=args.trip,
+            seed=args.seed,
+            queue_latency=args.latency,
+            queue_depth=args.depth,
+            speculation=args.speculate,
+        )
+        for n in cores
+    ]
+    from .store.sweep import resolve_workers
+
+    try:
+        resolve_workers(args.workers)
+    except ValueError as exc:
+        print(f"--workers: {exc}")
+        return 2
+    store = default_store()
+    grid = run_grid(
+        specs, configs,
+        workers=args.workers, timeout=args.timeout, retries=args.retries,
+        store=store,
+    )
+
+    head = " ".join(f"{f'{n}-core':>8s}" for n in cores)
+    print(f"{'kernel':12s} {head}  correct")
+    bad = 0
+    for spec in specs:
+        runs = [grid[(spec.name, cfg)] for cfg in configs]
+        cells = " ".join(
+            f"{r.speedup:8.2f}" if not r.deadlocked else f"{'dead':>8s}"
+            for r in runs
+        )
+        ok = all(r.correct or r.deadlocked for r in runs)
+        bad += 0 if ok else 1
+        print(f"{spec.name:12s} {cells}  {'yes' if ok else 'NO'}")
+    if store is not None:
+        print(
+            f"store        : {store.hits} hits / {store.misses} misses / "
+            f"{store.writes} writes  ({store.root})"
+        )
+    return 0 if bad == 0 else 1
+
+
+def _cmd_cache(args) -> int:
+    from .store.disk import ResultStore, store_root
+
+    store = ResultStore(args.dir) if args.dir else ResultStore(store_root())
+    if args.action == "stats":
+        print(store.stats().format())
+    elif args.action == "clear":
+        print(f"removed {store.clear()} record(s) from {store.root}")
+    elif args.action == "gc":
+        print(f"{store.gc().format()} in {store.root}")
     return 0
 
 
@@ -146,10 +246,41 @@ def build_parser() -> argparse.ArgumentParser:
                     help="enable the happens-before race detector")
     rp.set_defaults(fn=_cmd_run)
 
-    ep = sub.add_parser("experiment", help="run a paper artifact (E1..E9|all)")
+    ep = sub.add_parser("experiment", help="run a paper artifact (E1..E10|all)")
     ep.add_argument("id")
-    ep.add_argument("--trip", type=int, default=64)
+    ep.add_argument("--trip", type=int, default=None,
+                    help=f"evaluation trip count (default {_DEFAULT_TRIP}; "
+                    "E1 is static and ignores it)")
+    ep.add_argument("--workers", default=None,
+                    help="sweep worker processes (N or 'auto'; default serial)")
     ep.set_defaults(fn=_cmd_experiment)
+
+    wp = sub.add_parser(
+        "sweep",
+        help="run a kernel × cores grid via the parallel sweep engine",
+    )
+    wp.add_argument("--kernels", default="all",
+                    help="comma-separated kernel names, or 'all' (Table I)")
+    wp.add_argument("--cores", default="2,4",
+                    help="comma-separated core counts (default 2,4)")
+    wp.add_argument("--trip", type=int, default=_DEFAULT_TRIP)
+    wp.add_argument("--seed", type=int, default=0)
+    wp.add_argument("--latency", type=int, default=5)
+    wp.add_argument("--depth", type=int, default=20)
+    wp.add_argument("--speculate", action="store_true")
+    wp.add_argument("--workers", default=None,
+                    help="worker processes (N or 'auto'; default $REPRO_WORKERS, serial)")
+    wp.add_argument("--timeout", type=float, default=None,
+                    help="per-task timeout in seconds")
+    wp.add_argument("--retries", type=int, default=1)
+    wp.set_defaults(fn=_cmd_sweep)
+
+    cp2 = sub.add_parser("cache", help="persistent result-store maintenance")
+    cp2.add_argument("action", choices=("stats", "clear", "gc"))
+    cp2.add_argument("--dir", default=None,
+                     help="store root (default $REPRO_CACHE_DIR or "
+                     "~/.cache/repro/store)")
+    cp2.set_defaults(fn=_cmd_cache)
 
     cp = sub.add_parser("characterize", help="run the §IV classifier")
     cp.set_defaults(fn=_cmd_characterize)

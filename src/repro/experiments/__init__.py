@@ -16,7 +16,15 @@ from . import (
     table2_apps,
     table3_stats,
 )
-from .common import ExpConfig, KernelRun, amean, geomean, run_kernel, run_table1
+from .common import (
+    ExpConfig,
+    KernelRun,
+    amean,
+    geomean,
+    run_kernel,
+    run_table1,
+    run_table1_grid,
+)
 
 #: experiment id -> (module, paper artifact)
 REGISTRY = {
@@ -44,5 +52,5 @@ def run_all(trip: int = 64) -> dict[str, str]:
 
 __all__ = [
     "ExpConfig", "KernelRun", "REGISTRY", "amean", "geomean", "run_all",
-    "run_kernel", "run_table1",
+    "run_kernel", "run_table1", "run_table1_grid",
 ]

@@ -7,20 +7,18 @@ execution time; this extension closes the loop: recompile each kernel
 telling the compiler (its makespan estimator *and* its profile runs)
 the true latency, and measure how much of Fig 13's degradation is
 recoverable by better partitioning alone.
+
+Both arms run through the shared harness (`run_kernel`), so results
+are memoised in the content-addressed store like every other
+experiment; the ``assumed_queue_latency`` knob is part of the cache
+key via :class:`~repro.experiments.common.ExpConfig`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..compiler import CompilerConfig
-from ..interp import run_loop
-from ..kernels import table1_kernels
-from ..runtime import compile_loop, execute_kernel
-from ..sim import DeadlockError, MachineParams
-from .common import amean
+from .common import ExpConfig, amean, run_table1_grid
 
 
 @dataclass
@@ -30,43 +28,40 @@ class AdaptiveResult:
     avg_adaptive: dict[int, float]
 
 
-def _speedup(loop, wl, n_cores, machine, config):
-    seq = execute_kernel(
-        compile_loop(loop, 1, CompilerConfig()), wl, machine
-    ).cycles
-    try:
-        kern = compile_loop(loop, n_cores, config)
-        res = execute_kernel(kern, wl, machine)
-    except DeadlockError:
-        return 0.0, False
-    ref = run_loop(loop, wl)
-    ok = all(
-        np.array_equal(ref.arrays[n], res.arrays[n]) for n in ref.arrays
-    )
-    return seq / res.cycles, ok
-
-
 def run(trip: int = 64, latencies: tuple[int, ...] = (20, 50)) -> AdaptiveResult:
+    fixed_cfgs = {
+        lat: ExpConfig(n_cores=4, queue_latency=lat, trip=trip)
+        for lat in latencies
+    }
+    adaptive_cfgs = {
+        lat: ExpConfig(
+            n_cores=4, queue_latency=lat, trip=trip,
+            assumed_queue_latency=lat,
+        )
+        for lat in latencies
+    }
+    grid = run_table1_grid(
+        list(fixed_cfgs.values()) + list(adaptive_cfgs.values())
+    )
+
     rows = []
     avg_fixed: dict[int, list[float]] = {l: [] for l in latencies}
     avg_adapt: dict[int, list[float]] = {l: [] for l in latencies}
-    for spec in table1_kernels():
-        loop = spec.loop()
-        wl = spec.workload(trip=trip)
-        row = {"kernel": spec.name}
+    n_kernels = len(next(iter(grid.values()), []))
+    for idx in range(n_kernels):
+        row = None
         for lat in latencies:
-            machine = MachineParams(queue_latency=lat)
-            fixed_cfg = CompilerConfig(profile_workload=wl)
-            s_fixed, ok1 = _speedup(loop, wl, 4, machine, fixed_cfg)
-            adaptive_cfg = CompilerConfig(
-                assumed_queue_latency=lat, profile_workload=wl
+            fixed = grid[fixed_cfgs[lat]][idx]
+            adaptive = grid[adaptive_cfgs[lat]][idx]
+            if row is None:
+                row = {"kernel": fixed.kernel}
+            assert fixed.correct and adaptive.correct, (
+                f"{fixed.kernel}@lat{lat}: wrong results"
             )
-            s_adapt, ok2 = _speedup(loop, wl, 4, machine, adaptive_cfg)
-            assert ok1 and ok2, f"{spec.name}@lat{lat}: wrong results"
-            row[f"fixed_{lat}"] = round(s_fixed, 2)
-            row[f"adaptive_{lat}"] = round(s_adapt, 2)
-            avg_fixed[lat].append(s_fixed)
-            avg_adapt[lat].append(s_adapt)
+            row[f"fixed_{lat}"] = round(fixed.speedup, 2)
+            row[f"adaptive_{lat}"] = round(adaptive.speedup, 2)
+            avg_fixed[lat].append(fixed.speedup)
+            avg_adapt[lat].append(adaptive.speedup)
         rows.append(row)
     return AdaptiveResult(
         rows=rows,

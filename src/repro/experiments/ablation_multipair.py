@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from ..compiler import CompilerConfig, parallelize
 from ..kernels import table1_kernels
-from .common import ExpConfig, amean, run_table1
+from .common import ExpConfig, amean, run_table1_grid
 
 
 @dataclass
@@ -28,8 +28,10 @@ class MultiPairResult:
 
 
 def run(trip: int = 64) -> MultiPairResult:
-    single = run_table1(ExpConfig(n_cores=4, trip=trip))
-    multi = run_table1(ExpConfig(n_cores=4, trip=trip, multi_pair_merge=True))
+    cs = ExpConfig(n_cores=4, trip=trip)
+    cm = ExpConfig(n_cores=4, trip=trip, multi_pair_merge=True)
+    grid = run_table1_grid([cs, cm])
+    single, multi = grid[cs], grid[cm]
     rows = []
     for a, b in zip(single, multi):
         rows.append(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .common import ExpConfig, amean, run_table1
+from .common import ExpConfig, amean, run_table1_grid
 
 DEPTHS = (1, 2, 4, 8, 20)
 
@@ -24,10 +24,11 @@ class DepthResult:
 
 
 def run(trip: int = 64, depths: tuple[int, ...] = DEPTHS) -> DepthResult:
-    by_depth = {
-        d: run_table1(ExpConfig(n_cores=4, queue_depth=d, trip=trip))
-        for d in depths
+    cfgs = {
+        d: ExpConfig(n_cores=4, queue_depth=d, trip=trip) for d in depths
     }
+    grid = run_table1_grid(list(cfgs.values()))
+    by_depth = {d: grid[cfg] for d, cfg in cfgs.items()}
     rows = []
     for idx, base in enumerate(by_depth[depths[-1]]):
         row = {"kernel": base.kernel}

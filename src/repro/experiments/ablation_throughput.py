@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .common import ExpConfig, amean, run_table1
+from .common import ExpConfig, amean, run_table1_grid
 
 PAPER = {"improved": 3, "degraded": 6, "avg_slowdown_pct": 11.0}
 
@@ -27,10 +27,10 @@ class ThroughputResult:
 
 
 def run(trip: int = 64) -> ThroughputResult:
-    base = run_table1(ExpConfig(n_cores=4, trip=trip))
-    constrained = run_table1(
-        ExpConfig(n_cores=4, trip=trip, throughput_heuristic=True)
-    )
+    cb = ExpConfig(n_cores=4, trip=trip)
+    cc = ExpConfig(n_cores=4, trip=trip, throughput_heuristic=True)
+    grid = run_table1_grid([cb, cc])
+    base, constrained = grid[cb], grid[cc]
     rows = []
     improved = degraded = 0
     ratios = []

@@ -6,14 +6,20 @@ sequential baseline, compile-time statistics and correctness checks
 (every simulated run is verified against the reference interpreter —
 an experiment that produces wrong answers is not a result).
 
-Results are memoised per (kernel, trip, seed, config) so benchmark
-tables that share configurations do not re-simulate.
+Results are memoised at two levels: a per-process dict, and the
+persistent content-addressed store (:mod:`repro.store`) keyed by the
+kernel's normalized IR, the compiler and machine configuration, and
+the workload ``(trip, seed)`` recipe.  A warm store makes every
+experiment idempotent — zero compile/simulate calls on re-run.
+``run_table1_grid`` additionally fans whole kernel × config matrices
+out over the :mod:`repro.store.sweep` worker pool.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterable
+import logging
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -23,10 +29,15 @@ from ..interp import run_loop
 from ..kernels import KernelSpec, table1_kernels
 from ..runtime import compile_loop, execute_kernel
 from ..sim import DeadlockError, MachineParams
+from ..verify import verify_result
+
+log = logging.getLogger(__name__)
 
 #: default evaluation trip count (large enough to amortise the §III-G
 #: startup overhead, as the paper requires of its kernels).
 DEFAULT_TRIP = 64
+
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -42,6 +53,9 @@ class ExpConfig:
     max_expr_height: int = 2
     trip: int = DEFAULT_TRIP
     seed: int = 0
+    #: queue latency the compiler plans against (E10 varies this
+    #: independently of the machine's true ``queue_latency``).
+    assumed_queue_latency: int = 5
 
     def compiler(self, profile_workload=None) -> CompilerConfig:
         return CompilerConfig(
@@ -49,6 +63,7 @@ class ExpConfig:
             speculation=self.speculation,
             throughput_heuristic=self.throughput_heuristic,
             multi_pair_merge=self.multi_pair_merge,
+            assumed_queue_latency=self.assumed_queue_latency,
             profile_workload=profile_workload,
         )
 
@@ -78,33 +93,86 @@ class KernelRun:
         return self.seq_cycles / self.par_cycles
 
 
+#: L1: per-process memo of full runs, keyed by (kernel name, config).
 _cache: dict[tuple, KernelRun] = {}
+#: L1 for sequential-baseline cycles, keyed by content digest.
+_seq_cache: dict[str, float] = {}
 
 
 def clear_cache() -> None:
     _cache.clear()
+    _seq_cache.clear()
 
 
-def run_kernel(spec: KernelSpec, config: ExpConfig) -> KernelRun:
+def seed_cache(run: KernelRun) -> None:
+    """Insert an externally computed run (e.g. from a sweep worker)."""
+    _cache[(run.kernel, run.config)] = run
+
+
+def _workload_recipe(spec: KernelSpec) -> dict:
+    return {"scalars": dict(spec.scalars), "specs": dict(spec.specs)}
+
+
+def store_key_for(spec: KernelSpec, config: ExpConfig, loop=None) -> str:
+    """Persistent-store key for the parallel run of one grid cell."""
+    from ..store.keys import kernel_run_key
+
+    return kernel_run_key(
+        loop if loop is not None else spec.loop(),
+        config.n_cores,
+        config.compiler(),
+        config.machine(),
+        config.trip,
+        spec.seed + config.seed,
+        workload=_workload_recipe(spec),
+    )
+
+
+def _seq_store_key(spec: KernelSpec, config: ExpConfig, loop, seq_cfg) -> str:
+    from ..store.keys import kernel_run_key
+
+    return kernel_run_key(
+        loop, 1, seq_cfg, config.machine(), config.trip,
+        spec.seed + config.seed,
+        workload=_workload_recipe(spec), kind="seq",
+    )
+
+
+def run_kernel(spec: KernelSpec, config: ExpConfig, store=_UNSET) -> KernelRun:
+    if store is _UNSET:
+        from ..store.disk import default_store
+
+        store = default_store()
+
     key = (spec.name, config)
     hit = _cache.get(key)
     if hit is not None:
         return hit
 
     loop = spec.loop()
+    digest = store_key_for(spec, config, loop=loop)
+    if store is not None:
+        cached = store.get_run(digest)
+        if cached is not None:
+            _cache[key] = cached
+            return cached
+
     wl = spec.workload(trip=config.trip, seed=spec.seed + config.seed)
     ref = run_loop(loop, wl)
 
-    seq_key = (spec.name, replace(config, n_cores=1, speculation=False,
-                                  throughput_heuristic=False,
-                                  multi_pair_merge=False))
-    seq_hit = _cache.get(seq_key)
-    if seq_hit is not None:
-        seq_cycles = seq_hit.seq_cycles
-    else:
-        k1 = compile_loop(loop, 1, CompilerConfig(
-            max_expr_height=config.max_expr_height))
+    # Sequential baseline: cached separately (digest-keyed) so the
+    # record under the baseline key is never a parallel KernelRun.
+    seq_cfg = CompilerConfig(max_expr_height=config.max_expr_height)
+    seq_digest = _seq_store_key(spec, config, loop, seq_cfg)
+    seq_cycles = _seq_cache.get(seq_digest)
+    if seq_cycles is None and store is not None:
+        seq_cycles = store.get_seq(seq_digest)
+    if seq_cycles is None:
+        k1 = compile_loop(loop, 1, seq_cfg)
         seq_cycles = execute_kernel(k1, wl, config.machine()).cycles
+        if store is not None:
+            store.put_seq(seq_digest, spec.name, seq_cycles)
+    _seq_cache[seq_digest] = seq_cycles
 
     deadlocked = False
     correct = True
@@ -119,7 +187,7 @@ def run_kernel(spec: KernelSpec, config: ExpConfig) -> KernelRun:
         par_cycles = res.cycles
         qstall = res.total_queue_stall
         instrs = res.total_instrs
-        correct = _verify(ref, res)
+        correct = verify_result(ref, res)
     except DeadlockError:
         deadlocked = True
         correct = False
@@ -136,29 +204,30 @@ def run_kernel(spec: KernelSpec, config: ExpConfig) -> KernelRun:
         instrs=instrs,
     )
     _cache[key] = run
-    if seq_hit is None:
-        _cache[seq_key] = run
+    if store is not None:
+        store.put_run(digest, run)
     return run
 
 
-def _verify(ref, res) -> bool:
-    for name, buf in ref.arrays.items():
-        if not np.array_equal(buf, res.arrays[name]):
-            return False
-    for name, v in ref.scalars.items():
-        got = res.scalars.get(name)
-        if got is None:
-            return False
-        if isinstance(v, float):
-            if v != got and abs(v - got) > 1e-12 * max(1.0, abs(v)):
-                return False
-        elif v != got:
-            return False
-    return True
+#: kept as an alias — older callers imported the private helper.
+_verify = verify_result
 
 
-def geomean(values: Iterable[float]) -> float:
-    vals = [v for v in values if v > 0]
+def geomean(values: Iterable[float], label: str = "") -> float:
+    """Geometric mean of the positive values.
+
+    Non-positive entries (deadlocked kernels report speedup 0) cannot
+    enter a geometric mean; they are excluded, and the exclusion is
+    logged so deadlocks never silently inflate an average.
+    """
+    all_vals = list(values)
+    vals = [v for v in all_vals if v > 0]
+    dropped = len(all_vals) - len(vals)
+    if dropped:
+        log.warning(
+            "geomean%s: dropped %d non-positive value(s) of %d",
+            f" ({label})" if label else "", dropped, len(all_vals),
+        )
     if not vals:
         return 0.0
     return float(np.exp(np.mean(np.log(vals))))
@@ -169,5 +238,28 @@ def amean(values: Iterable[float]) -> float:
     return float(np.mean(vals)) if vals else 0.0
 
 
-def run_table1(config: ExpConfig) -> list[KernelRun]:
-    return [run_kernel(spec, config) for spec in table1_kernels()]
+def run_table1(config: ExpConfig, store=_UNSET) -> list[KernelRun]:
+    return [run_kernel(spec, config, store=store) for spec in table1_kernels()]
+
+
+def run_table1_grid(
+    configs: Sequence[ExpConfig],
+    *,
+    workers: int | str | None = None,
+    store=_UNSET,
+) -> Mapping[ExpConfig, list[KernelRun]]:
+    """Run the 18 Table-I kernels under every config as one sweep grid.
+
+    With ``workers`` (or ``$REPRO_WORKERS``) set, the whole matrix is
+    scheduled over the :mod:`repro.store.sweep` pool; otherwise cells
+    run serially in-process.  Results are identical either way.
+    """
+    from ..store.sweep import run_grid
+
+    if store is _UNSET:
+        from ..store.disk import default_store
+
+        store = default_store()
+    specs = table1_kernels()
+    grid = run_grid(specs, list(configs), workers=workers, store=store)
+    return {cfg: [grid[(s.name, cfg)] for s in specs] for cfg in configs}

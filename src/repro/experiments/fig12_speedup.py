@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .common import ExpConfig, amean, run_table1
+from .common import ExpConfig, amean, run_table1_grid
 
 #: Figure 12 / Table III 4-core speedups as published.
 PAPER_SPEEDUP_4 = {
@@ -33,8 +33,9 @@ class Fig12Result:
 
 
 def run(trip: int = 64) -> Fig12Result:
-    r2 = run_table1(ExpConfig(n_cores=2, trip=trip))
-    r4 = run_table1(ExpConfig(n_cores=4, trip=trip))
+    c2, c4 = ExpConfig(n_cores=2, trip=trip), ExpConfig(n_cores=4, trip=trip)
+    grid = run_table1_grid([c2, c4])
+    r2, r4 = grid[c2], grid[c4]
     rows = []
     for a, b in zip(r2, r4):
         assert a.correct and b.correct, f"{a.kernel}: wrong results"

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .common import ExpConfig, amean, run_table1
+from .common import ExpConfig, amean, run_table1_grid
 
 LATENCIES = (5, 20, 50, 100)
 PAPER_AVG = {5: 2.05, 20: 1.85, 50: 1.36, 100: 1.0}
@@ -30,10 +30,12 @@ class Fig13Result:
 
 
 def run(trip: int = 64, latencies: tuple[int, ...] = LATENCIES) -> Fig13Result:
-    by_lat = {
-        lat: run_table1(ExpConfig(n_cores=4, queue_latency=lat, trip=trip))
+    cfgs = {
+        lat: ExpConfig(n_cores=4, queue_latency=lat, trip=trip)
         for lat in latencies
     }
+    grid = run_table1_grid(list(cfgs.values()))
+    by_lat = {lat: grid[cfg] for lat, cfg in cfgs.items()}
     rows = []
     for idx, base in enumerate(by_lat[latencies[0]]):
         row = {"kernel": base.kernel}

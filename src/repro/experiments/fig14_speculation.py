@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .common import ExpConfig, amean, run_table1
+from .common import ExpConfig, amean, run_table1_grid
 
 PAPER_AVG_BASE = 2.05
 PAPER_AVG_SPEC = 2.33
@@ -30,8 +30,10 @@ class Fig14Result:
 
 
 def run(trip: int = 64) -> Fig14Result:
-    base = run_table1(ExpConfig(n_cores=4, trip=trip))
-    spec = run_table1(ExpConfig(n_cores=4, trip=trip, speculation=True))
+    cb = ExpConfig(n_cores=4, trip=trip)
+    cs = ExpConfig(n_cores=4, trip=trip, speculation=True)
+    grid = run_table1_grid([cb, cs])
+    base, spec = grid[cb], grid[cs]
     rows = []
     improved = 0
     for a, b in zip(base, spec):

@@ -4,6 +4,10 @@ Runs the IR-level classifier over all 51 corpus loops and reproduces
 both the taxonomy counts (6 init / 25 traditional [8+1 reductions] /
 2 conditional / 18 amenable) and Table I itself (amenable loops with
 source locations and %time).
+
+Unlike E2–E10 this experiment is purely static — no workload is
+simulated, so ``run()`` takes no ``trip`` parameter (the CLI warns if
+``--trip`` is passed with E1).
 """
 
 from __future__ import annotations

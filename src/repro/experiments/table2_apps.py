@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..kernels import table1_kernels
-from .common import ExpConfig, amean, run_table1
+from .common import ExpConfig, amean, run_table1_grid
 
 PAPER_TABLE2 = {
     "lammps": {2: 1.05, 4: 1.70},
@@ -55,8 +55,10 @@ class Table2Result:
 
 
 def run(trip: int = 64) -> Table2Result:
-    r2 = {r.kernel: r for r in run_table1(ExpConfig(n_cores=2, trip=trip))}
-    r4 = {r.kernel: r for r in run_table1(ExpConfig(n_cores=4, trip=trip))}
+    c2, c4 = ExpConfig(n_cores=2, trip=trip), ExpConfig(n_cores=4, trip=trip)
+    grid = run_table1_grid([c2, c4])
+    r2 = {r.kernel: r for r in grid[c2]}
+    r4 = {r.kernel: r for r in grid[c4]}
     per_app: dict[str, list] = {}
     for spec in table1_kernels():
         per_app.setdefault(spec.app, []).append(spec)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .common import ExpConfig, run_table1
+from .common import ExpConfig, run_table1_grid
 
 PAPER_TABLE3 = {
     #            fibers deps  lb     com  q  speedup
@@ -46,7 +46,8 @@ class Table3Result:
 
 
 def run(trip: int = 64) -> Table3Result:
-    runs = run_table1(ExpConfig(n_cores=4, trip=trip))
+    cfg = ExpConfig(n_cores=4, trip=trip)
+    runs = run_table1_grid([cfg])[cfg]
     rows = []
     for r in runs:
         st = r.stats

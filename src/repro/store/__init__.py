@@ -1,0 +1,38 @@
+"""Persistent content-addressed result store + parallel sweep engine.
+
+The experiment harness re-simulates identical (kernel, config,
+workload) cells on every process start; this package removes that
+waste and turns the kernel × config matrix into a schedulable grid:
+
+* :mod:`repro.store.keys` — SHA-256 cache keys over the kernel's
+  normalized IR text, the :class:`~repro.compiler.CompilerConfig`, the
+  :class:`~repro.sim.MachineParams` and the workload ``(trip, seed)``
+  recipe.  Anything that can change a simulated cycle count changes
+  the key; nothing else does.
+* :mod:`repro.store.records` — versioned JSON envelopes for
+  :class:`~repro.experiments.common.KernelRun` records (and the
+  lightweight sequential-baseline records).
+* :mod:`repro.store.disk` — the on-disk store: sharded layout, atomic
+  temp-file + rename writes, corruption-tolerant reads (a bad record
+  is a miss, never a crash), stats / clear / gc maintenance.
+* :mod:`repro.store.sweep` — ``run_grid``: fan a kernel × config grid
+  out over a ``multiprocessing`` pool with longest-job-first ordering
+  seeded from cached cycle counts, per-task timeout + retry, and
+  graceful in-process serial fallback.
+"""
+
+from .disk import ResultStore, StoreStats, default_store, store_root
+from .keys import SCHEMA_VERSION, ir_text, kernel_run_key, stable_digest
+from .sweep import run_grid
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "StoreStats",
+    "default_store",
+    "ir_text",
+    "kernel_run_key",
+    "run_grid",
+    "stable_digest",
+    "store_root",
+]

@@ -1,0 +1,261 @@
+"""On-disk content-addressed result store.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` — two-level sharding keeps
+directory fan-out bounded at 256 even for very large stores.
+
+Concurrency: writers serialize each record to a unique temp file in
+the final directory and ``os.replace`` it into place.  The rename is
+atomic on POSIX, so concurrent writers of the same key (sweep workers
+on different processes or machines sharing a filesystem) race
+harmlessly — readers always observe either no file or one complete,
+valid record, never a torn write.
+
+Robustness: any unreadable, unparsable, truncated, or
+schema-mismatched record is treated as a cache miss.  ``gc`` deletes
+such records (plus abandoned temp files); ``clear`` deletes
+everything.
+
+The default store root is, in priority order, ``$REPRO_CACHE_DIR``,
+else ``~/.cache/repro/store``.  Setting ``REPRO_CACHE=0`` disables the
+persistent layer entirely (pure in-process memoisation remains).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from . import records
+
+#: environment variable overriding the store root directory.
+ROOT_ENV = "REPRO_CACHE_DIR"
+#: set to "0" to disable the persistent store.
+ENABLE_ENV = "REPRO_CACHE"
+
+
+def store_root() -> Path:
+    """Resolve the store root from the environment."""
+    env = os.environ.get(ROOT_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "store"
+
+
+@dataclass
+class StoreStats:
+    """Snapshot of on-disk contents plus this process's session counters."""
+
+    root: str
+    run_records: int = 0
+    seq_records: int = 0
+    stale_records: int = 0
+    total_bytes: int = 0
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def records(self) -> int:
+        return self.run_records + self.seq_records
+
+    def format(self) -> str:
+        lines = [
+            f"store root   : {self.root}",
+            f"run records  : {self.run_records}",
+            f"seq records  : {self.seq_records}",
+            f"stale/corrupt: {self.stale_records}",
+            f"total size   : {self.total_bytes / 1024:.1f} KiB",
+            f"this session : {self.hits} hits / {self.misses} misses / "
+            f"{self.writes} writes",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class GcReport:
+    removed_stale: int = 0
+    removed_tmp: int = 0
+
+    def format(self) -> str:
+        return (
+            f"removed {self.removed_stale} stale/corrupt record(s), "
+            f"{self.removed_tmp} abandoned temp file(s)"
+        )
+
+
+class ResultStore:
+    """Content-addressed persistent result store."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else store_root()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- raw envelope layer -------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Load an envelope; any failure mode is a miss."""
+        try:
+            text = self._path(key).read_text(encoding="utf-8")
+            envelope = json.loads(text)
+            if not isinstance(envelope, dict):
+                raise ValueError("record is not an object")
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return envelope
+
+    def put(self, key: str, envelope: dict) -> None:
+        """Atomically persist an envelope (temp file + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(envelope, f, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    # -- typed layer ---------------------------------------------------
+
+    def get_run(self, key: str) -> Any | None:
+        envelope = self.get(key)
+        if envelope is None:
+            return None
+        run = records.decode_run(envelope)
+        if run is None:  # readable JSON but wrong schema/kind/shape
+            self.hits -= 1
+            self.misses += 1
+        return run
+
+    def put_run(self, key: str, run: Any) -> None:
+        self.put(key, records.encode_run(key, run))
+
+    def get_seq(self, key: str) -> float | None:
+        envelope = self.get(key)
+        if envelope is None:
+            return None
+        cycles = records.decode_seq(envelope)
+        if cycles is None:
+            self.hits -= 1
+            self.misses += 1
+        return cycles
+
+    def put_seq(self, key: str, kernel: str, cycles: float) -> None:
+        self.put(key, records.encode_seq(key, kernel, cycles))
+
+    # -- maintenance ---------------------------------------------------
+
+    def _record_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob("*.json"))
+
+    def _tmp_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir():
+                # mkstemp names start with "." (hidden); a bare "*.tmp"
+                # glob would skip them and gc would never reclaim space.
+                yield from sorted(
+                    p for p in shard.iterdir() if p.name.endswith(".tmp")
+                )
+
+    def stats(self) -> StoreStats:
+        st = StoreStats(
+            root=str(self.root),
+            hits=self.hits, misses=self.misses, writes=self.writes,
+        )
+        for path in self._record_paths():
+            try:
+                st.total_bytes += path.stat().st_size
+                envelope = json.loads(path.read_text(encoding="utf-8"))
+                kind = envelope.get("kind")
+                if envelope.get("schema") != records.SCHEMA_VERSION:
+                    st.stale_records += 1
+                elif kind == "run":
+                    st.run_records += 1
+                elif kind == "seq":
+                    st.seq_records += 1
+                else:
+                    st.stale_records += 1
+            except (OSError, ValueError, AttributeError):
+                st.stale_records += 1
+        return st
+
+    def clear(self) -> int:
+        """Delete every record; returns the number removed."""
+        removed = 0
+        for path in list(self._record_paths()) + list(self._tmp_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def gc(self) -> GcReport:
+        """Drop unreadable / stale-schema records and abandoned temp files."""
+        report = GcReport()
+        for path in self._record_paths():
+            stale = False
+            try:
+                envelope = json.loads(path.read_text(encoding="utf-8"))
+                if envelope.get("schema") != records.SCHEMA_VERSION:
+                    stale = True
+                if envelope.get("kind") not in ("run", "seq"):
+                    stale = True
+            except (OSError, ValueError, AttributeError):
+                stale = True
+            if stale:
+                try:
+                    path.unlink()
+                    report.removed_stale += 1
+                except OSError:
+                    pass
+        for path in self._tmp_paths():
+            try:
+                path.unlink()
+                report.removed_tmp += 1
+            except OSError:
+                pass
+        return report
+
+
+_default: ResultStore | None = None
+
+
+def default_store() -> ResultStore | None:
+    """Process-wide default store (or ``None`` when disabled).
+
+    Re-resolves the root on each call so tests and CLI flags that
+    change ``$REPRO_CACHE_DIR`` mid-process take effect; the instance
+    (and its session counters) is reused while the root is stable.
+    """
+    global _default
+    if os.environ.get(ENABLE_ENV, "1") == "0":
+        return None
+    root = store_root()
+    if _default is None or _default.root != root:
+        _default = ResultStore(root)
+    return _default

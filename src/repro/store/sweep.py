@@ -1,0 +1,213 @@
+"""Parallel sweep engine: schedule the kernel × config matrix.
+
+``run_grid`` fans every (kernel, config) cell out over a
+``multiprocessing`` worker pool.  Scheduling is longest-job-first:
+each task's expected cost is looked up from previously stored cycle
+counts, and unknown tasks are treated as the longest (they run first,
+which both minimizes makespan under uncertainty and populates the
+store for the next sweep).  Workers share the content-addressed store
+through the filesystem — its atomic renames make concurrent writers of
+the same key safe — so a warm grid completes without a single
+compile/simulate call.
+
+Every failure mode degrades gracefully: a pool that cannot be created
+(restricted environments without ``/dev/shm``, missing ``fork``) falls
+back to in-process serial execution, a task that times out or crashes
+is retried, and tasks that exhaust their retries are re-run serially
+in the parent so the grid always comes back complete.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+log = logging.getLogger(__name__)
+
+#: environment variable selecting the default worker count for sweeps
+#: ("" / "0" / "1" = serial, "auto" = cpu count, N = N processes).
+WORKERS_ENV = "REPRO_WORKERS"
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of the grid."""
+
+    kernel: str
+    config: Any  # ExpConfig
+
+    @property
+    def cell(self) -> tuple[str, Any]:
+        return (self.kernel, self.config)
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalize a worker-count request; 0/1 means serial.
+
+    Raises ValueError for strings that are neither "auto"/"max" nor an
+    integer, so callers can report the bad value instead of crashing.
+    """
+    from_env = workers is None
+    if from_env:
+        workers = os.environ.get(WORKERS_ENV, "").strip() or "0"
+    if isinstance(workers, str):
+        if workers.lower() in ("auto", "max"):
+            workers = os.cpu_count() or 1
+        else:
+            try:
+                workers = int(workers)
+            except ValueError:
+                if from_env:
+                    log.warning("ignoring invalid %s=%r", WORKERS_ENV, workers)
+                    return 0
+                raise ValueError(
+                    f"workers must be an integer or 'auto', got {workers!r}"
+                ) from None
+    if workers < 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def _task_key(spec: Any, config: Any) -> str:
+    from ..experiments.common import store_key_for
+
+    return store_key_for(spec, config)
+
+
+def _estimate_cycles(store: Any, spec: Any, config: Any) -> float:
+    """Expected task cost from a stored prior run; unknown → +inf so
+    never-seen tasks are scheduled first (longest-job-first under
+    uncertainty)."""
+    if store is None:
+        return math.inf
+    run = store.get_run(_task_key(spec, config))
+    if run is None:
+        return math.inf
+    if run.deadlocked or not math.isfinite(run.par_cycles):
+        return 0.0  # warm deadlock records are pure store hits: instant
+    return run.par_cycles
+
+
+def _worker_run(kernel: str, config: Any, store_root: str | None) -> Any:
+    """Pool worker: execute one cell against the shared store."""
+    from ..experiments.common import run_kernel
+    from ..kernels import get_kernel
+    from .disk import ResultStore
+
+    store = ResultStore(store_root) if store_root is not None else None
+    return run_kernel(get_kernel(kernel), config, store=store)
+
+
+def run_grid(
+    specs: Sequence[Any],
+    configs: Sequence[Any],
+    *,
+    workers: int | str | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    store: Any = _UNSET,
+) -> Mapping[tuple[str, Any], Any]:
+    """Run every kernel × config cell; returns ``{(name, config): KernelRun}``.
+
+    ``specs`` are :class:`~repro.kernels.base.KernelSpec` objects,
+    ``configs`` are :class:`~repro.experiments.common.ExpConfig`.
+    ``workers`` defaults to ``$REPRO_WORKERS`` (serial when unset);
+    ``timeout`` bounds each task attempt in seconds; after ``retries``
+    failed pool attempts a task is executed serially in-process.
+    """
+    from ..experiments import common
+    from .disk import default_store
+
+    if store is _UNSET:
+        store = default_store()
+    by_name = {spec.name: spec for spec in specs}
+    tasks = [SweepTask(spec.name, cfg) for spec in specs for cfg in configs]
+    # Longest-job-first from cached cycle counts (stable for ties).
+    tasks.sort(
+        key=lambda t: -_estimate_cycles(store, by_name[t.kernel], t.config)
+    )
+
+    n_workers = resolve_workers(workers)
+    results: dict[tuple[str, Any], Any] = {}
+    pending = list(tasks)
+
+    if n_workers > 1 and len(tasks) > 1:
+        pending = _run_pool(
+            pending, by_name, results,
+            workers=min(n_workers, len(tasks)),
+            timeout=timeout, retries=retries, store=store,
+        )
+
+    for task in pending:  # serial path and pool-failure fallback
+        results[task.cell] = common.run_kernel(
+            by_name[task.kernel], task.config, store=store
+        )
+    return results
+
+
+def _run_pool(
+    pending: list[SweepTask],
+    by_name: Mapping[str, Any],
+    results: dict,
+    *,
+    workers: int,
+    timeout: float | None,
+    retries: int,
+    store: Any,
+) -> list[SweepTask]:
+    """Drain ``pending`` through a worker pool; returns tasks left for
+    the serial fallback."""
+    from ..experiments import common
+
+    root = str(store.root) if store is not None else None
+    ctx = multiprocessing.get_context()
+    for attempt in range(retries + 1):
+        if not pending:
+            break
+        try:
+            pool = ctx.Pool(processes=min(workers, len(pending)))
+        except (OSError, ValueError, ImportError) as exc:
+            log.warning("sweep: worker pool unavailable (%s); running serially", exc)
+            return pending
+        failed: list[SweepTask] = []
+        timed_out = False
+        try:
+            handles = [
+                (t, pool.apply_async(_worker_run, (t.kernel, t.config, root)))
+                for t in pending
+            ]
+            for task, handle in handles:
+                try:
+                    run = handle.get(timeout)
+                except multiprocessing.TimeoutError:
+                    log.warning(
+                        "sweep: %s timed out after %.1fs (attempt %d/%d)",
+                        task.kernel, timeout or 0.0, attempt + 1, retries + 1,
+                    )
+                    failed.append(task)
+                    timed_out = True
+                except Exception as exc:
+                    log.warning(
+                        "sweep: %s failed in worker (%s: %s); will retry",
+                        task.kernel, type(exc).__name__, exc,
+                    )
+                    failed.append(task)
+                else:
+                    results[task.cell] = run
+                    common.seed_cache(run)  # parent L1: later serial calls reuse
+        finally:
+            # A timed-out worker may still hold a pool slot; terminate
+            # so retries start on a clean pool.
+            if timed_out:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+        pending = failed
+    return pending

@@ -1,0 +1,37 @@
+"""Shared result verification: simulated run vs. reference interpreter.
+
+Arrays must match bit-exactly — the transformed code executes the same
+float operations in the same order, so any array difference is a
+compiler or simulator bug.  Scalar live-outs tolerate a tiny relative
+error: reduction accumulators may be copied out through queues whose
+transfer path is value-preserving but whose final register read-back
+is compared against the interpreter's Python-float arithmetic.
+
+Both the CLI ``run`` command and the experiment harness go through
+this helper so "correct" means the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: relative tolerance for scalar live-outs.
+SCALAR_RTOL = 1e-12
+
+
+def verify_result(ref, res, rtol: float = SCALAR_RTOL) -> bool:
+    """True iff simulated ``res`` matches interpreted ``ref``."""
+    for name, buf in ref.arrays.items():
+        got = res.arrays.get(name)
+        if got is None or not np.array_equal(buf, got):
+            return False
+    for name, v in ref.scalars.items():
+        got = res.scalars.get(name)
+        if got is None:
+            return False
+        if isinstance(v, float):
+            if v != got and abs(v - got) > rtol * max(1.0, abs(v)):
+                return False
+        elif v != got:
+            return False
+    return True

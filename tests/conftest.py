@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -11,6 +13,14 @@ from repro.ir import F64, I64, LoopBuilder, sqrt
 from repro.runtime import compile_loop, execute_kernel
 from repro.sim import MachineParams
 from repro.workload import random_workload
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    """Point the persistent result store at a per-session temp dir so
+    tests never read or pollute the user's real cache."""
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-store"))
+    yield
 
 
 def build_demo_loop():

@@ -59,6 +59,47 @@ class TestCommands:
         assert main(["experiment", "E1"]) == 0
         assert "51" in capsys.readouterr().out
 
+    def test_experiment_help_covers_e10(self):
+        parser = build_parser()
+        text = parser.format_help()
+        assert "E1..E10|all" in text
+
+    def test_experiment_e1_warns_on_trip(self, capsys):
+        assert main(["experiment", "E1", "--trip", "10"]) == 0
+        assert "--trip is ignored" in capsys.readouterr().out
+
+    def test_sweep_smoke(self, capsys):
+        rc = main([
+            "sweep", "--kernels", "umt2k-1,lammps-1", "--cores", "2",
+            "--trip", "12", "--workers", "0",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "umt2k-1" in out and "lammps-1" in out and "2-core" in out
+        assert "store" in out
+
+    def test_sweep_unknown_kernel(self, capsys):
+        assert main(["sweep", "--kernels", "nosuch-kernel"]) == 2
+        assert "unknown kernel" in capsys.readouterr().out
+
+    def test_sweep_bad_workers(self, capsys):
+        assert main(["sweep", "--kernels", "umt2k-1", "--workers", "abc"]) == 2
+        assert "workers" in capsys.readouterr().out
+
+    def test_experiment_bad_workers(self, capsys):
+        assert main(["experiment", "E1", "--workers", "abc"]) == 2
+        assert "workers" in capsys.readouterr().out
+
+    def test_cache_stats_clear_gc(self, capsys, tmp_path):
+        root = str(tmp_path / "cache-cli")
+        assert main(["cache", "stats", "--dir", root]) == 0
+        out = capsys.readouterr().out
+        assert "run records" in out and root in out
+        assert main(["cache", "gc", "--dir", root]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "clear", "--dir", root]) == 0
+        assert "removed" in capsys.readouterr().out
+
     def test_characterize(self, capsys):
         assert main(["characterize"]) == 0
         assert "amenable" in capsys.readouterr().out
