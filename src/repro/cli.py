@@ -6,7 +6,10 @@ Commands
 * ``list`` — list registered kernels (optionally by app/category);
 * ``run <kernel>`` — compile + simulate one kernel, print speedup,
   statistics and correctness;
-* ``experiment <id>`` — run one paper artifact (E1..E10) or ``all``;
+* ``experiment <id>`` — run one paper artifact (E1..E11) or ``all``;
+* ``chaos`` — seeded fault-injection campaign over tier-1 kernels
+  through the guarded runtime (resilience table, exit 1 on any
+  silent corruption);
 * ``sweep`` — run a kernel × core-count grid through the parallel
   sweep engine and the persistent result store;
 * ``cache {stats,clear,gc}`` — inspect / maintain the result store;
@@ -23,6 +26,11 @@ import sys
 #: default evaluation trip count for ``experiment`` (matches
 #: :data:`repro.experiments.common.DEFAULT_TRIP`).
 _DEFAULT_TRIP = 64
+
+#: mirrors :data:`repro.experiments.chaos.DEFAULT_KERNELS` — the CLI
+#: keeps heavyweight imports lazy, so the help text repeats the names
+#: (a test asserts the two stay in sync).
+_CHAOS_DEFAULT_KERNELS = ("lammps-1", "irs-1", "umt2k-1", "sphot-2")
 
 
 def _cmd_list(args) -> int:
@@ -194,6 +202,35 @@ def _cmd_sweep(args) -> int:
     return 0 if bad == 0 else 1
 
 
+def _cmd_chaos(args) -> int:
+    from .experiments import chaos
+    from .faults import FAULT_KINDS
+    from .kernels import get_kernel
+
+    kernels = chaos.DEFAULT_KERNELS
+    if args.kernels:
+        try:
+            kernels = tuple(
+                get_kernel(name.strip()).name for name in args.kernels.split(",")
+            )
+        except KeyError as exc:
+            print(f"unknown kernel {exc.args[0]!r}; see `python -m repro list`")
+            return 2
+    faults = tuple(FAULT_KINDS)
+    if args.faults:
+        faults = tuple(tok.strip() for tok in args.faults.split(",") if tok.strip())
+        bad = [f for f in faults if f not in FAULT_KINDS]
+        if bad:
+            print(f"unknown fault kind(s) {bad}; known: {list(FAULT_KINDS)}")
+            return 2
+    res = chaos.run(
+        trip=args.trip, seed=args.seed, kernels=kernels, faults=faults,
+        n_cores=args.cores, intensity=args.intensity,
+    )
+    print(chaos.format_result(res))
+    return 0 if res.silent == 0 else 1
+
+
 def _cmd_cache(args) -> int:
     from .store.disk import ResultStore, store_root
 
@@ -246,7 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="enable the happens-before race detector")
     rp.set_defaults(fn=_cmd_run)
 
-    ep = sub.add_parser("experiment", help="run a paper artifact (E1..E10|all)")
+    ep = sub.add_parser("experiment", help="run a paper artifact (E1..E11|all)")
     ep.add_argument("id")
     ep.add_argument("--trip", type=int, default=None,
                     help=f"evaluation trip count (default {_DEFAULT_TRIP}; "
@@ -274,6 +311,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-task timeout in seconds")
     wp.add_argument("--retries", type=int, default=1)
     wp.set_defaults(fn=_cmd_sweep)
+
+    xp = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign through the guarded runtime",
+    )
+    xp.add_argument("--kernels", default=None,
+                    help="comma-separated kernel names (default: chaos set "
+                    f"{','.join(_CHAOS_DEFAULT_KERNELS)})")
+    xp.add_argument("--faults", default=None,
+                    help="comma-separated fault kinds (default: all)")
+    xp.add_argument("--trip", type=int, default=24)
+    xp.add_argument("--seed", type=int, default=11)
+    xp.add_argument("--cores", type=int, default=4)
+    xp.add_argument("--intensity", type=float, default=1.0,
+                    help="fault probability scale (see FaultPlan.single)")
+    xp.set_defaults(fn=_cmd_chaos)
 
     cp2 = sub.add_parser("cache", help="persistent result-store maintenance")
     cp2.add_argument("action", choices=("stats", "clear", "gc"))

@@ -9,6 +9,7 @@ from . import (
     ablation_multipair,
     ablation_queue_depth,
     ablation_throughput,
+    chaos,
     fig12_speedup,
     fig13_latency,
     fig14_speculation,
@@ -38,6 +39,7 @@ REGISTRY = {
     "E8": (ablation_queue_depth, "queue-depth sweep (extension)"),
     "E9": (ablation_multipair, "§III-B multi-pair merge"),
     "E10": (ablation_adaptive, "latency-adaptive compilation (extension)"),
+    "E11": (chaos, "fault-injection campaign (robustness extension)"),
 }
 
 

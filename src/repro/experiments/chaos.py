@@ -1,0 +1,159 @@
+"""E11 — seeded chaos campaign (robustness extension).
+
+Injects every fault kind of :mod:`repro.faults` into guarded runs of
+tier-1 kernels and proves the safety invariant: *every run is either
+bit-exact or fails loudly; never silently wrong*.  Each cell of the
+kernel × fault matrix is classified as
+
+* ``masked``   — faults were injected but the parallel run still
+  verified bit-exact against the reference interpreter (timing-only
+  perturbations must always land here);
+* ``detected`` — at least one attempt surfaced a classified failure
+  (deadlock, budget, sim error, verification mismatch) but a later
+  relaxed-parameter retry produced a verified parallel result;
+* ``degraded`` — failures exhausted the retry budget and the guard
+  served the sequential fallback;
+* ``clean``    — the plan never fired (kept out of the summary rates);
+* ``silent``   — the final answer differs from an independently
+  recomputed reference.  **The campaign requires zero of these.**
+
+Every cell re-verifies the guarded result against a *fresh*
+interpreter run, so the "silent corruption" column is an independent
+check, not a restatement of the guard's own verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..faults import FAULT_KINDS, FaultPlan
+from ..interp import run_loop
+from ..kernels import get_kernel
+from ..runtime.guard import GuardPolicy, guarded_run
+from ..sim import MachineParams
+
+#: chaos default: ≥ 4 tier-1 kernels spanning all five applications'
+#: structure (dense arithmetic, stencils, conditionals, transcendental
+#: calls) so every fault kind meets varied queue traffic.
+DEFAULT_KERNELS = ("lammps-1", "irs-1", "umt2k-1", "sphot-2")
+
+#: instruction watchdog for chaos runs: corrupted control values may
+#: lengthen execution; the budget turns a runaway into a detection.
+CHAOS_MAX_INSTRS = 20_000_000
+
+OUTCOMES = ("masked", "detected", "degraded", "silent", "clean")
+
+
+@dataclass
+class ChaosCell:
+    """One (kernel, fault kind) cell of the campaign."""
+
+    kernel: str
+    fault: str
+    seed: int
+    injected: int                  # fault events across all attempts
+    attempts: int
+    outcome: str                   # one of OUTCOMES
+    failure_kinds: tuple[str, ...]  # classified failures, in order
+    source: str                    # "parallel" | "fallback"
+
+
+@dataclass
+class ChaosResult:
+    cells: list[ChaosCell]
+    counts: dict[str, int]
+    total_injected: int
+
+    @property
+    def silent(self) -> int:
+        return self.counts.get("silent", 0)
+
+
+def _classify(cell_injected: int, correct: bool, g) -> str:
+    if not correct:
+        return "silent"
+    if cell_injected == 0 and not g.failures:
+        return "clean"
+    if g.degraded:
+        return "degraded"
+    if g.failures:
+        return "detected"
+    return "masked"
+
+
+def run(
+    trip: int = 24,
+    seed: int = 11,
+    kernels: tuple[str, ...] = DEFAULT_KERNELS,
+    faults: tuple[str, ...] = FAULT_KINDS,
+    n_cores: int = 4,
+    intensity: float = 1.0,
+    policy: GuardPolicy | None = None,
+) -> ChaosResult:
+    """Run the seeded fault matrix; deterministic for a given seed."""
+    for kind in faults:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; known: {FAULT_KINDS}")
+    params = MachineParams(max_instrs=CHAOS_MAX_INSTRS)
+    cells: list[ChaosCell] = []
+    counts = {k: 0 for k in OUTCOMES}
+    total_injected = 0
+    for ki, name in enumerate(kernels):
+        spec = get_kernel(name)
+        loop = spec.loop()
+        wl = spec.workload(trip=trip)
+        for fi, kind in enumerate(faults):
+            cell_seed = seed + 1009 * ki + 9176 * fi
+            plan = replace(FaultPlan.single(kind, intensity=intensity),
+                           seed=cell_seed)
+            g = guarded_run(
+                loop, wl, n_cores,
+                params=params, policy=policy, fault_plan=plan,
+            )
+            # independent correctness check: never trust the guard's own
+            # verification to certify the guard.
+            ref = run_loop(loop, wl)
+            correct = all(
+                np.array_equal(buf, g.arrays.get(a))
+                for a, buf in ref.arrays.items()
+            ) and all(g.scalars.get(s) == v for s, v in ref.scalars.items())
+            outcome = _classify(len(g.injected), correct, g)
+            counts[outcome] += 1
+            total_injected += len(g.injected)
+            cells.append(ChaosCell(
+                kernel=name, fault=kind, seed=cell_seed,
+                injected=len(g.injected), attempts=g.attempts,
+                outcome=outcome,
+                failure_kinds=tuple(k.value for k in g.failure_kinds),
+                source=g.source,
+            ))
+    return ChaosResult(cells=cells, counts=counts,
+                       total_injected=total_injected)
+
+
+def format_result(res: ChaosResult) -> str:
+    lines = [
+        "E11 — chaos campaign: injected faults vs. detection/degradation",
+        f"{'kernel':10s} {'fault':9s} {'inj':>4s} {'att':>4s} "
+        f"{'outcome':9s} {'source':9s} failures",
+    ]
+    for c in res.cells:
+        fails = ",".join(c.failure_kinds) or "-"
+        lines.append(
+            f"{c.kernel:10s} {c.fault:9s} {c.injected:4d} {c.attempts:4d} "
+            f"{c.outcome:9s} {c.source:9s} {fails}"
+        )
+    lines.append("")
+    lines.append(
+        "summary: "
+        + "  ".join(f"{k}={res.counts.get(k, 0)}" for k in OUTCOMES)
+        + f"  (faults injected: {res.total_injected})"
+    )
+    lines.append(
+        f"silent corruption: {res.silent}"
+        + ("  — SAFETY INVARIANT HOLDS" if res.silent == 0
+           else "  — SAFETY INVARIANT VIOLATED")
+    )
+    return "\n".join(lines)

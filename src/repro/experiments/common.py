@@ -28,7 +28,8 @@ from ..compiler.pipeline import PlanStats
 from ..interp import run_loop
 from ..kernels import KernelSpec, table1_kernels
 from ..runtime import compile_loop, execute_kernel
-from ..sim import DeadlockError, MachineParams
+from ..runtime.guard import FailureKind, classify_failure
+from ..sim import BudgetExceeded, DeadlockError, MachineParams, MemoryFault, SimError
 from ..verify import verify_result
 
 log = logging.getLogger(__name__)
@@ -85,6 +86,12 @@ class KernelRun:
     stats: PlanStats | None
     queue_stall: float = 0.0
     instrs: int = 0
+    #: guard-taxonomy kind (str) when the parallel run failed, else None
+    #: (see :class:`repro.runtime.guard.FailureKind`).
+    failure: str | None = None
+    #: True when no verified parallel result exists and the cell's
+    #: trustworthy data came from the sequential path only.
+    fallback: bool = False
 
     @property
     def speedup(self) -> float:
@@ -180,6 +187,7 @@ def run_kernel(spec: KernelSpec, config: ExpConfig, store=_UNSET) -> KernelRun:
     par_cycles = float("inf")
     qstall = 0.0
     instrs = 0
+    failure = None
     try:
         k = compile_loop(loop, config.n_cores, config.compiler(profile_workload=wl))
         stats = k.plan.stats
@@ -188,9 +196,19 @@ def run_kernel(spec: KernelSpec, config: ExpConfig, store=_UNSET) -> KernelRun:
         qstall = res.total_queue_stall
         instrs = res.total_instrs
         correct = verify_result(ref, res)
+        if not correct:
+            failure = FailureKind.VERIFY_MISMATCH.value
     except DeadlockError:
         deadlocked = True
         correct = False
+        failure = FailureKind.DEADLOCK.value
+    except (BudgetExceeded, MemoryFault, SimError) as exc:
+        # keep the grid alive: classify and record instead of crashing
+        # the whole sweep; the sequential baseline above is still valid.
+        log.warning("%s: parallel run failed (%s: %s)",
+                    spec.name, type(exc).__name__, exc)
+        correct = False
+        failure = classify_failure(exc).value
 
     run = KernelRun(
         kernel=spec.name,
@@ -202,6 +220,8 @@ def run_kernel(spec: KernelSpec, config: ExpConfig, store=_UNSET) -> KernelRun:
         stats=stats,
         queue_stall=qstall,
         instrs=instrs,
+        failure=failure,
+        fallback=failure is not None,
     )
     _cache[key] = run
     if store is not None:

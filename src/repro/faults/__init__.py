@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the simulator (robustness testing).
+
+The paper's transformation must be *invisible* to the program: splitting
+a sequential region across cores over statically-paired Enque/Deque
+operations may never change the result (§III-G).  The failure modes of
+getting that wrong — a mis-paired queue operation, an undersized queue,
+a corrupted transfer — show up at runtime as hangs or wrong answers.
+This package provokes those failure modes on purpose so the detection
+and degradation machinery (:mod:`repro.runtime.guard`) can be proven,
+not assumed.
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: a frozen, seed-driven
+  description of which faults to inject and how often.  The same plan
+  against the same programs injects the same faults every time.
+* :mod:`repro.faults.inject` — :class:`FaultInjector`: one machine
+  run's worth of injection state.  Hooked into
+  :class:`~repro.sim.queues.HwQueue` (transfer jitter, transient
+  stalls, dropped transfers, value corruption) and
+  :class:`~repro.sim.machine.Machine` (per-core slowdown via a scaled
+  latency table).  Every injection is recorded as a
+  :class:`FaultEvent` so campaigns can report exactly what was done.
+
+The safety invariant the chaos campaign (experiment E11, ``repro
+chaos``) checks: every injected fault is either *masked* (timing-only,
+result still bit-exact), *detected* (surfaces as a classified failure),
+or *degraded* (guarded execution falls back to the sequential
+interpreter) — never a silently wrong answer.
+"""
+
+from .inject import FaultInjector
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultPlan"]

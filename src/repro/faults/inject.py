@@ -1,0 +1,141 @@
+"""Fault injector: one machine run's worth of deterministic chaos.
+
+The simulator processes cores in a fixed order (conservative dataflow
+replay), so queue transfers are *processed* in a deterministic sequence
+even though their simulated timestamps interleave.  A single
+``random.Random(plan.seed)`` consumed in processing order therefore
+yields a reproducible fault sequence: same plan + same programs ⇒ same
+injections, which is what lets the chaos campaign assert per-cell
+outcomes.
+
+The injector is deliberately dumb about *where* it is hooked:
+:class:`~repro.sim.queues.HwQueue` calls :meth:`on_enqueue` for every
+admitted transfer, and :class:`~repro.sim.machine.Machine` calls
+:meth:`latencies_for` once per core at construction.  All bookkeeping
+(the :class:`~repro.faults.plan.FaultEvent` log and per-kind counters)
+lives here so reports need no simulator cooperation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from ..analysis.cost import LatencyTable
+from .plan import FaultEvent, FaultPlan
+
+
+def _scaled_latencies(lat: LatencyTable, factor: float) -> LatencyTable:
+    """A latency table with every cost scaled by ``factor`` (min 1)."""
+
+    def sc(v: int) -> int:
+        return max(1, round(v * factor))
+
+    return LatencyTable(
+        float_bin={k: sc(v) for k, v in lat.float_bin.items()},
+        int_bin={k: sc(v) for k, v in lat.int_bin.items()},
+        call={k: sc(v) for k, v in lat.call.items()},
+        unop=sc(lat.unop),
+        select=sc(lat.select),
+        mov=sc(lat.mov),
+        loadi=sc(lat.loadi),
+        store=sc(lat.store),
+        load_hit=sc(lat.load_hit),
+        load_miss=sc(lat.load_miss),
+        branch=sc(lat.branch),
+        enqueue=sc(lat.enqueue),
+        dequeue=sc(lat.dequeue),
+    )
+
+
+def _corrupt_value(value, rng: random.Random):
+    """A deterministic perturbation that is always != value."""
+    if isinstance(value, float):
+        # shift by a magnitude-relative amount so verification (which
+        # is bit-exact on arrays) always sees the difference
+        return value + max(1.0, abs(value)) * (0.25 + 0.5 * rng.random())
+    # integers carry control decisions (dispatch indices, predicates,
+    # loop bounds) — a +/-1 shift exercises the nastiest corruptions
+    return int(value) + (1 if rng.random() < 0.5 else -1)
+
+
+class FaultInjector:
+    """Executes one :class:`~repro.faults.plan.FaultPlan` against one
+    machine run.  Create a fresh injector per run/attempt — the event
+    log and the RNG are single-use."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.events: list[FaultEvent] = []
+        self.n_transfers = 0
+
+    # -- queue side (called by HwQueue.push) ---------------------------
+
+    def on_enqueue(self, qid, index: int, value, ready_time: float):
+        """Decide this transfer's fate.
+
+        Returns ``(value, ready_time, dropped)``.  Draws from the RNG in
+        a fixed order regardless of which kinds are enabled, so the
+        fault sequence for a given seed is stable across plan variants.
+        """
+        p, rng = self.plan, self.rng
+        self.n_transfers += 1
+        where = repr(qid)
+
+        r_jitter, r_stall, r_drop, r_corrupt = (
+            rng.random(), rng.random(), rng.random(), rng.random()
+        )
+        if r_drop < p.drop_prob:
+            self.events.append(
+                FaultEvent("drop", where, index, f"value {value!r} lost in flight")
+            )
+            return value, ready_time, True
+        if r_corrupt < p.corrupt_prob:
+            bad = _corrupt_value(value, rng)
+            self.events.append(
+                FaultEvent("corrupt", where, index, f"{value!r} -> {bad!r}")
+            )
+            value = bad
+        if r_jitter < p.jitter_prob:
+            extra = rng.randint(1, max(1, p.jitter_max))
+            self.events.append(
+                FaultEvent("jitter", where, index, f"+{extra} cycles")
+            )
+            ready_time += extra
+        if r_stall < p.stall_prob:
+            self.events.append(
+                FaultEvent("stall", where, index, f"+{p.stall_cycles} cycles")
+            )
+            ready_time += p.stall_cycles
+        return value, ready_time, False
+
+    # -- core side (called by Machine at construction) ------------------
+
+    def latencies_for(self, cid: int, base: LatencyTable) -> LatencyTable:
+        """The latency table core ``cid`` should run with."""
+        p = self.plan
+        if cid not in p.slow_cores or p.slow_factor <= 1.0:
+            return base
+        self.events.append(
+            FaultEvent("slowdown", f"core {cid}", -1, f"x{p.slow_factor:g}")
+        )
+        return _scaled_latencies(base, p.slow_factor)
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def n_injected(self) -> int:
+        return len(self.events)
+
+    def counts(self) -> dict[str, int]:
+        """Injection count per fault kind (only kinds that fired)."""
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def fork(self) -> "FaultInjector":
+        """A fresh injector for a retry of the same plan (same seed —
+        deterministic faults recur on the retried run)."""
+        return FaultInjector(replace(self.plan))

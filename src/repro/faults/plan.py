@@ -1,0 +1,122 @@
+"""Fault plans: seed-driven descriptions of what to inject.
+
+A :class:`FaultPlan` is pure data — frozen, hashable, and cheap to
+``dataclasses.replace`` when a campaign varies the seed per cell.  The
+randomness lives in :class:`~repro.faults.inject.FaultInjector`, which
+derives every decision from ``plan.seed``, so a (plan, programs) pair
+reproduces the identical fault sequence on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+#: the five injectable fault kinds, in campaign-report order.
+FAULT_KINDS = ("jitter", "stall", "drop", "corrupt", "slowdown")
+
+#: fault kinds that perturb *timing only* and can never change a value
+#: or lose a transfer — a run under these must stay bit-exact.
+TIMING_ONLY_KINDS = frozenset({"jitter", "stall", "slowdown"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault (recorded by the injector as it happens)."""
+
+    kind: str          # one of FAULT_KINDS
+    where: str         # queue repr or "core N"
+    index: int         # transfer index (or -1 for per-core faults)
+    detail: str = ""   # human-readable specifics (delay, old->new value)
+
+    def __str__(self) -> str:
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"{self.kind} @ {self.where}#{self.index}{extra}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject.  All probabilities are per queue transfer.
+
+    ``jitter`` and ``stall`` delay a transfer's visibility (timing
+    only); ``drop`` loses a transfer in flight (the producer believes
+    it completed — the statically-paired consumer then waits forever,
+    so the machine must report a deadlock or drain error); ``corrupt``
+    delivers a perturbed value (must be caught by result
+    verification); ``slowdown`` scales the latency table of the listed
+    cores (timing only).
+    """
+
+    seed: int = 0
+    jitter_prob: float = 0.0
+    jitter_max: int = 16           # extra transfer cycles, 1..jitter_max
+    stall_prob: float = 0.0
+    stall_cycles: int = 400        # transient stall length in cycles
+    drop_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    slow_cores: tuple[int, ...] = field(default_factory=tuple)
+    slow_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("jitter_prob", "stall_prob", "drop_prob", "corrupt_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.slow_factor < 1.0:
+            raise ValueError(f"slow_factor must be >= 1, got {self.slow_factor}")
+
+    @property
+    def active_kinds(self) -> tuple[str, ...]:
+        """The fault kinds this plan can actually inject."""
+        out = []
+        if self.jitter_prob > 0:
+            out.append("jitter")
+        if self.stall_prob > 0:
+            out.append("stall")
+        if self.drop_prob > 0:
+            out.append("drop")
+        if self.corrupt_prob > 0:
+            out.append("corrupt")
+        if self.slow_cores and self.slow_factor > 1.0:
+            out.append("slowdown")
+        return tuple(out)
+
+    @property
+    def timing_only(self) -> bool:
+        """True when the plan can only perturb timing, never values."""
+        return all(k in TIMING_ONLY_KINDS for k in self.active_kinds)
+
+    @classmethod
+    def single(cls, kind: str, seed: int = 0, intensity: float = 1.0) -> "FaultPlan":
+        """A plan injecting exactly one fault kind at a standard rate.
+
+        ``intensity`` scales the default probability/magnitude; the
+        defaults are tuned so a Table-I kernel run at trip >= 8 is all
+        but guaranteed to receive at least one injection.
+        """
+        if kind == "jitter":
+            return cls(seed=seed, jitter_prob=min(1.0, 0.5 * intensity),
+                       jitter_max=max(1, round(32 * intensity)))
+        if kind == "stall":
+            return cls(seed=seed, stall_prob=min(1.0, 0.1 * intensity),
+                       stall_cycles=max(1, round(400 * intensity)))
+        if kind == "drop":
+            return cls(seed=seed, drop_prob=min(1.0, 0.05 * intensity))
+        if kind == "corrupt":
+            return cls(seed=seed, corrupt_prob=min(1.0, 0.08 * intensity))
+        if kind == "slowdown":
+            return cls(seed=seed, slow_cores=(1,),
+                       slow_factor=1.0 + 2.0 * intensity)
+        raise ValueError(f"unknown fault kind {kind!r}; known: {FAULT_KINDS}")
+
+    def describe(self) -> str:
+        active = ", ".join(self.active_kinds) or "none"
+        knobs = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in fields(self)
+            if getattr(self, f.name) != f.default and f.name != "seed"
+            and not isinstance(getattr(self, f.name), tuple)
+        )
+        return f"FaultPlan(seed={self.seed}, kinds=[{active}]" + (
+            f", {knobs})" if knobs else ")"
+        )

@@ -6,8 +6,31 @@ see :mod:`repro.isa.lower`.  This package provides the host-side glue:
 loading workload data into shared memory, preloading the primary core's
 registers (the enclosing application context), and launching the
 machine.
+
+:mod:`repro.runtime.guard` layers the safety contract on top:
+:func:`~repro.runtime.guard.guarded_run` classifies every failure of
+the compile/execute path, applies a bounded retry-with-relaxed-params
+policy, and degrades to the sequential reference interpreter so callers
+always receive a correct result plus its provenance.
 """
 
-from .exec import execute_kernel, compile_loop
+from .exec import compile_loop, execute_kernel
+from .guard import (
+    FailureKind,
+    FailureReport,
+    GuardPolicy,
+    GuardedRun,
+    classify_failure,
+    guarded_run,
+)
 
-__all__ = ["compile_loop", "execute_kernel"]
+__all__ = [
+    "FailureKind",
+    "FailureReport",
+    "GuardPolicy",
+    "GuardedRun",
+    "classify_failure",
+    "compile_loop",
+    "execute_kernel",
+    "guarded_run",
+]

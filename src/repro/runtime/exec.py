@@ -27,6 +27,7 @@ def execute_kernel(
     params: MachineParams | None = None,
     detect_races: bool = False,
     trace: bool = False,
+    faults=None,
 ) -> SimResult:
     """Run a lowered kernel on (a copy of) ``workload``.
 
@@ -45,6 +46,7 @@ def execute_kernel(
     machine = Machine(
         kernel.programs, memory, params,
         preload_regs=preload, detect_races=detect_races, trace=trace,
+        faults=faults,
     )
     result = machine.run(live_out=loop.live_out, primary=0)
     result.trace = machine.trace_recorder

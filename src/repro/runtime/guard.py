@@ -1,0 +1,254 @@
+"""Guarded execution: every caller gets a correct answer, always.
+
+The system's core safety invariant is *every run is either bit-exact
+or fails loudly; never silently wrong*.  The simulator holds up its
+half — deadlock detection, instruction budgets, drain checks, and the
+reference-interpreter verification in :mod:`repro.verify` turn every
+known failure mode into an exception or a ``correct=False``.  This
+module holds up the other half: :func:`guarded_run` wraps
+``compile_loop``/``execute_kernel`` so that a failure *degrades*
+instead of propagating:
+
+1. classify the failure into the :class:`FailureKind` taxonomy and
+   record a :class:`FailureReport` (with the machine's partial
+   statistics when available);
+2. retry with *relaxed* parameters where that can plausibly help — a
+   deadlock retries with deeper queues (undersized queues are a real
+   deadlock cause, §II), a budget trip retries with a larger budget;
+   deterministic failures without an active fault plan are not
+   retried (a byte-identical rerun cannot succeed);
+3. after bounded retries, fall back to the sequential reference
+   interpreter — the result the transformation was required to
+   preserve in the first place — and say so in the provenance.
+
+The return value therefore always carries a correct ``arrays`` /
+``scalars`` state, plus the full record of *how* it was obtained.
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+from dataclasses import dataclass, field, replace
+
+from ..interp import run_loop
+from ..ir.stmts import Loop
+from ..sim import (
+    BudgetExceeded,
+    DeadlockError,
+    MachineParams,
+    MemoryFault,
+    PartialStats,
+    SimError,
+    SimResult,
+)
+from ..verify import verify_result
+from ..workload import Workload
+from .exec import compile_loop, execute_kernel
+
+log = logging.getLogger(__name__)
+
+
+class FailureKind(enum.Enum):
+    """Taxonomy of guarded-execution failures."""
+
+    DEADLOCK = "deadlock"            # DeadlockError: mis-paired/undersized queues
+    BUDGET = "budget"                # BudgetExceeded: runaway execution
+    SIM_ERROR = "sim-error"          # SimError: drain imbalance, bad dispatch...
+    MEMORY_FAULT = "memory-fault"    # MemoryFault: out-of-bounds access
+    VERIFY_MISMATCH = "verify-mismatch"  # ran to completion, wrong answer
+    COMPILE_ERROR = "compile-error"  # the compiler pipeline itself raised
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: kinds whose retry gets *relaxed* machine parameters; all other kinds
+#: are deterministic reruns and only retried under active fault plans.
+_RELAXABLE = frozenset({FailureKind.DEADLOCK, FailureKind.BUDGET})
+
+
+def classify_failure(exc: BaseException) -> FailureKind:
+    """Map an exception from the compile/execute path to the taxonomy."""
+    if isinstance(exc, DeadlockError):
+        return FailureKind.DEADLOCK
+    if isinstance(exc, BudgetExceeded):
+        return FailureKind.BUDGET
+    if isinstance(exc, MemoryFault):
+        return FailureKind.MEMORY_FAULT
+    if isinstance(exc, SimError):
+        return FailureKind.SIM_ERROR
+    return FailureKind.COMPILE_ERROR
+
+
+@dataclass
+class FailureReport:
+    """One failed parallel attempt, with enough context to diagnose."""
+
+    kind: FailureKind
+    message: str
+    attempt: int                     # 1-based attempt number
+    queue_depth: int                 # machine params of the failed attempt
+    max_instrs: int
+    partial: PartialStats | None = None
+
+    def describe(self) -> str:
+        extra = f"; progress: {self.partial.format()}" if self.partial else ""
+        head = self.message.splitlines()[0] if self.message else ""
+        return (
+            f"attempt {self.attempt}: {self.kind.value} "
+            f"(depth={self.queue_depth}, budget={self.max_instrs}) "
+            f"{head}{extra}"
+        )
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """Bounded-retry policy for :func:`guarded_run`."""
+
+    #: total parallel attempts (including the first).
+    max_attempts: int = 3
+    #: queue-depth multiplier applied after a deadlock.
+    depth_scale: int = 4
+    #: instruction-budget multiplier applied after a budget trip.
+    budget_scale: int = 8
+    #: cap so relaxation cannot grow without bound.
+    max_queue_depth: int = 4096
+
+
+@dataclass
+class GuardedRun:
+    """Outcome of a guarded execution.  ``arrays``/``scalars`` are
+    always a correct final state; ``source`` says where it came from."""
+
+    arrays: dict
+    scalars: dict
+    source: str                      # "parallel" | "fallback"
+    attempts: int                    # parallel attempts made
+    failures: list[FailureReport] = field(default_factory=list)
+    cycles: float | None = None      # simulated cycles (parallel only)
+    sim: SimResult | None = None     # the verified parallel result
+    injected: list = field(default_factory=list)  # FaultEvents, all attempts
+
+    @property
+    def degraded(self) -> bool:
+        return self.source == "fallback"
+
+    @property
+    def failure_kinds(self) -> list[FailureKind]:
+        return [f.kind for f in self.failures]
+
+    def describe(self) -> str:
+        lines = [
+            f"source: {self.source} after {self.attempts} parallel attempt(s)"
+        ]
+        lines += ["  " + f.describe() for f in self.failures]
+        if self.injected:
+            lines.append(f"  faults injected: {len(self.injected)}")
+        return "\n".join(lines)
+
+
+def guarded_run(
+    loop: Loop,
+    workload: Workload,
+    n_cores: int = 4,
+    *,
+    config=None,
+    params: MachineParams | None = None,
+    policy: GuardPolicy | None = None,
+    fault_plan=None,
+) -> GuardedRun:
+    """Compile + execute ``loop`` with graceful sequential fallback.
+
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) arms fault
+    injection: a fresh injector is created per attempt so the seeded
+    fault sequence replays identically on retries, and every injected
+    event is aggregated into the result's ``injected`` log.
+    """
+    policy = policy or GuardPolicy()
+    base = params or MachineParams()
+    # The reference interpreter is both the verification oracle and the
+    # fallback answer, so the guarantee costs one sequential execution.
+    ref = run_loop(loop, workload)
+
+    failures: list[FailureReport] = []
+    injected: list = []
+
+    try:
+        kernel = compile_loop(loop, n_cores, config)
+    except Exception as exc:  # compiler bug: no parallel path exists
+        log.warning("guard: compile failed (%s: %s); sequential fallback",
+                    type(exc).__name__, exc)
+        failures.append(FailureReport(
+            kind=FailureKind.COMPILE_ERROR,
+            message=f"{type(exc).__name__}: {exc}",
+            attempt=0, queue_depth=base.queue_depth,
+            max_instrs=base.max_instrs,
+        ))
+        return GuardedRun(
+            arrays=ref.arrays, scalars=dict(ref.scalars), source="fallback",
+            attempts=0, failures=failures,
+        )
+
+    cur = base
+    attempt = 0
+    while attempt < policy.max_attempts:
+        attempt += 1
+        injector = None
+        if fault_plan is not None:
+            from ..faults import FaultInjector
+
+            injector = FaultInjector(fault_plan)
+        try:
+            res = execute_kernel(kernel, workload, cur, faults=injector)
+        except (DeadlockError, BudgetExceeded, MemoryFault, SimError) as exc:
+            if injector is not None:
+                injected.extend(injector.events)
+            relax_kind = classify_failure(exc)
+            failures.append(FailureReport(
+                kind=relax_kind, message=str(exc), attempt=attempt,
+                queue_depth=cur.queue_depth, max_instrs=cur.max_instrs,
+                partial=getattr(exc, "partial", None),
+            ))
+        else:
+            if injector is not None:
+                injected.extend(injector.events)
+            if verify_result(ref, res):
+                return GuardedRun(
+                    arrays=res.arrays, scalars=dict(res.scalars),
+                    source="parallel", attempts=attempt, failures=failures,
+                    cycles=res.cycles, sim=res, injected=injected,
+                )
+            relax_kind = FailureKind.VERIFY_MISMATCH
+            failures.append(FailureReport(
+                kind=relax_kind,
+                message="simulated result differs from the reference interpreter",
+                attempt=attempt, queue_depth=cur.queue_depth,
+                max_instrs=cur.max_instrs,
+            ))
+
+        log.warning("guard: %s", failures[-1].describe())
+        if relax_kind is FailureKind.DEADLOCK:
+            if cur.queue_depth >= policy.max_queue_depth:
+                break
+            cur = replace(
+                cur,
+                queue_depth=min(
+                    policy.max_queue_depth,
+                    cur.queue_depth * policy.depth_scale,
+                ),
+            )
+        elif relax_kind is FailureKind.BUDGET:
+            cur = replace(cur, max_instrs=cur.max_instrs * policy.budget_scale)
+        elif fault_plan is None:
+            # deterministic failure, identical rerun cannot succeed
+            break
+
+    log.warning(
+        "guard: %d parallel attempt(s) failed; serving sequential fallback",
+        attempt,
+    )
+    return GuardedRun(
+        arrays=ref.arrays, scalars=dict(ref.scalars), source="fallback",
+        attempts=attempt, failures=failures, injected=injected,
+    )

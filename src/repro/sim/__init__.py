@@ -11,7 +11,9 @@ from .machine import (
     BudgetExceeded,
     DeadlockError,
     Machine,
+    MachineFailure,
     MachineParams,
+    PartialStats,
     QueueStat,
     SimResult,
 )
@@ -22,7 +24,7 @@ from .trace import TraceEvent, TraceRecorder
 
 __all__ = [
     "BudgetExceeded", "Core", "CoreCache", "CoreStats", "DeadlockError",
-    "HwQueue", "Machine", "MachineParams", "MemoryFault", "QueueStat",
-    "Race", "RaceDetector", "SharedMemory", "SimError", "SimResult",
-    "TraceEvent", "TraceRecorder",
+    "HwQueue", "Machine", "MachineFailure", "MachineParams", "MemoryFault",
+    "PartialStats", "QueueStat", "Race", "RaceDetector", "SharedMemory",
+    "SimError", "SimResult", "TraceEvent", "TraceRecorder",
 ]

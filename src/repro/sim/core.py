@@ -178,11 +178,12 @@ class Core:
                 self.stats.queue_stall += completion - start - lat.enqueue
                 if self.race is not None:
                     self.race.on_enq(self.cid, ins.queue, q.n_enq)
-                q.push(self._val(ins.a), completion + q.transfer_latency)
+                sent = self._val(ins.a)
+                q.push(sent, completion + q.transfer_latency)
                 if self.trace is not None:
                     self.trace.record(
                         time=completion, core=self.cid, kind="enq",
-                        queue=ins.queue, value=q.values[-1],
+                        queue=ins.queue, value=sent,
                         stall=completion - start - lat.enqueue,
                     )
                 self.time = completion

@@ -27,11 +27,47 @@ from .memory import CoreCache, SharedMemory
 from .queues import HwQueue
 
 
-class DeadlockError(RuntimeError):
+@dataclass
+class PartialStats:
+    """Progress snapshot attached to machine failures.
+
+    When a run dies (deadlock, budget, drain error) the caller — the
+    guard layer, the chaos report, a human — needs to know how far the
+    machine got, not just that it died.  Cheap to build: everything is
+    already tracked per core/queue."""
+
+    total_instrs: int
+    core_times: list[float]
+    core_instrs: list[int]
+    core_halted: list[bool]
+    queue_stats: list[QueueStat]
+
+    def format(self) -> str:
+        cores = ", ".join(
+            f"c{i}: {t:.0f}cy/{n}i{'*' if h else ''}"
+            for i, (t, n, h) in enumerate(
+                zip(self.core_times, self.core_instrs, self.core_halted)
+            )
+        )
+        return (
+            f"{self.total_instrs} instrs; {cores}; "
+            f"{len(self.queue_stats)} queue(s) active"
+        )
+
+
+class MachineFailure(RuntimeError):
+    """Base for machine-detected failures; carries partial statistics."""
+
+    def __init__(self, message: str, partial: PartialStats | None = None):
+        super().__init__(message)
+        self.partial = partial
+
+
+class DeadlockError(MachineFailure):
     pass
 
 
-class BudgetExceeded(RuntimeError):
+class BudgetExceeded(MachineFailure):
     pass
 
 
@@ -88,10 +124,14 @@ class Machine:
         preload_regs: dict[int, dict[str, float | int]] | None = None,
         detect_races: bool = False,
         trace: bool = False,
+        faults=None,
     ) -> None:
         self.params = params or MachineParams()
         self.memory = memory
         self.queues: dict[QueueId, HwQueue] = {}
+        #: optional FaultInjector (see :mod:`repro.faults`): wired into
+        #: every queue and consulted for per-core latency scaling.
+        self.faults = faults
         self.race_detector = None
         if detect_races:
             from .race import RaceDetector
@@ -106,7 +146,11 @@ class Machine:
             Core(
                 cid=i,
                 program=prog,
-                lat=self.params.latencies,
+                lat=(
+                    faults.latencies_for(i, self.params.latencies)
+                    if faults is not None
+                    else self.params.latencies
+                ),
                 cache=CoreCache(self.params.cache_lines, self.params.line_elems),
                 memory=memory,
                 queues=self._queue,
@@ -129,6 +173,7 @@ class Machine:
                 qid=qid,
                 depth=self.params.queue_depth,
                 transfer_latency=self.params.queue_latency,
+                injector=self.faults,
             )
             self.queues[qid] = q
         return q
@@ -145,14 +190,18 @@ class Machine:
                 progressed = True
                 if total > self.params.max_instrs:
                     raise BudgetExceeded(
-                        f"instruction budget exceeded ({total} instrs)"
+                        f"instruction budget exceeded ({total} instrs)",
+                        partial=self._partial_stats(total),
                     )
             if all(c.halted for c in self.cores):
                 break
             if not progressed:
-                raise DeadlockError(self._deadlock_report())
+                raise DeadlockError(
+                    self._deadlock_report(),
+                    partial=self._partial_stats(total),
+                )
 
-        self._check_drained()
+        self._check_drained(total)
         scalars = {}
         for name in live_out or []:
             if name in self.cores[primary].regs:
@@ -176,13 +225,27 @@ class Machine:
             else [],
         )
 
-    def _check_drained(self) -> None:
+    def _partial_stats(self, total: int) -> PartialStats:
+        return PartialStats(
+            total_instrs=total,
+            core_times=[c.time for c in self.cores],
+            core_instrs=[c.stats.instrs for c in self.cores],
+            core_halted=[c.halted for c in self.cores],
+            queue_stats=[
+                QueueStat(q.qid, q.n_deq, q.max_outstanding)
+                for q in self.queues.values()
+            ],
+        )
+
+    def _check_drained(self, total: int = 0) -> None:
         leftovers = [q for q in self.queues.values() if q.outstanding]
         if leftovers:
             detail = ", ".join(
                 f"{q.qid!r}:{q.outstanding} left" for q in leftovers
             )
-            raise SimError(f"unbalanced communication at halt: {detail}")
+            err = SimError(f"unbalanced communication at halt: {detail}")
+            err.partial = self._partial_stats(total)
+            raise err
 
     def _deadlock_report(self) -> str:
         lines = ["deadlock: no core can make progress"]

@@ -36,6 +36,9 @@ class HwQueue:
     n_enq: int = 0
     n_deq: int = 0
     max_outstanding: int = 0
+    #: optional FaultInjector (see :mod:`repro.faults`) consulted on
+    #: every admitted transfer; None in normal operation.
+    injector: object | None = None
 
     # -- producer side ---------------------------------------------------
     def slot_blocker(self) -> int | None:
@@ -54,12 +57,22 @@ class HwQueue:
             return self.deq_times[m - self.depth]
         return 0.0
 
-    def push(self, value, ready_time: float) -> None:
+    def push(self, value, ready_time: float) -> bool:
+        """Admit a transfer; returns False if it was dropped in flight
+        (fault injection only — the producer has already paid for the
+        enqueue and is unaware, exactly like lost hardware flits)."""
         assert self.slot_blocker() is None, "push on full queue"
+        if self.injector is not None:
+            value, ready_time, dropped = self.injector.on_enqueue(
+                self.qid, self.n_enq, value, ready_time
+            )
+            if dropped:
+                return False
         self.values.append(value)
         self.ready_times.append(ready_time)
         self.n_enq += 1
         self.max_outstanding = max(self.max_outstanding, self.n_enq - self.n_deq)
+        return True
 
     # -- consumer side ---------------------------------------------------
     def entry_blocker(self) -> int | None:

@@ -40,6 +40,11 @@ def encode_run(key: str, run: Any) -> dict:
             "stats": asdict(run.stats) if run.stats is not None else None,
             "queue_stall": run.queue_stall,
             "instrs": run.instrs,
+            # failure/fallback provenance (ISSUE-2); absent in records
+            # written before the guard layer existed — the decoder
+            # defaults them, keeping the read path back-compatible.
+            "failure": getattr(run, "failure", None),
+            "fallback": getattr(run, "fallback", False),
         },
     }
 
@@ -54,6 +59,7 @@ def decode_run(envelope: dict) -> Any | None:
             return None
         p = envelope["payload"]
         stats = PlanStats(**p["stats"]) if p["stats"] is not None else None
+        failure = p.get("failure")
         return KernelRun(
             kernel=p["kernel"],
             config=ExpConfig(**p["config"]),
@@ -64,6 +70,8 @@ def decode_run(envelope: dict) -> Any | None:
             stats=stats,
             queue_stall=float(p["queue_stall"]),
             instrs=int(p["instrs"]),
+            failure=str(failure) if failure is not None else None,
+            fallback=bool(p.get("fallback", False)),
         )
     except (KeyError, TypeError, ValueError, AttributeError):
         return None

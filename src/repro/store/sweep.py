@@ -13,8 +13,13 @@ compile/simulate call.
 Every failure mode degrades gracefully: a pool that cannot be created
 (restricted environments without ``/dev/shm``, missing ``fork``) falls
 back to in-process serial execution, a task that times out or crashes
-is retried, and tasks that exhaust their retries are re-run serially
-in the parent so the grid always comes back complete.
+*transiently* is retried (with exponential backoff + jitter between
+retry rounds), a task that fails *deterministically* (a ``ValueError``
+from a bad config, a simulator invariant violation) is quarantined
+immediately — retrying a byte-identical computation cannot succeed and
+only starves the rest of the grid — and quarantined or retry-exhausted
+tasks are re-run serially in the parent, where a real error surfaces
+with its true traceback instead of a pickled pool remnant.
 """
 
 from __future__ import annotations
@@ -23,6 +28,8 @@ import logging
 import math
 import multiprocessing
 import os
+import random
+import time
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
@@ -32,7 +39,40 @@ log = logging.getLogger(__name__)
 #: ("" / "0" / "1" = serial, "auto" = cpu count, N = N processes).
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: backoff between pool retry rounds: base * 2^attempt, capped, jittered.
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 2.0
+
+#: exception types that mark a task as deterministically broken —
+#: the same inputs will fail the same way, so retries are pointless.
+#: (DeadlockError normally never escapes a worker — run_kernel converts
+#: it into a KernelRun record — but classify it anyway for robustness.)
+PERMANENT_ERRORS = (
+    ValueError, TypeError, KeyError, AttributeError, AssertionError,
+    ZeroDivisionError, IndexError, NotImplementedError,
+)
+
 _UNSET = object()
+
+
+def _is_retryable(exc: BaseException) -> bool:
+    """True for plausibly-transient worker failures (infrastructure:
+    broken pipes, OOM kills surfacing as OSError, pickling hiccups);
+    False for deterministic task failures."""
+    from ..sim import MachineFailure, MemoryFault, SimError
+
+    if isinstance(exc, (MachineFailure, SimError, MemoryFault)):
+        return False
+    if isinstance(exc, PERMANENT_ERRORS):
+        return False
+    return True
+
+
+def _backoff_delay(attempt: int, rng: random.Random) -> float:
+    """Full-jitter exponential backoff for retry round ``attempt``."""
+    return min(BACKOFF_CAP, BACKOFF_BASE * (2 ** attempt)) * (
+        0.5 + 0.5 * rng.random()
+    )
 
 
 @dataclass(frozen=True)
@@ -48,10 +88,16 @@ class SweepTask:
 
 
 def resolve_workers(workers: int | str | None) -> int:
-    """Normalize a worker-count request; 0/1 means serial.
+    """Normalize a worker-count request; 0/1 means serial, -1 means
+    "auto" (cpu count).
 
-    Raises ValueError for strings that are neither "auto"/"max" nor an
-    integer, so callers can report the bad value instead of crashing.
+    Explicit arguments are strict: strings that are neither
+    "auto"/"max" nor an integer, and negative counts other than -1,
+    raise ValueError so callers can report the bad value instead of
+    silently doing something else.  The env-var path stays lenient —
+    a bad ``$REPRO_WORKERS`` logs a warning and degrades (invalid
+    strings to serial, negatives to auto) rather than breaking every
+    command that consults it.
     """
     from_env = workers is None
     if from_env:
@@ -70,6 +116,12 @@ def resolve_workers(workers: int | str | None) -> int:
                     f"workers must be an integer or 'auto', got {workers!r}"
                 ) from None
     if workers < 0:
+        if workers != -1 and not from_env:
+            raise ValueError(
+                f"workers must be >= 0 (or -1 for auto), got {workers}"
+            )
+        if workers != -1:
+            log.warning("%s=%d is negative; treating as auto", WORKERS_ENV, workers)
         workers = os.cpu_count() or 1
     return workers
 
@@ -162,11 +214,24 @@ def _run_pool(
     store: Any,
 ) -> list[SweepTask]:
     """Drain ``pending`` through a worker pool; returns tasks left for
-    the serial fallback."""
+    the serial fallback (retry-exhausted and quarantined cells).
+
+    Failure discipline: a *transient* failure (timeout, infrastructure
+    error) is retried in the next pool round, after an exponential
+    backoff with jitter; a *deterministic* failure (bad config, sim
+    invariant violation — see :data:`PERMANENT_ERRORS`) quarantines the
+    cell immediately, as does exhausting the per-cell retry budget, so
+    one repeatedly-crashing cell can never starve the rest of the grid
+    of pool rounds.  Quarantined cells run serially in the parent where
+    a genuine error surfaces with its real traceback.
+    """
     from ..experiments import common
 
     root = str(store.root) if store is not None else None
     ctx = multiprocessing.get_context()
+    rng = random.Random(0xC0FFEE ^ len(pending))
+    quarantined: list[SweepTask] = []
+    fail_counts: dict[tuple, int] = {}
     for attempt in range(retries + 1):
         if not pending:
             break
@@ -174,9 +239,31 @@ def _run_pool(
             pool = ctx.Pool(processes=min(workers, len(pending)))
         except (OSError, ValueError, ImportError) as exc:
             log.warning("sweep: worker pool unavailable (%s); running serially", exc)
-            return pending
+            return pending + quarantined
         failed: list[SweepTask] = []
         timed_out = False
+
+        def _fail(task: SweepTask, reason: str, retryable: bool) -> None:
+            fail_counts[task.cell] = fail_counts.get(task.cell, 0) + 1
+            if not retryable:
+                log.warning(
+                    "sweep: %s failed deterministically (%s); quarantined "
+                    "for serial fallback, no pool retries", task.kernel, reason,
+                )
+                quarantined.append(task)
+            elif fail_counts[task.cell] > retries:
+                log.warning(
+                    "sweep: %s failed %d time(s) (%s); quarantined for "
+                    "serial fallback", task.kernel, fail_counts[task.cell], reason,
+                )
+                quarantined.append(task)
+            else:
+                log.warning(
+                    "sweep: %s failed (%s); will retry (attempt %d/%d)",
+                    task.kernel, reason, attempt + 1, retries + 1,
+                )
+                failed.append(task)
+
         try:
             handles = [
                 (t, pool.apply_async(_worker_run, (t.kernel, t.config, root)))
@@ -186,18 +273,12 @@ def _run_pool(
                 try:
                     run = handle.get(timeout)
                 except multiprocessing.TimeoutError:
-                    log.warning(
-                        "sweep: %s timed out after %.1fs (attempt %d/%d)",
-                        task.kernel, timeout or 0.0, attempt + 1, retries + 1,
-                    )
-                    failed.append(task)
                     timed_out = True
+                    _fail(task, f"timed out after {timeout or 0.0:.1f}s",
+                          retryable=True)
                 except Exception as exc:
-                    log.warning(
-                        "sweep: %s failed in worker (%s: %s); will retry",
-                        task.kernel, type(exc).__name__, exc,
-                    )
-                    failed.append(task)
+                    _fail(task, f"{type(exc).__name__}: {exc}",
+                          retryable=_is_retryable(exc))
                 else:
                     results[task.cell] = run
                     common.seed_cache(run)  # parent L1: later serial calls reuse
@@ -210,4 +291,9 @@ def _run_pool(
                 pool.close()
             pool.join()
         pending = failed
-    return pending
+        if pending and attempt < retries:
+            delay = _backoff_delay(attempt, rng)
+            log.info("sweep: backing off %.2fs before retry round %d",
+                     delay, attempt + 2)
+            time.sleep(delay)
+    return pending + quarantined

@@ -59,10 +59,10 @@ class TestCommands:
         assert main(["experiment", "E1"]) == 0
         assert "51" in capsys.readouterr().out
 
-    def test_experiment_help_covers_e10(self):
+    def test_experiment_help_covers_e11(self):
         parser = build_parser()
         text = parser.format_help()
-        assert "E1..E10|all" in text
+        assert "E1..E11|all" in text
 
     def test_experiment_e1_warns_on_trip(self, capsys):
         assert main(["experiment", "E1", "--trip", "10"]) == 0
@@ -89,6 +89,36 @@ class TestCommands:
     def test_experiment_bad_workers(self, capsys):
         assert main(["experiment", "E1", "--workers", "abc"]) == 2
         assert "workers" in capsys.readouterr().out
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.trip == 24 and args.seed == 11 and args.cores == 4
+        assert args.kernels is None and args.faults is None
+
+    def test_chaos_default_kernels_in_sync(self):
+        from repro.cli import _CHAOS_DEFAULT_KERNELS
+        from repro.experiments.chaos import DEFAULT_KERNELS
+
+        assert _CHAOS_DEFAULT_KERNELS == DEFAULT_KERNELS
+
+    def test_chaos_smoke(self, capsys):
+        rc = main([
+            "chaos", "--kernels", "umt2k-1", "--faults", "drop,jitter",
+            "--trip", "8",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "silent corruption: 0" in out
+        assert "SAFETY INVARIANT HOLDS" in out
+        assert "umt2k-1" in out
+
+    def test_chaos_unknown_kernel(self, capsys):
+        assert main(["chaos", "--kernels", "nosuch-kernel"]) == 2
+        assert "unknown kernel" in capsys.readouterr().out
+
+    def test_chaos_unknown_fault(self, capsys):
+        assert main(["chaos", "--kernels", "umt2k-1", "--faults", "gamma-ray"]) == 2
+        assert "unknown fault" in capsys.readouterr().out
 
     def test_cache_stats_clear_gc(self, capsys, tmp_path):
         root = str(tmp_path / "cache-cli")

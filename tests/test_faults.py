@@ -1,0 +1,161 @@
+"""Unit tests for the fault-injection subsystem (plans + injector +
+queue/machine hooks)."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.cost import default_latencies
+from repro.faults import FAULT_KINDS, FaultInjector, FaultPlan
+from repro.faults.inject import _corrupt_value, _scaled_latencies
+from repro.faults.plan import TIMING_ONLY_KINDS
+from repro.ir.types import VClass
+from repro.isa import QueueId
+from repro.sim.queues import HwQueue
+
+
+def _drive(injector, n=50, value=1.5):
+    """Feed ``n`` transfers through the injector; return the outcomes."""
+    qid = QueueId(0, 1, VClass.GPR)
+    return [injector.on_enqueue(qid, i, value, 100.0 + i) for i in range(n)]
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="drop_prob"):
+            FaultPlan(drop_prob=1.5)
+        with pytest.raises(ValueError, match="jitter_prob"):
+            FaultPlan(jitter_prob=-0.1)
+        with pytest.raises(ValueError, match="slow_factor"):
+            FaultPlan(slow_factor=0.5)
+
+    def test_single_covers_every_kind(self):
+        for kind in FAULT_KINDS:
+            plan = FaultPlan.single(kind, seed=3)
+            assert plan.active_kinds == (kind,)
+            assert plan.seed == 3
+            assert plan.timing_only == (kind in TIMING_ONLY_KINDS)
+
+    def test_single_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.single("cosmic-ray")
+
+    def test_inert_plan(self):
+        plan = FaultPlan()
+        assert plan.active_kinds == ()
+        assert plan.timing_only  # vacuously: nothing can change a value
+
+    def test_hashable_and_replaceable(self):
+        plan = FaultPlan.single("drop")
+        assert hash(plan) == hash(FaultPlan.single("drop"))
+        reseeded = dataclasses.replace(plan, seed=9)
+        assert reseeded.seed == 9 and reseeded.drop_prob == plan.drop_prob
+
+    def test_describe(self):
+        text = FaultPlan.single("corrupt", seed=7).describe()
+        assert "corrupt" in text and "seed=7" in text
+
+
+class TestFaultInjector:
+    def test_deterministic_replay(self):
+        plan = FaultPlan.single("drop", seed=42)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        assert _drive(a) == _drive(b)
+        assert [str(e) for e in a.events] == [str(e) for e in b.events]
+
+    def test_seed_changes_sequence(self):
+        out1 = _drive(FaultInjector(FaultPlan.single("drop", seed=1)), n=200)
+        out2 = _drive(FaultInjector(FaultPlan.single("drop", seed=2)), n=200)
+        assert out1 != out2
+
+    def test_drop_flags_transfer(self):
+        inj = FaultInjector(FaultPlan(seed=0, drop_prob=1.0))
+        (_, _, dropped), = _drive(inj, n=1)
+        assert dropped
+        assert inj.counts() == {"drop": 1}
+
+    def test_corrupt_changes_value_float_and_int(self):
+        inj = FaultInjector(FaultPlan(seed=0, corrupt_prob=1.0))
+        (v, _, dropped), = _drive(inj, n=1, value=2.0)
+        assert not dropped and v != 2.0
+        (w, _, _), = _drive(FaultInjector(FaultPlan(seed=0, corrupt_prob=1.0)),
+                            n=1, value=10)
+        assert isinstance(w, int) and w in (9, 11)
+
+    def test_corrupt_value_never_identity(self):
+        import random
+
+        rng = random.Random(5)
+        for v in (0.0, -3.5, 1e300, 0, 7, -7):
+            assert _corrupt_value(v, rng) != v
+
+    def test_jitter_and_stall_delay_only(self):
+        inj = FaultInjector(FaultPlan(seed=0, jitter_prob=1.0, jitter_max=8,
+                                      stall_prob=1.0, stall_cycles=100))
+        (v, t, dropped), = _drive(inj, n=1, value=4.0)
+        assert v == 4.0 and not dropped
+        assert 100.0 + 100 + 1 <= t <= 100.0 + 100 + 8
+        assert set(inj.counts()) == {"jitter", "stall"}
+
+    def test_rng_stream_stable_across_plan_variants(self):
+        # the per-transfer decision draws happen in a fixed order, so
+        # enabling a kind that never consumes the transfer stream
+        # (slowdown; stall uses a fixed length) leaves the drop pattern
+        # of a given seed untouched
+        drop_only = FaultInjector(FaultPlan(seed=11, drop_prob=0.3))
+        combo = FaultInjector(FaultPlan(seed=11, drop_prob=0.3,
+                                        stall_prob=0.2,
+                                        slow_cores=(1,), slow_factor=2.0))
+        d1 = [o[2] for o in _drive(drop_only, n=300)]
+        d2 = [o[2] for o in _drive(combo, n=300)]
+        assert d1 == d2
+
+    def test_latencies_for_slow_cores(self):
+        base = default_latencies()
+        inj = FaultInjector(FaultPlan(seed=0, slow_cores=(1,), slow_factor=3.0))
+        assert inj.latencies_for(0, base) is base
+        slowed = inj.latencies_for(1, base)
+        assert slowed.mov == max(1, round(base.mov * 3.0))
+        assert slowed.load_miss > base.load_miss
+        assert inj.counts() == {"slowdown": 1}
+
+    def test_scaled_latencies_floor_at_one(self):
+        base = default_latencies()
+        scaled = _scaled_latencies(base, 1.0)
+        assert scaled.mov >= 1 and scaled.enqueue >= 1
+
+    def test_fork_is_fresh(self):
+        inj = FaultInjector(FaultPlan.single("drop", seed=8))
+        _drive(inj, n=100)
+        clone = inj.fork()
+        assert clone.plan == inj.plan
+        assert clone.n_injected == 0 and clone.n_transfers == 0
+
+
+class TestQueueHook:
+    def _queue(self, injector=None):
+        return HwQueue(QueueId(0, 1, VClass.GPR), depth=8,
+                       transfer_latency=5, injector=injector)
+
+    def test_no_injector_is_transparent(self):
+        q = self._queue()
+        assert q.push(7.0, 10.0)
+        assert q.n_enq == 1 and q.values == [7.0]
+
+    def test_dropped_push_leaves_queue_untouched(self):
+        q = self._queue(FaultInjector(FaultPlan(seed=0, drop_prob=1.0)))
+        assert not q.push(7.0, 10.0)
+        assert q.n_enq == 0 and q.values == []
+        assert q.outstanding == 0
+
+    def test_corrupted_push_stores_bad_value(self):
+        q = self._queue(FaultInjector(FaultPlan(seed=0, corrupt_prob=1.0)))
+        assert q.push(7.0, 10.0)
+        assert q.n_enq == 1 and q.values[0] != 7.0
+
+    def test_jittered_push_delays_ready_time(self):
+        q = self._queue(FaultInjector(FaultPlan(seed=0, jitter_prob=1.0,
+                                                jitter_max=4)))
+        assert q.push(7.0, 10.0)
+        assert 10.0 < q.ready_times[0] <= 14.0

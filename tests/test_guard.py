@@ -1,0 +1,187 @@
+"""Tests for the guarded runtime: failure classification, bounded
+retry with relaxed parameters, and the sequential fallback.
+
+The safety contract under test: ``guarded_run`` always returns a
+correct final state, whatever happens to the parallel path."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan
+from repro.interp import run_loop
+from repro.kernels import get_kernel
+from repro.runtime import guard as G
+from repro.runtime.guard import (
+    FailureKind,
+    GuardPolicy,
+    classify_failure,
+    guarded_run,
+)
+from repro.sim import (
+    BudgetExceeded,
+    DeadlockError,
+    MachineParams,
+    MemoryFault,
+    SimError,
+)
+
+TRIP = 12
+
+
+def _case(name="umt2k-1", trip=TRIP):
+    spec = get_kernel(name)
+    loop = spec.loop()
+    return loop, spec.workload(trip=trip)
+
+
+def _assert_matches_reference(loop, wl, g):
+    ref = run_loop(loop, wl)
+    for a, buf in ref.arrays.items():
+        assert np.array_equal(buf, g.arrays[a]), a
+    for s, v in ref.scalars.items():
+        assert g.scalars[s] == v, s
+
+
+class TestClassify:
+    def test_taxonomy_mapping(self):
+        assert classify_failure(DeadlockError("x")) is FailureKind.DEADLOCK
+        assert classify_failure(BudgetExceeded("x")) is FailureKind.BUDGET
+        assert classify_failure(MemoryFault("x")) is FailureKind.MEMORY_FAULT
+        assert classify_failure(SimError("x")) is FailureKind.SIM_ERROR
+        assert classify_failure(RuntimeError("x")) is FailureKind.COMPILE_ERROR
+
+
+class TestCleanPath:
+    def test_parallel_first_try(self):
+        loop, wl = _case()
+        g = guarded_run(loop, wl, 2)
+        assert g.source == "parallel" and not g.degraded
+        assert g.attempts == 1 and not g.failures
+        assert g.cycles is not None and g.cycles > 0
+        assert g.injected == []
+        _assert_matches_reference(loop, wl, g)
+
+    def test_describe_mentions_source(self):
+        loop, wl = _case()
+        text = guarded_run(loop, wl, 2).describe()
+        assert "parallel" in text and "1 parallel attempt" in text
+
+
+class TestFaultedPaths:
+    def test_drop_degrades_loudly(self):
+        loop, wl = _case()
+        g = guarded_run(loop, wl, 4,
+                        fault_plan=FaultPlan.single("drop", seed=1))
+        # a dropped transfer may never produce a silently-wrong answer
+        assert g.failures, "dropped transfers must surface as failures"
+        assert all(
+            k in (FailureKind.DEADLOCK, FailureKind.SIM_ERROR,
+                  FailureKind.BUDGET)
+            for k in g.failure_kinds
+        )
+        assert len(g.injected) > 0
+        _assert_matches_reference(loop, wl, g)
+
+    def test_corrupt_detected_never_silent(self):
+        loop, wl = _case("lammps-1")
+        g = guarded_run(loop, wl, 4,
+                        fault_plan=FaultPlan.single("corrupt", seed=2))
+        assert g.failures
+        assert len(g.injected) > 0
+        _assert_matches_reference(loop, wl, g)
+
+    def test_timing_faults_masked(self):
+        loop, wl = _case()
+        g = guarded_run(loop, wl, 4,
+                        fault_plan=FaultPlan.single("jitter", seed=3))
+        assert g.source == "parallel" and not g.failures
+        assert len(g.injected) > 0  # faults fired, answer still bit-exact
+        _assert_matches_reference(loop, wl, g)
+
+    def test_retries_bounded_by_policy(self):
+        loop, wl = _case()
+        pol = GuardPolicy(max_attempts=2)
+        g = guarded_run(loop, wl, 4, policy=pol,
+                        fault_plan=FaultPlan.single("drop", seed=1))
+        assert g.attempts <= 2
+
+
+class TestRelaxation:
+    def test_deadlock_retries_with_deeper_queues(self, monkeypatch):
+        loop, wl = _case()
+        seen_depths = []
+
+        def _always_deadlock(kernel, workload, params, faults=None):
+            seen_depths.append(params.queue_depth)
+            raise DeadlockError("synthetic deadlock")
+
+        monkeypatch.setattr(G, "execute_kernel", _always_deadlock)
+        g = guarded_run(loop, wl, 2, params=MachineParams(queue_depth=20))
+        assert g.source == "fallback" and g.degraded
+        assert seen_depths == [20, 80, 320]
+        assert [f.queue_depth for f in g.failures] == [20, 80, 320]
+        _assert_matches_reference(loop, wl, g)
+
+    def test_depth_relaxation_capped(self, monkeypatch):
+        loop, wl = _case()
+
+        def _always_deadlock(kernel, workload, params, faults=None):
+            raise DeadlockError("synthetic deadlock")
+
+        monkeypatch.setattr(G, "execute_kernel", _always_deadlock)
+        pol = GuardPolicy(max_attempts=10, max_queue_depth=100)
+        g = guarded_run(loop, wl, 2, params=MachineParams(queue_depth=20),
+                        policy=pol)
+        # 20 -> 80 -> 100(cap) then stop: no attempt beyond the cap
+        assert [f.queue_depth for f in g.failures] == [20, 80, 100]
+
+    def test_budget_retries_with_larger_budget(self, monkeypatch):
+        loop, wl = _case()
+        budgets = []
+
+        def _always_budget(kernel, workload, params, faults=None):
+            budgets.append(params.max_instrs)
+            raise BudgetExceeded("synthetic budget trip")
+
+        monkeypatch.setattr(G, "execute_kernel", _always_budget)
+        g = guarded_run(loop, wl, 2, params=MachineParams(max_instrs=1000))
+        assert budgets == [1000, 8000, 64000]
+        assert g.source == "fallback"
+
+    def test_deterministic_failure_not_retried(self, monkeypatch):
+        loop, wl = _case()
+        calls = []
+
+        def _always_simerror(kernel, workload, params, faults=None):
+            calls.append(1)
+            raise SimError("synthetic invariant violation")
+
+        monkeypatch.setattr(G, "execute_kernel", _always_simerror)
+        g = guarded_run(loop, wl, 2)  # no fault plan: rerun is identical
+        assert len(calls) == 1 and g.attempts == 1
+        assert g.failure_kinds == [FailureKind.SIM_ERROR]
+        assert g.source == "fallback"
+        _assert_matches_reference(loop, wl, g)
+
+    def test_compile_error_falls_back_immediately(self, monkeypatch):
+        loop, wl = _case()
+
+        def _broken_compile(loop_, n_cores, config=None):
+            raise RuntimeError("synthetic compiler bug")
+
+        monkeypatch.setattr(G, "compile_loop", _broken_compile)
+        g = guarded_run(loop, wl, 2)
+        assert g.source == "fallback" and g.attempts == 0
+        assert g.failure_kinds == [FailureKind.COMPILE_ERROR]
+        _assert_matches_reference(loop, wl, g)
+
+    def test_failure_report_carries_partial_stats(self):
+        loop, wl = _case()
+        # a guaranteed-drop plan deadlocks the machine mid-flight, so the
+        # report must carry the machine's progress snapshot
+        g = guarded_run(loop, wl, 4, policy=GuardPolicy(max_attempts=1),
+                        fault_plan=FaultPlan(seed=0, drop_prob=1.0))
+        assert g.failures
+        rep = g.failures[0]
+        assert rep.partial is not None
+        assert "progress:" in rep.describe()

@@ -271,3 +271,67 @@ class TestWatchdog:
         )
         with pytest.raises(BudgetExceeded):
             m.run()
+
+
+class TestPartialStats:
+    """Machine failures carry a progress snapshot (ISSUE-2)."""
+
+    def test_budget_exceeded_carries_partial(self):
+        from repro.sim import BudgetExceeded, MachineFailure
+
+        instrs = [
+            Instr(op="lab", label="top"),
+            Instr(op="mov", dst="x", a=Imm(1)),
+            Instr(op="jp", label="top"),
+        ]
+        m = Machine(
+            [_prog("c0", instrs)], _mem(),
+            MachineParams(max_instrs=5_000, slice_budget=500),
+        )
+        with pytest.raises(BudgetExceeded) as ei:
+            m.run()
+        assert isinstance(ei.value, MachineFailure)
+        p = ei.value.partial
+        assert p is not None
+        assert p.total_instrs >= 5_000
+        assert len(p.core_times) == 1 and p.core_times[0] > 0
+        assert p.core_instrs[0] > 0 and not p.core_halted[0]
+        assert "instrs" in p.format() and "c0:" in p.format()
+
+    def test_deadlock_carries_partial(self):
+        qa = QueueId(0, 1, VClass.GPR)
+        qb = QueueId(1, 0, VClass.GPR)
+        p0 = _prog("core0", [
+            Instr(op="deq", queue=qb, dst="x"),
+            Instr(op="enq", queue=qa, a="x"),
+            Instr(op="halt"),
+        ])
+        p1 = _prog("core1", [
+            Instr(op="deq", queue=qa, dst="y"),
+            Instr(op="enq", queue=qb, a="y"),
+            Instr(op="halt"),
+        ])
+        m = Machine([p0, p1], _mem())
+        with pytest.raises(DeadlockError) as ei:
+            m.run()
+        p = ei.value.partial
+        assert p is not None
+        assert len(p.core_times) == 2 and len(p.core_instrs) == 2
+        assert not any(p.core_halted)
+
+    def test_drain_error_carries_partial(self):
+        q = QueueId(0, 1, VClass.GPR)
+        p0 = _prog("core0", [
+            Instr(op="enq", queue=q, a=Imm(1)),
+            Instr(op="enq", queue=q, a=Imm(2)),
+            Instr(op="halt"),
+        ])
+        p1 = _prog("core1", [
+            Instr(op="deq", queue=q, dst="w"),
+            Instr(op="halt"),
+        ])
+        m = Machine([p0, p1], _mem())
+        with pytest.raises(SimError) as ei:
+            m.run()
+        p = getattr(ei.value, "partial", None)
+        assert p is not None and len(p.queue_stats) >= 1

@@ -334,6 +334,16 @@ class TestSweep:
         monkeypatch.setenv("REPRO_WORKERS", "garbage")
         assert resolve_workers(None) == 0  # bad env degrades to serial
 
+    def test_resolve_workers_strict_negatives(self, monkeypatch):
+        # explicit arguments: only -1 means "auto"; anything else is an error
+        with pytest.raises(ValueError, match="-1 for auto"):
+            resolve_workers(-2)
+        with pytest.raises(ValueError, match="-1 for auto"):
+            resolve_workers("-7")
+        # the env path stays lenient: negatives degrade to auto with a warning
+        monkeypatch.setenv("REPRO_WORKERS", "-3")
+        assert resolve_workers(None) >= 1
+
 
 class TestHarnessIntegration:
     def test_geomean_logs_dropped_values(self, caplog):

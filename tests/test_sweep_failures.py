@@ -1,0 +1,185 @@
+"""Pool-failure paths of the sweep engine (ISSUE-2 satellite).
+
+A fake pool context lets the tests script exact failure sequences —
+timeouts, transient crashes, deterministic errors — without paying for
+real worker processes, and asserts the retry / quarantine /
+serial-fallback discipline cell by cell."""
+
+import multiprocessing
+import random
+
+import pytest
+
+import repro.store.sweep as sweep
+from repro.experiments.common import ExpConfig, clear_cache
+from repro.kernels import get_kernel
+from repro.sim import DeadlockError, MemoryFault, SimError
+from repro.store import ResultStore, run_grid
+from repro.store.sweep import BACKOFF_CAP, _backoff_delay, _is_retryable
+
+TRIP = 12
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+@pytest.fixture
+def no_sleep(monkeypatch):
+    """Replace the backoff sleep with a recorder."""
+    delays: list[float] = []
+    monkeypatch.setattr(sweep.time, "sleep", delays.append)
+    return delays
+
+
+class _FakeHandle:
+    def __init__(self, fn):
+        self._fn = fn
+
+    def get(self, timeout=None):
+        return self._fn()
+
+
+class _FakePool:
+    """Quacks like multiprocessing.Pool but runs a scripted behaviour
+    in-process."""
+
+    def __init__(self, script):
+        self._script = script
+
+    def apply_async(self, fn, args):
+        kernel, config, root = args
+        return _FakeHandle(lambda: self._script(kernel, config, root))
+
+    def close(self):
+        pass
+
+    def terminate(self):
+        pass
+
+    def join(self):
+        pass
+
+
+def _install_fake_pool(monkeypatch, script):
+    class _Ctx:
+        def Pool(self, processes=None):
+            return _FakePool(script)
+
+    monkeypatch.setattr(sweep.multiprocessing, "get_context",
+                        lambda *a, **k: _Ctx())
+
+
+def _grid(store, **kw):
+    specs = [get_kernel("umt2k-1"), get_kernel("lammps-1")]
+    cfg = ExpConfig(n_cores=2, trip=TRIP)
+    grid = run_grid(specs, [cfg], workers=2, store=store, **kw)
+    assert len(grid) == 2
+    assert all(r.correct and not r.fallback for r in grid.values())
+    return grid
+
+
+class TestClassification:
+    def test_sim_failures_are_permanent(self):
+        assert not _is_retryable(DeadlockError("dead"))
+        assert not _is_retryable(SimError("bad dispatch"))
+        assert not _is_retryable(MemoryFault("oob"))
+
+    def test_config_errors_are_permanent(self):
+        assert not _is_retryable(ValueError("bad config"))
+        assert not _is_retryable(AssertionError("invariant"))
+
+    def test_infrastructure_errors_are_transient(self):
+        assert _is_retryable(OSError("broken pipe"))
+        assert _is_retryable(MemoryError())
+        assert _is_retryable(RuntimeError("pool hiccup"))
+
+
+class TestBackoff:
+    def test_exponential_with_cap_and_jitter(self):
+        rng = random.Random(0)
+        for attempt in range(12):
+            full = min(BACKOFF_CAP, sweep.BACKOFF_BASE * 2 ** attempt)
+            d = _backoff_delay(attempt, rng)
+            assert 0.5 * full <= d <= full
+        assert _backoff_delay(50, rng) <= BACKOFF_CAP
+
+
+class TestPoolFailures:
+    def test_timeouts_fall_back_to_serial(self, monkeypatch, store, no_sleep):
+        calls = []
+
+        def script(kernel, config, root):
+            calls.append(kernel)
+            raise multiprocessing.TimeoutError()
+
+        _install_fake_pool(monkeypatch, script)
+        _grid(store, timeout=0.01, retries=1)
+        # 2 cells x (1 try + 1 retry) in the pool, then serial rescue
+        assert len(calls) == 4
+        assert len(no_sleep) == 1 and no_sleep[0] > 0
+
+    def test_permanent_error_quarantined_without_retry(
+            self, monkeypatch, store, no_sleep):
+        calls = []
+
+        def script(kernel, config, root):
+            calls.append(kernel)
+            raise ValueError("deterministically broken")
+
+        _install_fake_pool(monkeypatch, script)
+        _grid(store, retries=3)
+        # quarantined on first failure: one pool try per cell, no backoff
+        assert len(calls) == 2
+        assert no_sleep == []
+
+    def test_transient_error_exhausts_retries_then_serial(
+            self, monkeypatch, store, no_sleep):
+        calls = []
+
+        def script(kernel, config, root):
+            calls.append(kernel)
+            raise OSError("flaky infrastructure")
+
+        _install_fake_pool(monkeypatch, script)
+        _grid(store, retries=2)
+        assert len(calls) == 6  # 2 cells x 3 pool attempts
+        assert len(no_sleep) == 2  # backoff between each retry round
+
+    def test_transient_error_recovers_in_pool(self, monkeypatch, store,
+                                              no_sleep):
+        seen: dict[str, int] = {}
+
+        def script(kernel, config, root):
+            seen[kernel] = seen.get(kernel, 0) + 1
+            if seen[kernel] == 1:
+                raise OSError("first try lost")
+            return sweep._worker_run(kernel, config, root)
+
+        _install_fake_pool(monkeypatch, script)
+        _grid(store, retries=1)
+        assert all(n == 2 for n in seen.values())
+
+    def test_mixed_failures_one_round(self, monkeypatch, store, no_sleep):
+        # umt2k-1 times out (transient), lammps-1 hits a ValueError
+        # (permanent): only the timeout earns a second pool round
+        calls = []
+
+        def script(kernel, config, root):
+            calls.append(kernel)
+            if kernel == "lammps-1":
+                raise ValueError("bad cell")
+            raise multiprocessing.TimeoutError()
+
+        _install_fake_pool(monkeypatch, script)
+        _grid(store, timeout=0.01, retries=1)
+        assert calls.count("lammps-1") == 1
+        assert calls.count("umt2k-1") == 2
