@@ -6,6 +6,10 @@ Commands
 * ``list`` — list registered kernels (optionally by app/category);
 * ``run <kernel>`` — compile + simulate one kernel, print speedup,
   statistics and correctness;
+* ``trace <kernel>`` — export a run as Chrome trace-event JSON
+  (open in https://ui.perfetto.dev);
+* ``profile <kernel>`` — per-core stall attribution + queue pressure,
+  and append the headline numbers to ``BENCH_obs.json``;
 * ``experiment <id>`` — run one paper artifact (E1..E11) or ``all``;
 * ``chaos`` — seeded fault-injection campaign over tier-1 kernels
   through the guarded runtime (resilience table, exit 1 on any
@@ -102,6 +106,83 @@ def _cmd_run(args) -> int:
         for r in res.races:
             print(f"  {r}")
     return 0 if ok and not (args.races and res.races) else 1
+
+
+def _obs_setup(args):
+    """Shared compile+simulate-under-observation path for the ``trace``
+    and ``profile`` commands.  Returns ``(spec, kern, res, log, seq)``
+    or an int exit code on a bad kernel name."""
+    from .compiler import CompilerConfig
+    from .kernels import get_kernel
+    from .obs.events import EventBus, EventLog
+    from .runtime import compile_loop, execute_kernel
+    from .sim import MachineParams
+
+    try:
+        spec = get_kernel(args.kernel)
+    except KeyError:
+        print(f"unknown kernel {args.kernel!r}; see `python -m repro list`")
+        return 2
+    loop = spec.loop()
+    wl = spec.workload(trip=args.trip)
+    machine = MachineParams(
+        queue_latency=args.latency, queue_depth=args.depth
+    )
+    config = CompilerConfig(
+        speculation=args.speculate, profile_workload=wl
+    )
+    seq = execute_kernel(compile_loop(loop, 1), wl, machine)
+    bus = EventBus()
+    log = EventLog()
+    bus.subscribe(log)
+    kern = compile_loop(loop, args.cores, config, obs=bus)
+    res = execute_kernel(kern, wl, machine, obs=bus)
+    return spec, kern, res, log, seq
+
+
+def _cmd_trace(args) -> int:
+    from .obs.timeline import write_chrome_trace
+
+    setup = _obs_setup(args)
+    if isinstance(setup, int):
+        return setup
+    spec, kern, res, log, seq = setup
+    doc = write_chrome_trace(args.out, log.events)
+    dropped = f"  ({log.dropped} dropped)" if log.dropped else ""
+    print(f"kernel       : {spec.name}  ({args.cores} cores, trip {args.trip})")
+    print(f"cycles       : {res.cycles:12.0f}  (sequential {seq.cycles:.0f})")
+    print(f"events       : {len(log.events)}{dropped}")
+    print(f"trace events : {len(doc['traceEvents'])}")
+    print(f"wrote        : {args.out}")
+    print("view         : load the file at https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .obs.report import (
+        BENCH_PATH, bench_row, format_profile, profile_result, update_bench,
+    )
+    from .obs.timeline import write_chrome_trace
+
+    setup = _obs_setup(args)
+    if isinstance(setup, int):
+        return setup
+    spec, kern, res, log, seq = setup
+    prof = profile_result(
+        res, kernel=spec.name, trip=args.trip, queue_depth=args.depth,
+        stats=kern.plan.stats, seq_cycles=seq.cycles,
+    )
+    print(format_profile(prof))
+    if args.out:
+        write_chrome_trace(args.out, log.events)
+        print(f"trace        : {args.out} (https://ui.perfetto.dev)")
+    if not args.no_bench:
+        bench = args.bench or BENCH_PATH
+        update_bench(bench, bench_row(
+            prof, latency=args.latency,
+        ))
+        print(f"bench        : updated {bench}")
+    return 0
 
 
 def _cmd_experiment(args) -> int:
@@ -282,6 +363,38 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--races", action="store_true",
                     help="enable the happens-before race detector")
     rp.set_defaults(fn=_cmd_run)
+
+    tp = sub.add_parser(
+        "trace",
+        help="export one run as Chrome trace-event JSON (Perfetto)",
+    )
+    tp.add_argument("kernel")
+    tp.add_argument("--cores", type=int, default=4)
+    tp.add_argument("--trip", type=int, default=64)
+    tp.add_argument("--latency", type=int, default=5)
+    tp.add_argument("--depth", type=int, default=20)
+    tp.add_argument("--speculate", action="store_true")
+    tp.add_argument("--out", default="trace.json",
+                    help="output path (default trace.json)")
+    tp.set_defaults(fn=_cmd_trace)
+
+    pp = sub.add_parser(
+        "profile",
+        help="per-core stall attribution + queue pressure report",
+    )
+    pp.add_argument("kernel")
+    pp.add_argument("--cores", type=int, default=4)
+    pp.add_argument("--trip", type=int, default=64)
+    pp.add_argument("--latency", type=int, default=5)
+    pp.add_argument("--depth", type=int, default=20)
+    pp.add_argument("--speculate", action="store_true")
+    pp.add_argument("--out", default=None,
+                    help="also write the Chrome trace JSON here")
+    pp.add_argument("--bench", default=None,
+                    help="bench file to update (default BENCH_obs.json)")
+    pp.add_argument("--no-bench", action="store_true",
+                    help="skip updating the bench file")
+    pp.set_defaults(fn=_cmd_profile)
 
     ep = sub.add_parser("experiment", help="run a paper artifact (E1..E11|all)")
     ep.add_argument("id")

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from ..ir.normalize import normalize
 from ..ir.printer import fmt_loop
 from ..ir.stmts import FlatBody, Loop
+from ..obs.events import span
 from .codegraph import CodeGraph, build_code_graph
 from .comm import CommPlan, plan_communication
 from .config import CompilerConfig
@@ -82,6 +83,7 @@ def parallelize(
     loop: Loop,
     n_cores: int,
     config: CompilerConfig | None = None,
+    obs=None,
 ) -> ParallelPlan:
     """Transform a sequential loop into an ``n_cores``-way fine-grained
     parallel plan.
@@ -97,24 +99,29 @@ def parallelize(
     config = config or CompilerConfig()
 
     if config.speculation:
-        spec_loop = apply_speculation(loop)
-        plan_spec = _compile_one(spec_loop, n_cores, config)
+        with span(obs, "speculate"):
+            spec_loop = apply_speculation(loop)
+        plan_spec = _compile_one(spec_loop, n_cores, config, obs)
         if fmt_loop(spec_loop) == fmt_loop(loop) or not config.autotune:
             return plan_spec
-        plan_base = _compile_one(loop, n_cores, config)
-        c_spec = _profile_plan(plan_spec, config)
-        c_base = _profile_plan(plan_base, config)
+        plan_base = _compile_one(loop, n_cores, config, obs)
+        with span(obs, "profile-versions"):
+            c_spec = _profile_plan(plan_spec, config)
+            c_base = _profile_plan(plan_base, config)
         return plan_spec if c_spec <= c_base else plan_base
-    return _compile_one(loop, n_cores, config)
+    return _compile_one(loop, n_cores, config, obs)
 
 
 def _compile_one(
     work: Loop,
     n_cores: int,
     config: CompilerConfig,
+    obs=None,
 ) -> ParallelPlan:
-    body = normalize(work, max_height=config.max_expr_height)
-    graph = build_code_graph(body)
+    with span(obs, "normalize"):
+        body = normalize(work, max_height=config.max_expr_height)
+    with span(obs, "codegraph"):
+        graph = build_code_graph(body)
 
     # §III-F: each live-out temporary needs a single source partition so
     # the copy-out at loop exit has one sender.
@@ -128,12 +135,14 @@ def _compile_one(
         if len(group) > 1:
             graph.cohesion.append(group)
 
-    merged = merge_partitions(graph, n_cores, config)
+    with span(obs, "merge"):
+        merged = merge_partitions(graph, n_cores, config)
     candidates = [merged]
     if config.refine and len(merged) > 1:
         from .refine import refine_partitions
 
-        refined = refine_partitions(graph, merged, config)
+        with span(obs, "refine"):
+            refined = refine_partitions(graph, merged, config)
         if _assignment_of(refined) != _assignment_of(merged):
             candidates.append(refined)
         # NOTE: adding a communication-averse candidate (refined against
@@ -144,25 +153,29 @@ def _compile_one(
         # quantifies what the extra candidate would buy.
 
     if config.max_queues is not None:
-        candidates = [
-            _enforce_queue_limit(c, graph, body, config.max_queues)
-            for c in candidates
-        ]
+        with span(obs, "queue-limit"):
+            candidates = [
+                _enforce_queue_limit(c, graph, body, config.max_queues)
+                for c in candidates
+            ]
 
     partitions = candidates[0]
-    comm = plan_communication(graph, partitions, body)
-    schedules = schedule_all(partitions, graph, comm)
+    with span(obs, "comm"):
+        comm = plan_communication(graph, partitions, body)
+    with span(obs, "schedule"):
+        schedules = schedule_all(partitions, graph, comm)
     if len(candidates) > 1 and config.autotune:
-        best = None
-        for cand in candidates:
-            c_comm = plan_communication(graph, cand, body)
-            c_sched = schedule_all(cand, graph, c_comm)
-            cand_plan = _bare_plan(work, body, n_cores, config, graph,
-                                   cand, c_sched, c_comm)
-            cycles = _profile_plan(cand_plan, config)
-            if best is None or cycles < best[0]:
-                best = (cycles, cand, c_comm, c_sched)
-        _, partitions, comm, schedules = best
+        with span(obs, "autotune"):
+            best = None
+            for cand in candidates:
+                c_comm = plan_communication(graph, cand, body)
+                c_sched = schedule_all(cand, graph, c_comm)
+                cand_plan = _bare_plan(work, body, n_cores, config, graph,
+                                       cand, c_sched, c_comm)
+                cycles = _profile_plan(cand_plan, config)
+                if best is None or cycles < best[0]:
+                    best = (cycles, cand, c_comm, c_sched)
+            _, partitions, comm, schedules = best
 
     stats = PlanStats(
         initial_fibers=fs.n_initial_fibers,

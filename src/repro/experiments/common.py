@@ -145,15 +145,37 @@ def _seq_store_key(spec: KernelSpec, config: ExpConfig, loop, seq_cfg) -> str:
     )
 
 
-def run_kernel(spec: KernelSpec, config: ExpConfig, store=_UNSET) -> KernelRun:
+def _task_event(obs, name: str, t0: float, status: str) -> None:
+    if obs is not None and obs.enabled:
+        import time as _time
+
+        obs.emit_task(name, t0, _time.perf_counter(), status)
+
+
+def run_kernel(
+    spec: KernelSpec, config: ExpConfig, store=_UNSET, obs=None,
+) -> KernelRun:
+    """Run (or recall) one grid cell.
+
+    ``obs`` is the opt-in observability hook: when an enabled
+    :class:`repro.obs.events.EventBus` is passed, the cell emits a
+    ``task`` lifecycle event (status ``cached`` / ``ok`` / a failure
+    kind) and the compile + simulate stages emit their pass spans and
+    simulator events into the same bus.
+    """
+    import time as _time
+
     if store is _UNSET:
         from ..store.disk import default_store
 
         store = default_store()
 
+    t0 = _time.perf_counter()
+    task = f"{spec.name}:c{config.n_cores}"
     key = (spec.name, config)
     hit = _cache.get(key)
     if hit is not None:
+        _task_event(obs, task, t0, "cached")
         return hit
 
     loop = spec.loop()
@@ -162,6 +184,7 @@ def run_kernel(spec: KernelSpec, config: ExpConfig, store=_UNSET) -> KernelRun:
         cached = store.get_run(digest)
         if cached is not None:
             _cache[key] = cached
+            _task_event(obs, task, t0, "cached")
             return cached
 
     wl = spec.workload(trip=config.trip, seed=spec.seed + config.seed)
@@ -189,9 +212,10 @@ def run_kernel(spec: KernelSpec, config: ExpConfig, store=_UNSET) -> KernelRun:
     instrs = 0
     failure = None
     try:
-        k = compile_loop(loop, config.n_cores, config.compiler(profile_workload=wl))
+        k = compile_loop(loop, config.n_cores,
+                         config.compiler(profile_workload=wl), obs=obs)
         stats = k.plan.stats
-        res = execute_kernel(k, wl, config.machine())
+        res = execute_kernel(k, wl, config.machine(), obs=obs)
         par_cycles = res.cycles
         qstall = res.total_queue_stall
         instrs = res.total_instrs
@@ -226,6 +250,7 @@ def run_kernel(spec: KernelSpec, config: ExpConfig, store=_UNSET) -> KernelRun:
     _cache[key] = run
     if store is not None:
         store.put_run(digest, run)
+    _task_event(obs, task, t0, failure or "ok")
     return run
 
 
@@ -258,8 +283,11 @@ def amean(values: Iterable[float]) -> float:
     return float(np.mean(vals)) if vals else 0.0
 
 
-def run_table1(config: ExpConfig, store=_UNSET) -> list[KernelRun]:
-    return [run_kernel(spec, config, store=store) for spec in table1_kernels()]
+def run_table1(config: ExpConfig, store=_UNSET, obs=None) -> list[KernelRun]:
+    return [
+        run_kernel(spec, config, store=store, obs=obs)
+        for spec in table1_kernels()
+    ]
 
 
 def run_table1_grid(

@@ -1,0 +1,70 @@
+"""Unified observability: event bus, metrics, timelines, reports.
+
+The paper's evaluation is an exercise in *cycle attribution* — Fig 11
+pipeline timelines, Table III communication statistics, the §V
+queue-latency discussion — so the reproduction needs first-class
+instrumentation rather than ad-hoc printouts.  This package provides
+four layers, each consumable on its own:
+
+* :mod:`repro.obs.events` — a typed event bus with near-zero overhead
+  when disabled.  The simulator (enqueue/dequeue, stall spans, bulk
+  instruction retirement, halts), the compiler pipeline (pass spans),
+  the guarded runtime (retry/fallback decisions) and the sweep engine
+  (task lifecycle) all emit into it.
+* :mod:`repro.obs.metrics` — counters / gauges / histograms with a
+  JSON-able snapshot, plus collectors that derive per-queue occupancy
+  and per-core stall-reason breakdowns from the event stream or from a
+  finished :class:`~repro.sim.machine.SimResult`.
+* :mod:`repro.obs.timeline` — export any event log as Chrome
+  trace-event JSON (one track per core, per queue, and per compiler
+  pass) viewable at https://ui.perfetto.dev.
+* :mod:`repro.obs.report` — per-kernel stall attribution and queue
+  pressure reports, and the bench emitter that accumulates the
+  performance trajectory in ``BENCH_obs.json``.
+
+Surface commands: ``python -m repro trace <kernel>`` and
+``python -m repro profile <kernel>``.
+"""
+
+from .events import Event, EventBus, EventLog, span
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+    metrics_from_result,
+)
+from .report import (
+    CoreRow,
+    KernelProfile,
+    QueueRow,
+    bench_row,
+    format_profile,
+    profile_result,
+    update_bench,
+)
+from .timeline import chrome_trace, validate_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "CoreRow",
+    "Counter",
+    "Event",
+    "EventBus",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "KernelProfile",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "QueueRow",
+    "bench_row",
+    "chrome_trace",
+    "format_profile",
+    "metrics_from_result",
+    "profile_result",
+    "span",
+    "update_bench",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,225 @@
+"""Metrics registry: counters, gauges, histograms, JSON snapshots.
+
+Two producers fill a :class:`MetricsRegistry`:
+
+* :class:`MetricsCollector` — an event-bus subscriber that accumulates
+  per-queue occupancy and per-core stall-reason breakdowns as events
+  stream in.  Because the conservative-dataflow simulator processes
+  cores out of simulated-time order, occupancy is reconstructed by
+  sorting each queue's enqueue/dequeue timestamps at
+  :meth:`~MetricsCollector.finalize` time, not by watching a live
+  counter.
+* :func:`metrics_from_result` — exact post-run accounting straight from
+  :class:`~repro.sim.core.CoreStats` / queue statistics; this is the
+  ground truth the event-derived numbers are tested against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .events import Event
+
+#: default histogram bucket upper bounds (values are cycle counts or
+#: occupancies; the last implicit bucket is +inf).
+DEFAULT_BOUNDS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0)
+
+
+@dataclass
+class Counter:
+    value: float = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    value: float = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Fixed-bound histogram with running count/sum/min/max."""
+
+    bounds: tuple = DEFAULT_BOUNDS
+    counts: list = field(default_factory=list)   # len(bounds) + 1
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, v: float) -> None:
+        i = 0
+        for b in self.bounds:
+            if v <= b:
+                break
+            i += 1
+        self.counts[i] += 1
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "buckets": {
+                **{f"le_{b:g}": c for b, c in zip(self.bounds, self.counts)},
+                "le_inf": self.counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed metric store.  Re-requesting a name returns the same
+    instance; requesting it as a different type is an error."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, cls, factory):
+        m = self._metrics.get(name)
+        if m is None:
+            m = factory()
+            self._metrics[name] = m
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(m).__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(self, name: str, bounds: tuple = DEFAULT_BOUNDS) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(bounds=bounds))
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        m = self._metrics.get(name)
+        return getattr(m, "value", default) if m is not None else default
+
+    def snapshot(self) -> dict:
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+class MetricsCollector:
+    """Event-bus subscriber that folds the stream into a registry.
+
+    Use: ``bus.subscribe(collector)``, run, then ``finalize()`` once to
+    compute the occupancy metrics that need the full (time-sorted)
+    history."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        #: per-queue (ts, delta) transitions, +1 enqueue / -1 dequeue.
+        self._transitions: dict[object, list[tuple[float, int]]] = {}
+        self._finalized = False
+
+    def __call__(self, ev: Event) -> None:
+        r = self.registry
+        r.counter(f"obs.events.{ev.kind}").inc()
+        if ev.kind == "enq":
+            r.counter(f"queue.{ev.queue!r}.enq").inc()
+            self._transitions.setdefault(ev.queue, []).append((ev.ts, +1))
+        elif ev.kind == "deq":
+            r.counter(f"queue.{ev.queue!r}.deq").inc()
+            self._transitions.setdefault(ev.queue, []).append((ev.ts, -1))
+        elif ev.kind == "stall":
+            r.counter(f"core.{ev.core}.stall.{ev.name}").inc(ev.dur)
+            r.histogram("stall.cycles").observe(ev.dur)
+        elif ev.kind == "retire":
+            r.counter(f"core.{ev.core}.instrs").inc(ev.value or 0)
+        elif ev.kind == "pass":
+            r.counter(f"compiler.pass.{ev.name}.seconds").inc(ev.dur)
+            r.counter(f"compiler.pass.{ev.name}.calls").inc()
+        elif ev.kind == "guard":
+            r.counter(f"guard.{ev.name}").inc()
+        elif ev.kind == "task":
+            r.counter(f"task.{ev.value}").inc()
+
+    def finalize(self) -> MetricsRegistry:
+        """Derive per-queue occupancy (max + time-weighted mean) from
+        the recorded transitions.  Idempotent."""
+        if self._finalized:
+            return self.registry
+        self._finalized = True
+        r = self.registry
+        for queue, trans in self._transitions.items():
+            trans.sort(key=lambda t: t[0])
+            occ = 0
+            peak = 0
+            area = 0.0
+            hist = r.histogram(f"queue.{queue!r}.occupancy")
+            prev_ts = trans[0][0] if trans else 0.0
+            for ts, delta in trans:
+                area += occ * (ts - prev_ts)
+                prev_ts = ts
+                occ += delta
+                peak = max(peak, occ)
+                hist.observe(occ)
+            duration = prev_ts - trans[0][0] if trans else 0.0
+            r.gauge(f"queue.{queue!r}.max_occupancy").set(peak)
+            r.gauge(f"queue.{queue!r}.mean_occupancy").set(
+                area / duration if duration > 0 else 0.0
+            )
+        return self.registry
+
+
+def metrics_from_result(result) -> MetricsRegistry:
+    """Exact post-run registry from a :class:`~repro.sim.machine.SimResult`:
+    per-core cycle attribution (busy vs the three stall reasons) and
+    per-queue transfer counts — no event stream required."""
+    from .events import STALL_QUEUE_EMPTY, STALL_QUEUE_FULL, STALL_TRANSFER
+
+    r = MetricsRegistry()
+    r.gauge("machine.cycles").set(result.cycles)
+    r.counter("machine.instrs").inc(result.total_instrs)
+    for cid, (t, st) in enumerate(zip(result.core_times, result.core_stats)):
+        r.gauge(f"core.{cid}.cycles").set(t)
+        r.counter(f"core.{cid}.instrs").inc(st.instrs)
+        r.counter(f"core.{cid}.busy").inc(t - st.queue_stall)
+        r.counter(f"core.{cid}.stall.{STALL_QUEUE_FULL}").inc(st.stall_full)
+        r.counter(f"core.{cid}.stall.{STALL_QUEUE_EMPTY}").inc(st.stall_empty)
+        r.counter(f"core.{cid}.stall.{STALL_TRANSFER}").inc(st.stall_transfer)
+    for qs in result.queue_stats:
+        r.counter(f"queue.{qs.qid!r}.transfers").inc(qs.n_transfers)
+        r.gauge(f"queue.{qs.qid!r}.max_occupancy").set(qs.max_outstanding)
+    return r

@@ -15,10 +15,18 @@ def compile_loop(
     loop: Loop,
     n_cores: int,
     config: CompilerConfig | None = None,
+    obs=None,
 ) -> LoweredKernel:
-    """Run the full compiler pipeline and lower to machine programs."""
-    plan = parallelize(loop, n_cores, config)
-    return lower_plan(plan)
+    """Run the full compiler pipeline and lower to machine programs.
+
+    ``obs`` (a :class:`repro.obs.events.EventBus`) records wall-clock
+    spans for every pipeline pass, lowering included.
+    """
+    from ..obs.events import span
+
+    plan = parallelize(loop, n_cores, config, obs=obs)
+    with span(obs, "lower"):
+        return lower_plan(plan)
 
 
 def execute_kernel(
@@ -28,6 +36,7 @@ def execute_kernel(
     detect_races: bool = False,
     trace: bool = False,
     faults=None,
+    obs=None,
 ) -> SimResult:
     """Run a lowered kernel on (a copy of) ``workload``.
 
@@ -46,7 +55,7 @@ def execute_kernel(
     machine = Machine(
         kernel.programs, memory, params,
         preload_regs=preload, detect_races=detect_races, trace=trace,
-        faults=faults,
+        faults=faults, obs=obs,
     )
     result = machine.run(live_out=loop.live_out, primary=0)
     result.trace = machine.trace_recorder

@@ -157,6 +157,7 @@ def guarded_run(
     params: MachineParams | None = None,
     policy: GuardPolicy | None = None,
     fault_plan=None,
+    obs=None,
 ) -> GuardedRun:
     """Compile + execute ``loop`` with graceful sequential fallback.
 
@@ -164,9 +165,16 @@ def guarded_run(
     injection: a fresh injector is created per attempt so the seeded
     fault sequence replays identically on retries, and every injected
     event is aggregated into the result's ``injected`` log.
+
+    ``obs`` (a :class:`repro.obs.events.EventBus`) receives one
+    ``guard`` event per failed attempt (named by its
+    :class:`FailureKind`) and a final ``parallel``/``fallback`` event,
+    and is forwarded to the compile and execute stages.
     """
     policy = policy or GuardPolicy()
     base = params or MachineParams()
+    if obs is not None and not obs.enabled:
+        obs = None
     # The reference interpreter is both the verification oracle and the
     # fallback answer, so the guarantee costs one sequential execution.
     ref = run_loop(loop, workload)
@@ -175,7 +183,7 @@ def guarded_run(
     injected: list = []
 
     try:
-        kernel = compile_loop(loop, n_cores, config)
+        kernel = compile_loop(loop, n_cores, config, obs=obs)
     except Exception as exc:  # compiler bug: no parallel path exists
         log.warning("guard: compile failed (%s: %s); sequential fallback",
                     type(exc).__name__, exc)
@@ -185,6 +193,9 @@ def guarded_run(
             attempt=0, queue_depth=base.queue_depth,
             max_instrs=base.max_instrs,
         ))
+        if obs is not None:
+            obs.emit_guard(FailureKind.COMPILE_ERROR.value, 0)
+            obs.emit_guard("fallback", 0)
         return GuardedRun(
             arrays=ref.arrays, scalars=dict(ref.scalars), source="fallback",
             attempts=0, failures=failures,
@@ -200,7 +211,8 @@ def guarded_run(
 
             injector = FaultInjector(fault_plan)
         try:
-            res = execute_kernel(kernel, workload, cur, faults=injector)
+            res = execute_kernel(kernel, workload, cur, faults=injector,
+                                 obs=obs)
         except (DeadlockError, BudgetExceeded, MemoryFault, SimError) as exc:
             if injector is not None:
                 injected.extend(injector.events)
@@ -214,6 +226,8 @@ def guarded_run(
             if injector is not None:
                 injected.extend(injector.events)
             if verify_result(ref, res):
+                if obs is not None:
+                    obs.emit_guard("parallel", attempt)
                 return GuardedRun(
                     arrays=res.arrays, scalars=dict(res.scalars),
                     source="parallel", attempts=attempt, failures=failures,
@@ -228,6 +242,10 @@ def guarded_run(
             ))
 
         log.warning("guard: %s", failures[-1].describe())
+        if obs is not None:
+            obs.emit_guard(relax_kind.value, attempt,
+                           note=failures[-1].message.splitlines()[0]
+                           if failures[-1].message else None)
         if relax_kind is FailureKind.DEADLOCK:
             if cur.queue_depth >= policy.max_queue_depth:
                 break
@@ -248,6 +266,8 @@ def guarded_run(
         "guard: %d parallel attempt(s) failed; serving sequential fallback",
         attempt,
     )
+    if obs is not None:
+        obs.emit_guard("fallback", attempt)
     return GuardedRun(
         arrays=ref.arrays, scalars=dict(ref.scalars), source="fallback",
         attempts=attempt, failures=failures, injected=injected,

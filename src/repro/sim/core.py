@@ -16,6 +16,7 @@ from typing import Optional
 
 from .. import ops as _ops
 from ..analysis.cost import LatencyTable
+from ..obs.events import STALL_QUEUE_EMPTY, STALL_QUEUE_FULL, STALL_TRANSFER
 from ..ir.types import F64, I64
 from ..isa.instructions import Imm, Instr, QueueId
 from ..isa.program import Program
@@ -36,6 +37,11 @@ class CoreStats:
     compute: float = 0.0       # cycles in compute/branch/mov ops
     mem: float = 0.0           # cycles in loads/stores
     per_op: dict = field(default_factory=dict)
+    # exact stall-reason decomposition (invariant: the three buckets sum
+    # to queue_stall; repro.obs.report builds its attribution from them)
+    stall_full: float = 0.0      # enqueue waited for a free slot
+    stall_empty: float = 0.0     # dequeue waited for the producer
+    stall_transfer: float = 0.0  # dequeue waited for the in-flight hop
 
 
 @dataclass
@@ -72,8 +78,9 @@ class Core:
         self.stats = CoreStats()
         #: optional RaceDetector installed by the machine
         self.race = None
-        #: optional TraceRecorder installed by the machine
-        self.trace = None
+        #: optional enabled EventBus (repro.obs.events) installed by the
+        #: machine; None keeps the hot loop observation-free.
+        self.obs = None
 
     # -- helpers -----------------------------------------------------
     def _val(self, x):
@@ -102,6 +109,8 @@ class Core:
         Returns the number of instructions executed."""
         self.blocked = None
         executed = 0
+        obs = self.obs
+        t0 = self.time
         regs = self.regs
         lat = self.lat
         functions = self.program.functions
@@ -172,20 +181,25 @@ class Core:
                 if blocker is not None:
                     self.blocked = _Blocked("slot", q, blocker, self.time)
                     self.stats.instrs += executed
+                    if obs is not None and executed:
+                        obs.emit_retire(t0, self.cid, self.time - t0, executed)
                     return executed
                 start = self.time
-                completion = max(start, q.slot_free_time()) + lat.enqueue
-                self.stats.queue_stall += completion - start - lat.enqueue
+                wait = q.slot_free_time() - start
+                if wait < 0.0:
+                    wait = 0.0
+                completion = start + wait + lat.enqueue
+                self.stats.queue_stall += wait
+                self.stats.stall_full += wait
                 if self.race is not None:
                     self.race.on_enq(self.cid, ins.queue, q.n_enq)
                 sent = self._val(ins.a)
                 q.push(sent, completion + q.transfer_latency)
-                if self.trace is not None:
-                    self.trace.record(
-                        time=completion, core=self.cid, kind="enq",
-                        queue=ins.queue, value=sent,
-                        stall=completion - start - lat.enqueue,
-                    )
+                if obs is not None:
+                    if wait > 0.0:
+                        obs.emit_stall(start, self.cid, STALL_QUEUE_FULL,
+                                       wait, queue=ins.queue)
+                    obs.emit_enq(completion, self.cid, ins.queue, sent, wait)
                 self.time = completion
                 self.stats.enq_ops += 1
                 self.pc += 1
@@ -195,19 +209,39 @@ class Core:
                 if blocker is not None:
                     self.blocked = _Blocked("entry", q, blocker, self.time)
                     self.stats.instrs += executed
+                    if obs is not None and executed:
+                        obs.emit_retire(t0, self.cid, self.time - t0, executed)
                     return executed
                 start = self.time
-                completion = max(start, q.head_ready_time()) + lat.dequeue
-                self.stats.queue_stall += completion - start - lat.dequeue
+                ready = q.head_ready_time()
+                wait = ready - start
+                if wait < 0.0:
+                    wait = 0.0
+                completion = start + wait + lat.dequeue
+                self.stats.queue_stall += wait
+                if wait > 0.0:
+                    # Split the wait at the producer's enqueue-completion
+                    # point (ready - transfer_latency): before it the
+                    # queue was empty, after it the value was in flight.
+                    empty = ready - q.transfer_latency - start
+                    if empty < 0.0:
+                        empty = 0.0
+                    self.stats.stall_empty += empty
+                    self.stats.stall_transfer += wait - empty
+                    if obs is not None:
+                        if empty > 0.0:
+                            obs.emit_stall(start, self.cid, STALL_QUEUE_EMPTY,
+                                           empty, queue=ins.queue)
+                        if wait > empty:
+                            obs.emit_stall(start + empty, self.cid,
+                                           STALL_TRANSFER, wait - empty,
+                                           queue=ins.queue)
                 if self.race is not None:
                     self.race.on_deq(self.cid, ins.queue, q.n_deq)
                 regs[ins.dst] = q.pop(completion)
-                if self.trace is not None:
-                    self.trace.record(
-                        time=completion, core=self.cid, kind="deq",
-                        queue=ins.queue, value=regs[ins.dst],
-                        stall=completion - start - lat.dequeue,
-                    )
+                if obs is not None:
+                    obs.emit_deq(completion, self.cid, ins.queue,
+                                 regs[ins.dst], wait)
                 self.time = completion
                 self.stats.deq_ops += 1
                 self.pc += 1
@@ -248,12 +282,15 @@ class Core:
                 self.time += lat.branch
             elif op == "halt":
                 self.halted = True
-                if self.trace is not None:
-                    self.trace.record(time=self.time, core=self.cid, kind="halt")
                 self.stats.instrs += executed + 1
+                if obs is not None:
+                    obs.emit_retire(t0, self.cid, self.time - t0, executed + 1)
+                    obs.emit_halt(self.time, self.cid)
                 return executed + 1
             else:  # pragma: no cover - defensive
                 raise SimError(f"core {self.cid}: bad opcode {op}")
             executed += 1
         self.stats.instrs += executed
+        if obs is not None and executed:
+            obs.emit_retire(t0, self.cid, self.time - t0, executed)
         return executed

@@ -125,6 +125,7 @@ class Machine:
         detect_races: bool = False,
         trace: bool = False,
         faults=None,
+        obs=None,
     ) -> None:
         self.params = params or MachineParams()
         self.memory = memory
@@ -137,11 +138,21 @@ class Machine:
             from .race import RaceDetector
 
             self.race_detector = RaceDetector(n_cores=len(programs))
+        #: the observability bus (repro.obs.events.EventBus) the cores
+        #: emit into; a disabled bus is treated exactly like None so the
+        #: hot loop never pays for observers that cannot hear.
+        self.obs = obs if (obs is not None and obs.enabled) else None
         self.trace_recorder = None
         if trace:
+            # The ASCII TraceRecorder is a plain bus consumer now: wire
+            # it to the caller's bus, or a private one if none was given.
+            from ..obs.events import EventBus
             from .trace import TraceRecorder
 
+            if self.obs is None:
+                self.obs = EventBus()
             self.trace_recorder = TraceRecorder()
+            self.obs.subscribe(self.trace_recorder.on_event)
         self.cores = [
             Core(
                 cid=i,
@@ -162,9 +173,9 @@ class Machine:
         if self.race_detector is not None:
             for core in self.cores:
                 core.race = self.race_detector
-        if self.trace_recorder is not None:
+        if self.obs is not None:
             for core in self.cores:
-                core.trace = self.trace_recorder
+                core.obs = self.obs
 
     def _queue(self, qid: QueueId) -> HwQueue:
         q = self.queues.get(qid)

@@ -5,6 +5,12 @@ Attach a :class:`TraceRecorder` to a machine (``trace=True`` on
 capture communication and control events with simulated timestamps,
 then render a queue-centric timeline — the visual equivalent of the
 paper's Fig 11 — or summarise where each core spent its cycles.
+
+The recorder is a thin consumer of the :mod:`repro.obs.events` bus:
+the machine subscribes :meth:`TraceRecorder.on_event`, which keeps the
+communication/halt subset as :class:`TraceEvent` rows for the ASCII
+views.  For machine-readable output (Perfetto timelines, metrics) use
+:mod:`repro.obs` directly — it sees the full event vocabulary.
 """
 
 from __future__ import annotations
@@ -28,10 +34,25 @@ class TraceEvent:
 class TraceRecorder:
     events: list[TraceEvent] = field(default_factory=list)
     max_events: int = 200_000
+    #: events discarded once ``max_events`` was reached — reported in
+    #: :meth:`summary` instead of silently truncating the trace.
+    dropped: int = 0
 
     def record(self, **kw) -> None:
         if len(self.events) < self.max_events:
             self.events.append(TraceEvent(**kw))
+        else:
+            self.dropped += 1
+
+    def on_event(self, ev) -> None:
+        """Bus subscriber (:class:`repro.obs.events.Event` consumer):
+        keep the enq/deq/halt subset the ASCII renderers draw."""
+        kind = ev.kind
+        if kind == "enq" or kind == "deq":
+            self.record(time=ev.ts, core=ev.core, kind=kind,
+                        queue=ev.queue, value=ev.value, stall=ev.stall)
+        elif kind == "halt":
+            self.record(time=ev.ts, core=ev.core, kind="halt")
 
     # -- queries ---------------------------------------------------------
     def by_core(self, core: int) -> list[TraceEvent]:
@@ -79,5 +100,10 @@ class TraceRecorder:
             lines.append(
                 f"  core {c}: {n_enq} enq, {n_deq} deq, "
                 f"{self.total_stall(c):.0f} stall cycles"
+            )
+        if self.dropped:
+            lines.append(
+                f"  WARNING: {self.dropped} event(s) dropped past the "
+                f"{self.max_events}-event cap"
             )
         return "\n".join(lines)

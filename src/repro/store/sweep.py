@@ -164,6 +164,7 @@ def run_grid(
     timeout: float | None = None,
     retries: int = 1,
     store: Any = _UNSET,
+    obs: Any = None,
 ) -> Mapping[tuple[str, Any], Any]:
     """Run every kernel × config cell; returns ``{(name, config): KernelRun}``.
 
@@ -172,6 +173,10 @@ def run_grid(
     ``workers`` defaults to ``$REPRO_WORKERS`` (serial when unset);
     ``timeout`` bounds each task attempt in seconds; after ``retries``
     failed pool attempts a task is executed serially in-process.
+    ``obs`` (a :class:`repro.obs.events.EventBus`) receives the task
+    lifecycle: serial cells emit through :func:`run_kernel`'s hook,
+    pool cells emit a parent-side completion event per handle (worker
+    processes cannot share the in-memory bus).
     """
     from ..experiments import common
     from .disk import default_store
@@ -189,16 +194,18 @@ def run_grid(
     results: dict[tuple[str, Any], Any] = {}
     pending = list(tasks)
 
+    if obs is not None and not getattr(obs, "enabled", False):
+        obs = None
     if n_workers > 1 and len(tasks) > 1:
         pending = _run_pool(
             pending, by_name, results,
             workers=min(n_workers, len(tasks)),
-            timeout=timeout, retries=retries, store=store,
+            timeout=timeout, retries=retries, store=store, obs=obs,
         )
 
     for task in pending:  # serial path and pool-failure fallback
         results[task.cell] = common.run_kernel(
-            by_name[task.kernel], task.config, store=store
+            by_name[task.kernel], task.config, store=store, obs=obs,
         )
     return results
 
@@ -212,6 +219,7 @@ def _run_pool(
     timeout: float | None,
     retries: int,
     store: Any,
+    obs: Any = None,
 ) -> list[SweepTask]:
     """Drain ``pending`` through a worker pool; returns tasks left for
     the serial fallback (retry-exhausted and quarantined cells).
@@ -265,23 +273,34 @@ def _run_pool(
                 failed.append(task)
 
         try:
+            t_round = time.perf_counter()
             handles = [
                 (t, pool.apply_async(_worker_run, (t.kernel, t.config, root)))
                 for t in pending
             ]
             for task, handle in handles:
+                name = f"{task.kernel}:c{task.config.n_cores}"
                 try:
                     run = handle.get(timeout)
                 except multiprocessing.TimeoutError:
                     timed_out = True
                     _fail(task, f"timed out after {timeout or 0.0:.1f}s",
                           retryable=True)
+                    if obs is not None:
+                        obs.emit_task(name, t_round, time.perf_counter(),
+                                      "timeout")
                 except Exception as exc:
                     _fail(task, f"{type(exc).__name__}: {exc}",
                           retryable=_is_retryable(exc))
+                    if obs is not None:
+                        obs.emit_task(name, t_round, time.perf_counter(),
+                                      type(exc).__name__)
                 else:
                     results[task.cell] = run
                     common.seed_cache(run)  # parent L1: later serial calls reuse
+                    if obs is not None:
+                        obs.emit_task(name, t_round, time.perf_counter(),
+                                      run.failure or "ok")
         finally:
             # A timed-out worker may still hold a pool slot; terminate
             # so retries start on a clean pool.

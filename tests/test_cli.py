@@ -133,3 +133,62 @@ class TestCommands:
     def test_characterize(self, capsys):
         assert main(["characterize"]) == 0
         assert "amenable" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        from repro.obs.timeline import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        rc = main([
+            "trace", "umt2k-6", "--trip", "16", "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ui.perfetto.dev" in out
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert len(doc["traceEvents"]) > 0
+
+    def test_trace_unknown_kernel(self, capsys):
+        assert main(["trace", "nosuch-kernel"]) == 2
+        assert "unknown kernel" in capsys.readouterr().out
+
+    def test_profile_prints_stall_table_and_bench(self, capsys, tmp_path):
+        bench = tmp_path / "BENCH_obs.json"
+        rc = main([
+            "profile", "umt2k-6", "--trip", "16", "--bench", str(bench),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stall attribution" in out
+        assert "queue pressure" in out
+        # the per-core table is non-empty: a row per core
+        rows = [l for l in out.splitlines()
+                if l.strip() and l.strip()[0].isdigit()]
+        assert len(rows) >= 4
+        import json
+
+        doc = json.loads(bench.read_text())
+        assert doc["schema"] == 1 and len(doc["rows"]) == 1
+        assert doc["rows"][0]["kernel"] == "umt2k-6"
+
+    def test_profile_no_bench(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["profile", "umt2k-1", "--trip", "8", "--no-bench"])
+        assert rc == 0
+        assert not (tmp_path / "BENCH_obs.json").exists()
+
+    def test_profile_unknown_kernel(self, capsys):
+        assert main(["profile", "nosuch-kernel"]) == 2
+        assert "unknown kernel" in capsys.readouterr().out
+
+    def test_profile_with_trace_out(self, capsys, tmp_path):
+        out_path = tmp_path / "t.json"
+        rc = main([
+            "profile", "umt2k-1", "--trip", "8", "--no-bench",
+            "--out", str(out_path),
+        ])
+        assert rc == 0 and out_path.exists()

@@ -111,7 +111,7 @@ class TestRelaxation:
         loop, wl = _case()
         seen_depths = []
 
-        def _always_deadlock(kernel, workload, params, faults=None):
+        def _always_deadlock(kernel, workload, params, faults=None, obs=None):
             seen_depths.append(params.queue_depth)
             raise DeadlockError("synthetic deadlock")
 
@@ -125,7 +125,7 @@ class TestRelaxation:
     def test_depth_relaxation_capped(self, monkeypatch):
         loop, wl = _case()
 
-        def _always_deadlock(kernel, workload, params, faults=None):
+        def _always_deadlock(kernel, workload, params, faults=None, obs=None):
             raise DeadlockError("synthetic deadlock")
 
         monkeypatch.setattr(G, "execute_kernel", _always_deadlock)
@@ -139,7 +139,7 @@ class TestRelaxation:
         loop, wl = _case()
         budgets = []
 
-        def _always_budget(kernel, workload, params, faults=None):
+        def _always_budget(kernel, workload, params, faults=None, obs=None):
             budgets.append(params.max_instrs)
             raise BudgetExceeded("synthetic budget trip")
 
@@ -152,7 +152,7 @@ class TestRelaxation:
         loop, wl = _case()
         calls = []
 
-        def _always_simerror(kernel, workload, params, faults=None):
+        def _always_simerror(kernel, workload, params, faults=None, obs=None):
             calls.append(1)
             raise SimError("synthetic invariant violation")
 
@@ -166,7 +166,7 @@ class TestRelaxation:
     def test_compile_error_falls_back_immediately(self, monkeypatch):
         loop, wl = _case()
 
-        def _broken_compile(loop_, n_cores, config=None):
+        def _broken_compile(loop_, n_cores, config=None, obs=None):
             raise RuntimeError("synthetic compiler bug")
 
         monkeypatch.setattr(G, "compile_loop", _broken_compile)

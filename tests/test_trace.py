@@ -69,3 +69,41 @@ class TestKernelTracing:
         a = execute_kernel(kern, wl, trace=True)
         b = execute_kernel(kern, wl)
         assert a.cycles == b.cycles
+
+
+class TestDroppedEvents:
+    def test_cap_is_not_silent(self):
+        rec = TraceRecorder(max_events=3)
+        for k in range(10):
+            rec.record(time=float(k), core=0, kind="enq")
+        assert len(rec.events) == 3
+        assert rec.dropped == 7
+        assert "7 event(s) dropped" in rec.summary()
+
+    def test_no_drops_no_warning(self):
+        rec = TraceRecorder()
+        rec.record(time=1.0, core=0, kind="enq")
+        assert rec.dropped == 0
+        assert "dropped" not in rec.summary()
+
+
+class TestRecorderAsBusConsumer:
+    def test_on_event_feeds_renderer(self):
+        from repro.obs.events import EventBus, EventLog
+
+        spec = get_kernel("umt2k-4")
+        kern = compile_loop(spec.loop(), 4)
+        bus = EventBus()
+        rec = TraceRecorder()
+        log = EventLog()
+        bus.subscribe(rec.on_event)
+        bus.subscribe(log)
+        res = execute_kernel(kern, spec.workload(trip=8), obs=bus)
+        # recorder keeps the enq/deq/halt subset of the full stream
+        kinds = {e.kind for e in rec.events}
+        assert kinds <= {"enq", "deq", "halt"}
+        assert len(rec.events) == sum(
+            1 for e in log.events if e.kind in ("enq", "deq", "halt")
+        )
+        assert rec.total_stall() == res.total_queue_stall
+        assert "core 0" in rec.summary()
