@@ -1,0 +1,45 @@
+"""repro.check — static queue-protocol verification (pre-simulation).
+
+Proves, per hardware queue, that the compiled artifact obeys the
+paper's communication protocol: FIFO order agreement, enq/deq count
+balance on every path, deadlock freedom under finite queue capacity,
+and definition-before-use on the consumer core.  See DESIGN.md
+("Static protocol model") for what is and is not provable.
+"""
+
+from .extract import CoreSummary, GInstr, summarize_all, summarize_program
+from .mutate import (
+    EXPECTED_CATEGORY,
+    MUTATIONS,
+    build_capacity_cycle_programs,
+    mutate_kernel,
+)
+from .predict import MUST_FAIL, PREDICTED_KINDS, prediction_verdict
+from .verifier import (
+    CATEGORIES,
+    CheckReport,
+    Diagnostic,
+    ProtocolError,
+    check_kernel,
+    check_programs,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "CheckReport",
+    "CoreSummary",
+    "Diagnostic",
+    "EXPECTED_CATEGORY",
+    "GInstr",
+    "MUST_FAIL",
+    "MUTATIONS",
+    "PREDICTED_KINDS",
+    "ProtocolError",
+    "build_capacity_cycle_programs",
+    "check_kernel",
+    "check_programs",
+    "mutate_kernel",
+    "prediction_verdict",
+    "summarize_all",
+    "summarize_program",
+]

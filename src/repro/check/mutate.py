@@ -1,0 +1,204 @@
+"""Seeded protocol-bug mutations for checker validation.
+
+Each mutator takes a correct :class:`~repro.isa.lower.LoweredKernel`
+and plants one of the classic queue-protocol bugs directly in the
+lowered programs — the artifact the static checker reads — returning a
+new kernel (the input is never modified) or ``None`` when the kernel
+offers no applicable site.  The fifth bug class, a capacity cycle,
+cannot be reached by perturbing this compiler's output (§III-D plans
+only rank-ordered transfers), so it is built from whole cloth as a
+two-core program pair.
+
+Used by the mutation tests (checker must flag each bug with the
+expected category) and by ``repro fuzz --inject`` (the sim must agree
+with the checker on injected miscompiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from ..ir.types import VClass
+from ..isa.instructions import Imm, Instr, QueueId
+from ..isa.program import Function, Program
+from .extract import GInstr, summarize_all
+
+__all__ = [
+    "MUTATIONS",
+    "EXPECTED_CATEGORY",
+    "mutate_kernel",
+    "build_capacity_cycle_programs",
+]
+
+
+def _rebuild(kernel, core: int, fn_idx: int, new_instrs: list[Instr]):
+    """Copy of ``kernel`` with one function's instructions replaced."""
+    programs = list(kernel.programs)
+    prog = programs[core]
+    functions = list(prog.functions)
+    functions[fn_idx] = Function(functions[fn_idx].name, new_instrs)
+    programs[core] = Program(prog.name, functions, entry=prog.entry)
+    return dc_replace(kernel, programs=programs)
+
+
+def _body_enqs(kernel) -> list[tuple[int, GInstr]]:
+    out = []
+    for s in summarize_all(kernel.programs):
+        for g in s.ops:
+            if g.region == "body" and g.instr.op == "enq":
+                out.append((s.core, g))
+    return out
+
+
+def drop_enq(kernel):
+    """Dropped transfer: delete one per-iteration value enqueue."""
+    for core, g in _body_enqs(kernel):
+        if g.tag is None:          # skip tokens: prefer a named value
+            continue
+        instrs = list(kernel.programs[core].functions[g.fn].instrs)
+        del instrs[g.idx]
+        return _rebuild(kernel, core, g.fn, instrs)
+    return None
+
+
+def swap_enq(kernel):
+    """Swapped enqueue order: exchange two same-queue, same-guard
+    enqueues that carry different values."""
+    groups: dict[tuple, list[tuple[int, GInstr]]] = {}
+    for core, g in _body_enqs(kernel):
+        if g.tag is None:
+            continue
+        groups.setdefault((core, g.fn, g.queue, g.pred_key), []).append(
+            (core, g)
+        )
+    for (core, fn, _q, _pk), items in sorted(
+        groups.items(), key=lambda kv: (kv[0][0], kv[0][1])
+    ):
+        tags = {g.tag for _, g in items}
+        if len(tags) < 2:
+            continue
+        (_, g1), (_, g2) = items[0], next(
+            (it for it in items[1:] if it[1].tag != items[0][1].tag)
+        )
+        instrs = list(kernel.programs[core].functions[fn].instrs)
+        instrs[g1.idx], instrs[g2.idx] = instrs[g2.idx], instrs[g1.idx]
+        return _rebuild(kernel, core, fn, instrs)
+    return None
+
+
+def flip_guard(kernel):
+    """Unbalanced conditional arm: invert the innermost replicated
+    branch guarding one enqueue, so producer and consumer disagree on
+    which arm carries the transfer."""
+    for core, g in _body_enqs(kernel):
+        if not g.pred:
+            continue
+        func = kernel.programs[core].functions[g.fn]
+        stack: list[int] = []  # open-guard branch indices
+        for i, ins in enumerate(func.instrs[: g.idx + 1]):
+            if ins.op == "lab":
+                stack = [
+                    bi for bi in stack
+                    if func.instrs[bi].label != ins.label
+                ]
+            elif ins.op in ("fjp", "tjp"):
+                target = func.labels.get(ins.label, -1)
+                if g.idx < target:   # guard still open at the enq
+                    stack.append(i)
+        if not stack:
+            continue
+        bi = stack[-1]
+        instrs = list(func.instrs)
+        old = instrs[bi]
+        instrs[bi] = Instr(
+            op=("tjp" if old.op == "fjp" else "fjp"),
+            a=old.a, label=old.label, sid=old.sid,
+        )
+        return _rebuild(kernel, core, g.fn, instrs)
+    return None
+
+
+def delay_deq(kernel):
+    """Use-before-deque: move a dequeue past the instructions that
+    consume its value, to the end of the loop body."""
+    for s in summarize_all(kernel.programs):
+        body = [g for g in s.ops if g.region == "body"]
+        deqs = [g for g in body if g.instr.op == "deq" and not g.pred]
+        for g in deqs:
+            # keep per-queue FIFO intact: only move the queue's last deq
+            if any(
+                h.instr.op == "deq" and h.queue == g.queue and h.pos > g.pos
+                for h in body
+            ):
+                continue
+            consumers = [
+                h for h in body
+                if h.pos > g.pos and g.instr.dst in _read_regs(h.instr)
+            ]
+            if not consumers:
+                continue
+            func = kernel.programs[s.core].functions[g.fn]
+            last = max(consumers, key=lambda c: c.pos)
+            instrs = list(func.instrs)
+            ins = instrs.pop(g.idx)
+            # reinsert right after the last consumer (index shifts by
+            # one once the deq is removed)
+            instrs.insert(last.idx, ins)
+            return _rebuild(kernel, s.core, g.fn, instrs)
+    return None
+
+
+def _read_regs(ins: Instr) -> set[str]:
+    return {
+        v for v in (ins.a, ins.b, ins.c) if isinstance(v, str)
+    }
+
+
+def build_capacity_cycle_programs(depth: int) -> list[Program]:
+    """A two-core pair that deadlocks at queue depth ``depth``: each
+    core enqueues ``depth + 1`` values to the other and only then
+    dequeues.  Counts balance and FIFO order agrees, so only the
+    capacity analysis (check 3) can reject it — and the machine
+    deadlocks on it dynamically, which the cross-check tests exploit.
+    """
+    q01 = QueueId(0, 1, VClass.GPR)
+    q10 = QueueId(1, 0, VClass.GPR)
+    n = depth + 1
+
+    def _core(send: QueueId, recv: QueueId) -> Program:
+        instrs = [Instr(op="enq", queue=send, a=Imm(i)) for i in range(n)]
+        instrs += [Instr(op="deq", queue=recv, dst=f"r{i}") for i in range(n)]
+        instrs.append(Instr(op="halt"))
+        name = f"core{send.src}"
+        return Program(name, [Function("main", instrs)])
+
+    return [_core(q01, q10), _core(q10, q01)]
+
+
+#: mutation name -> mutator over LoweredKernel
+MUTATIONS = {
+    "drop-enq": drop_enq,
+    "swap-enq": swap_enq,
+    "flip-guard": flip_guard,
+    "delay-deq": delay_deq,
+}
+
+#: mutation name -> diagnostic category the checker must report
+EXPECTED_CATEGORY = {
+    "drop-enq": "count-mismatch",
+    "swap-enq": "fifo-mismatch",
+    "flip-guard": "conditional-mismatch",
+    "delay-deq": "use-before-deque",
+    "capacity-cycle": "deadlock-cycle",
+}
+
+
+def mutate_kernel(kernel, name: str):
+    """Apply one named mutation; returns the mutated kernel or None."""
+    try:
+        fn = MUTATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; have {sorted(MUTATIONS)}"
+        ) from None
+    return fn(kernel)

@@ -1,0 +1,60 @@
+"""Static prediction of dynamic failure classes per fault kind.
+
+The chaos campaign (experiment E11) injects faults into the *machine*;
+the static protocol model predicts which :class:`FailureKind` classes
+each fault kind can produce.  Annotating every resilience-table cell
+with whether the observation fell inside the prediction turns the
+checker into a falsifiable model whose precision is tracked over time.
+
+The model, derived from the queue protocol:
+
+* **timing faults** (jitter, stall, slowdown) change *when* transfers
+  happen, never *what* or *how many* — the protocol state machine is
+  latency-insensitive, so no failure at all is predicted;
+* **drop** removes one enqueue: a count imbalance that *must* surface —
+  the consumer blocks forever (deadlock), the imbalance is caught at
+  drain (sim-error), or the stall burns the budget first;
+* **corrupt** rewrites a value in flight: a wrong payload *may* surface
+  anywhere downstream — wrong answer (verify-mismatch), a corrupted
+  trip count or function index derailing control flow (deadlock,
+  sim-error, budget), or a corrupted array index (memory-fault) — or
+  may be masked entirely when the value is dead.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PREDICTED_KINDS", "MUST_FAIL", "prediction_verdict"]
+
+#: fault kind -> FailureKind values (strings) it can cause
+PREDICTED_KINDS: dict[str, frozenset[str]] = {
+    "jitter": frozenset(),
+    "stall": frozenset(),
+    "slowdown": frozenset(),
+    "drop": frozenset({"deadlock", "sim-error", "budget"}),
+    "corrupt": frozenset({
+        "verify-mismatch", "deadlock", "sim-error", "budget",
+        "memory-fault",
+    }),
+}
+
+#: fault kinds whose injection statically guarantees *some* failure
+MUST_FAIL = frozenset({"drop"})
+
+
+def prediction_verdict(fault_kind: str, injected: int,
+                       failure_kinds: list[str]) -> str:
+    """Compare an observed chaos cell against the static prediction.
+
+    Returns ``"yes"`` (observation inside the predicted class),
+    ``"no"`` (the model missed), or ``"-"`` (no fault fired, nothing
+    to predict).
+    """
+    if injected == 0:
+        return "-"
+    predicted = PREDICTED_KINDS.get(fault_kind)
+    if predicted is None:
+        return "-"
+    observed = set(failure_kinds)
+    if not observed:
+        return "no" if fault_kind in MUST_FAIL else "yes"
+    return "yes" if observed <= predicted else "no"

@@ -1,0 +1,642 @@
+"""Static queue-protocol verification over lowered programs.
+
+Four checks per hardware queue ``(src, dst, VClass)``:
+
+1. **FIFO order agreement** — the producer's enqueue sequence and the
+   consumer's dequeue sequence name the same values in the same order,
+   per region (pre-loop dispatch, loop body, post-loop copy-out) and
+   per replicated conditional arm.  Pairing is *guard-exact*: the
+   §III-E discipline replicates the producer's predicate chain at the
+   consumer, so the k-th enqueue under guard ``P`` must meet the k-th
+   dequeue under the same ``P``.  This is stricter than semantic
+   equivalence (a compiler that split one unconditional transfer into
+   two complementary guarded ones would be rejected) but exactly
+   matches what the lowerer can emit — and a mismatch is always a
+   protocol bug for this artifact class.
+2. **Count matching** — enq/deq totals balance on every control-flow
+   path: each guard group must pair off completely, including §III-F
+   copy-out and the §III-G dispatch/STOP/done-token protocol.
+3. **Deadlock freedom** — a blocking wait-for graph is built over the
+   pre region, ``K`` unrolled loop iterations and the post region,
+   with three edge families: program order within a core, FIFO pairing
+   (the m-th dequeue waits for the m-th enqueue), and capacity (the
+   m-th enqueue waits for the (m-depth)-th dequeue).  ``K`` is chosen
+   large enough that every queue wraps its capacity at least once.  A
+   cycle is reported with the exact transfer sequence.  The model lets
+   every guarded transfer fire ("all-fire"), which is conservative in
+   the right direction: the compiler's rank-ordered comm schedule is
+   acyclic even all-fire (see compiler/schedule.py constraint 4).
+4. **Well-formedness** — every register read on a core is covered by an
+   earlier definition (preload, dequeue, or compute) whose guard
+   chains cover the read's guard chain; a read whose only later
+   definition is a dequeue is the classic *use-before-deque* bug.
+
+The checks read only the artifact (the per-core ``Program`` list); the
+``CommPlan`` when available is cross-checked against the extracted
+body transfers as a fifth, cheaper consistency check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instructions import Imm, QueueId
+from ..isa.program import Program
+from .extract import REGIONS, CoreSummary, GInstr, summarize_all
+
+__all__ = [
+    "CATEGORIES",
+    "Diagnostic",
+    "CheckReport",
+    "ProtocolError",
+    "check_programs",
+    "check_kernel",
+]
+
+#: diagnostic categories, in rough severity order
+CATEGORIES = (
+    "malformed-program",
+    "count-mismatch",
+    "fifo-mismatch",
+    "conditional-mismatch",
+    "plan-mismatch",
+    "use-before-deque",
+    "undefined-register",
+    "deadlock-cycle",
+)
+
+
+def _qkey(q: QueueId) -> tuple:
+    return (q.src, q.dst, q.vclass.value)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One protocol violation, attributable to a queue and category."""
+
+    category: str
+    message: str
+    queue: tuple | None = None       # (src, dst, vclass) or None
+    cycle: tuple = ()                # deadlock cycle: transfer descriptors
+    cycle_queues: tuple = ()         # queue keys along the cycle, in order
+
+    def format(self) -> str:
+        q = f" {self.queue}" if self.queue else ""
+        out = f"[{self.category}]{q} {self.message}"
+        if self.cycle:
+            out += "\n    cycle: " + " -> ".join(self.cycle)
+        return out
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one static verification."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    n_cores: int = 0
+    n_queues: int = 0
+    n_body_transfers: int = 0
+    unrolled_iters: int = 0
+    queue_depth: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    @property
+    def categories(self) -> list[str]:
+        seen: list[str] = []
+        for d in self.diagnostics:
+            if d.category not in seen:
+                seen.append(d.category)
+        return seen
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"protocol OK: {self.n_queues} queue(s), "
+                f"{self.n_body_transfers} transfer(s)/iteration verified "
+                f"over {self.unrolled_iters} unrolled iteration(s) at "
+                f"depth {self.queue_depth}"
+            )
+        head = (
+            f"protocol REJECTED: {len(self.diagnostics)} diagnostic(s) "
+            f"[{', '.join(self.categories)}]"
+        )
+        return "\n".join([head] + ["  " + d.format() for d in self.diagnostics])
+
+
+class ProtocolError(RuntimeError):
+    """Raised by the mandatory pipeline stage on checker rejection."""
+
+    def __init__(self, report: CheckReport):
+        super().__init__(report.describe())
+        self.report = report
+
+
+# ----------------------------------------------------------------------
+# Guard-chain helpers
+# ----------------------------------------------------------------------
+
+def _compatible(p: frozenset, q: frozenset) -> bool:
+    """Two guard chains can hold simultaneously (no opposite literal)."""
+    return not any((c, not w) in q for c, w in p)
+
+
+def _fmt_pred(pred) -> str:
+    if not pred:
+        return "(always)"
+    lits = sorted(pred) if isinstance(pred, frozenset) else list(pred)
+    return "if " + " & ".join(f"{c}={'1' if w else '0'}" for c, w in lits)
+
+
+def _fmt_tag(g: GInstr) -> str:
+    if g.tag is not None:
+        return g.tag
+    ins = g.instr
+    if ins.op == "enq" and isinstance(ins.a, Imm):
+        return f"#{ins.a.value}"
+    return "?"
+
+
+def _covers(read_pred: frozenset, def_preds: list[frozenset],
+            _depth: int = 0) -> bool:
+    """Does some definition dominate every completion of ``read_pred``?
+
+    True when a def guard is a subset of the read guard, or when the
+    defs split on a condition (if/else arms) and each refinement of the
+    read guard is covered.  Bounded by the number of distinct
+    conditions, which is tiny.
+    """
+    for p in def_preds:
+        if p <= read_pred:
+            return True
+    if _depth > 8:
+        return False
+    read_vars = {c for c, _ in read_pred}
+    for p in def_preds:
+        for c, _ in p:
+            if c not in read_vars:
+                t = read_pred | {(c, True)}
+                f = read_pred | {(c, False)}
+                return (_covers(t, def_preds, _depth + 1)
+                        and _covers(f, def_preds, _depth + 1))
+    return False
+
+
+# ----------------------------------------------------------------------
+# Checks 1 + 2: FIFO / count pairing per queue, per region
+# ----------------------------------------------------------------------
+
+def _pair_region(
+    q: QueueId,
+    region: str,
+    enqs: list[GInstr],
+    deqs: list[GInstr],
+    diags: list[Diagnostic],
+) -> list[tuple[GInstr, GInstr]]:
+    key = _qkey(q)
+    groups_e: dict[frozenset, list[GInstr]] = {}
+    groups_d: dict[frozenset, list[GInstr]] = {}
+    order: list[frozenset] = []
+    for g in enqs:
+        if g.pred_key not in groups_e and g.pred_key not in order:
+            order.append(g.pred_key)
+        groups_e.setdefault(g.pred_key, []).append(g)
+    for g in deqs:
+        if g.pred_key not in groups_d and g.pred_key not in order:
+            order.append(g.pred_key)
+        groups_d.setdefault(g.pred_key, []).append(g)
+
+    pairs: list[tuple[GInstr, GInstr]] = []
+    left_e: list[GInstr] = []
+    left_d: list[GInstr] = []
+    for pk in order:
+        le = groups_e.get(pk, [])
+        ld = groups_d.get(pk, [])
+        n = min(len(le), len(ld))
+        for i in range(n):
+            pairs.append((le[i], ld[i]))
+        left_e.extend(le[n:])
+        left_d.extend(ld[n:])
+
+    # Leftovers whose value tag exists on the other side under a
+    # different guard chain: inconsistently replicated conditional.
+    for e in list(left_e):
+        match = next(
+            (d for d in left_d
+             if e.tag is not None and d.tag == e.tag), None
+        )
+        if match is not None:
+            left_e.remove(e)
+            left_d.remove(match)
+            diags.append(Diagnostic(
+                category="conditional-mismatch",
+                queue=key,
+                message=(
+                    f"{region}: transfer {e.tag!r} is enqueued on core "
+                    f"{q.src} {_fmt_pred(e.pred)} but dequeued on core "
+                    f"{q.dst} {_fmt_pred(match.pred)} — replicated "
+                    "condition arms disagree"
+                ),
+            ))
+    for e in left_e:
+        diags.append(Diagnostic(
+            category="count-mismatch",
+            queue=key,
+            message=(
+                f"{region}: core {q.src} enqueues {_fmt_tag(e)} "
+                f"{_fmt_pred(e.pred)} with no matching dequeue on core "
+                f"{q.dst}"
+            ),
+        ))
+    for d in left_d:
+        diags.append(Diagnostic(
+            category="count-mismatch",
+            queue=key,
+            message=(
+                f"{region}: core {q.dst} dequeues into {_fmt_tag(d)} "
+                f"{_fmt_pred(d.pred)} with no matching enqueue on core "
+                f"{q.src}"
+            ),
+        ))
+
+    # Check 1a: paired slots must name the same value.
+    for k, (e, d) in enumerate(pairs):
+        if e.tag is not None and d.tag is not None and e.tag != d.tag:
+            diags.append(Diagnostic(
+                category="fifo-mismatch",
+                queue=key,
+                message=(
+                    f"{region}: slot {k} {_fmt_pred(e.pred)} carries "
+                    f"{e.tag!r} at the producer but the consumer reads "
+                    f"it into {d.tag!r}"
+                ),
+            ))
+    # Check 1b: guard-compatible pairs must agree on relative order.
+    for i in range(len(pairs)):
+        ei, di = pairs[i]
+        for j in range(i + 1, len(pairs)):
+            ej, dj = pairs[j]
+            if not _compatible(ei.pred_key, ej.pred_key):
+                continue
+            if (ei.pos < ej.pos) != (di.pos < dj.pos):
+                diags.append(Diagnostic(
+                    category="fifo-mismatch",
+                    queue=key,
+                    message=(
+                        f"{region}: transfers {_fmt_tag(ei)} and "
+                        f"{_fmt_tag(ej)} are enqueued and dequeued in "
+                        "opposite orders"
+                    ),
+                ))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Check 3: wait-for graph under finite capacity
+# ----------------------------------------------------------------------
+
+def _deadlock_scan(
+    summaries: list[CoreSummary],
+    queues: list[QueueId],
+    per_iter: dict[QueueId, int],
+    depth: int,
+    max_unroll: int,
+    diags: list[Diagnostic],
+) -> int:
+    body_counts = [c for c in per_iter.values() if c > 0]
+    if body_counts:
+        need = max(depth // c + 2 for c in body_counts)
+        k = max(2, min(max_unroll, need))
+    else:
+        k = 1
+
+    # Node = one dynamic queue-op instance; build per-core chains.
+    node_desc: list[str] = []
+    node_queue: list[tuple] = []
+    succ: list[list[int]] = []
+    enq_fifo: dict[QueueId, list[int]] = {q: [] for q in queues}
+    deq_fifo: dict[QueueId, list[int]] = {q: [] for q in queues}
+    node_pred: list[tuple] = []
+
+    def _new_node(core: int, g: GInstr, it: int) -> int:
+        nid = len(node_desc)
+        when = "pre" if it == -1 else "post" if it == k else f"iter{it}"
+        node_desc.append(
+            f"core{core}:{g.instr.op} {g.queue!r}[{_fmt_tag(g)}] @{when}"
+        )
+        node_queue.append(_qkey(g.queue))
+        succ.append([])
+        node_pred.append(tuple((it, c, w) for c, w in g.pred))
+        if g.instr.op == "enq":
+            enq_fifo[g.queue].append(nid)
+        else:
+            deq_fifo[g.queue].append(nid)
+        return nid
+
+    for s in summaries:
+        qops = [g for g in s.queue_ops if g.queue in per_iter]
+        chain: list[int] = []
+        for g in qops:
+            if g.region == "pre":
+                chain.append(_new_node(s.core, g, -1))
+        for it in range(k):
+            for g in qops:
+                if g.region == "body":
+                    chain.append(_new_node(s.core, g, it))
+        for g in qops:
+            if g.region == "post":
+                chain.append(_new_node(s.core, g, k))
+        for a, b in zip(chain, chain[1:]):
+            succ[a].append(b)
+
+    for q in queues:
+        es, ds = enq_fifo[q], deq_fifo[q]
+        n = min(len(es), len(ds))  # equal when pairing verified
+        for m in range(n):
+            succ[es[m]].append(ds[m])          # dequeue waits on enqueue
+        for m in range(depth, len(es)):
+            if m - depth < len(ds):
+                succ[ds[m - depth]].append(es[m])  # slot waits on dequeue
+
+    cycle = _find_cycle(succ)
+    if cycle is not None:
+        lits: dict[tuple, bool] = {}
+        conflict = False
+        for nid in cycle:
+            for it, c, w in node_pred[nid]:
+                if lits.setdefault((it, c), w) != w:
+                    conflict = True
+        note = (
+            " (note: the cycle's guards conflict; it may be unreachable "
+            "dynamically, but the schedule still violates the rank-order "
+            "discipline)" if conflict else ""
+        )
+        diags.append(Diagnostic(
+            category="deadlock-cycle",
+            queue=node_queue[cycle[0]],
+            message=(
+                f"cyclic blocking at queue depth {depth} over "
+                f"{len(cycle)} transfer(s){note}"
+            ),
+            cycle=tuple(node_desc[n] for n in cycle),
+            cycle_queues=tuple(node_queue[n] for n in cycle),
+        ))
+    return k
+
+
+def _find_cycle(succ: list[list[int]]) -> list[int] | None:
+    """Iterative DFS; returns one cycle (node list) or None."""
+    n = len(succ)
+    color = [0] * n  # 0 white, 1 on stack, 2 done
+    parent = [-1] * n
+    for root in range(n):
+        if color[root] != 0:
+            continue
+        stack: list[tuple[int, int]] = [(root, 0)]
+        color[root] = 1
+        while stack:
+            node, ei = stack[-1]
+            if ei < len(succ[node]):
+                stack[-1] = (node, ei + 1)
+                nxt = succ[node][ei]
+                if color[nxt] == 0:
+                    color[nxt] = 1
+                    parent[nxt] = node
+                    stack.append((nxt, 0))
+                elif color[nxt] == 1:
+                    cycle = [node]
+                    cur = node
+                    while cur != nxt:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    return cycle
+            else:
+                color[node] = 2
+                stack.pop()
+    return None
+
+
+# ----------------------------------------------------------------------
+# Check 4: definition-before-use on each core
+# ----------------------------------------------------------------------
+
+_READS = {
+    "bin": ("a", "b"),
+    "un": ("a",),
+    "call": ("a", "b", "c"),
+    "select": ("a", "b", "c"),
+    "mov": ("a",),
+    "load": ("a",),
+    "store": ("a", "b"),
+    "enq": ("a",),
+    "fjp": ("a",),
+    "tjp": ("a",),
+    "callr": ("a",),
+}
+
+_WRITES = frozenset({"bin", "un", "call", "select", "mov", "load", "deq"})
+
+
+def _reads_of(g: GInstr) -> list[str]:
+    ins = g.instr
+    out = []
+    for f in _READS.get(ins.op, ()):
+        v = getattr(ins, f)
+        if isinstance(v, str):
+            out.append(v)
+    return out
+
+
+def _check_wellformed(
+    s: CoreSummary,
+    preload: set[str],
+    diags: list[Diagnostic],
+) -> None:
+    defs: dict[str, list[frozenset]] = {r: [frozenset()] for r in preload}
+    later_defs: dict[str, list[GInstr]] = {}
+    for g in s.ops:
+        if g.instr.op in _WRITES and g.instr.dst is not None:
+            later_defs.setdefault(g.instr.dst, []).append(g)
+
+    flagged: set[str] = set()
+    for g in s.ops:
+        for reg in _reads_of(g):
+            if reg in flagged:
+                continue
+            have = defs.get(reg, [])
+            if have and _covers(g.pred_key, have):
+                continue
+            flagged.add(reg)
+            later = [d for d in later_defs.get(reg, []) if d.pos > g.pos]
+            deq_later = next(
+                (d for d in later if d.instr.op == "deq"), None
+            )
+            if deq_later is not None:
+                diags.append(Diagnostic(
+                    category="use-before-deque",
+                    queue=_qkey(deq_later.queue),
+                    message=(
+                        f"core {s.core}: {g.region} reads {reg!r} "
+                        f"({g.instr!r}) before it is dequeued from "
+                        f"{deq_later.queue!r}"
+                    ),
+                ))
+            else:
+                diags.append(Diagnostic(
+                    category="undefined-register",
+                    message=(
+                        f"core {s.core}: {g.region} reads {reg!r} "
+                        f"({g.instr!r}) which is never defined before use"
+                    ),
+                ))
+        if g.instr.op in _WRITES and g.instr.dst is not None:
+            defs.setdefault(g.instr.dst, []).append(g.pred_key)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def check_programs(
+    programs: list[Program],
+    *,
+    queue_depth: int = 20,
+    preload: dict[int, set[str]] | None = None,
+    plan=None,
+    max_unroll: int = 64,
+) -> CheckReport:
+    """Verify the queue protocol of a set of per-core programs.
+
+    ``preload`` maps core id to the register names the loader
+    initializes (the primary's scalar parameters); ``plan`` is an
+    optional :class:`~repro.compiler.comm.CommPlan` cross-checked
+    against the extracted body transfers.
+    """
+    report = CheckReport(n_cores=len(programs), queue_depth=queue_depth)
+    diags = report.diagnostics
+    summaries = summarize_all(programs)
+    for s in summaries:
+        for p in s.problems:
+            diags.append(Diagnostic(
+                category="malformed-program",
+                message=f"core {s.core}: {p}",
+            ))
+
+    # Queue inventory + single-producer/single-consumer ownership.
+    queues: list[QueueId] = []
+    for s in summaries:
+        for g in s.queue_ops:
+            q = g.queue
+            if q is None:
+                diags.append(Diagnostic(
+                    category="malformed-program",
+                    message=f"core {s.core}: queue op without a queue: "
+                            f"{g.instr!r}",
+                ))
+                continue
+            if q not in queues:
+                queues.append(q)
+            owner = q.src if g.instr.op == "enq" else q.dst
+            if owner != s.core:
+                diags.append(Diagnostic(
+                    category="malformed-program",
+                    queue=_qkey(q),
+                    message=(
+                        f"core {s.core} executes {g.instr.op} on {q!r}, "
+                        f"which belongs to core {owner}"
+                    ),
+                ))
+    queues.sort(key=lambda q: (q.src, q.dst, q.vclass.value))
+    report.n_queues = len(queues)
+
+    pairing_clean = not diags
+    per_iter: dict[QueueId, int] = {}
+    for q in queues:
+        if not (0 <= q.src < len(summaries) and 0 <= q.dst < len(summaries)):
+            diags.append(Diagnostic(
+                category="malformed-program",
+                queue=_qkey(q),
+                message=f"queue {q!r} references a core that does not exist",
+            ))
+            pairing_clean = False
+            continue
+        enqs = summaries[q.src].queue_ops_of(q, "enq")
+        deqs = summaries[q.dst].queue_ops_of(q, "deq")
+        before = len(diags)
+        body_pairs = 0
+        for region in REGIONS:
+            pairs = _pair_region(
+                q, region,
+                [g for g in enqs if g.region == region],
+                [g for g in deqs if g.region == region],
+                diags,
+            )
+            if region == "body":
+                body_pairs = len(pairs)
+        per_iter[q] = body_pairs
+        if len(diags) > before:
+            pairing_clean = False
+    report.n_body_transfers = sum(per_iter.values())
+
+    if plan is not None:
+        _cross_check_plan(plan, summaries, diags)
+
+    for s in summaries:
+        _check_wellformed(s, (preload or {}).get(s.core, set()), diags)
+
+    # The wait-for graph presumes a validated pairing; skip it when the
+    # cheaper checks already rejected the artifact.
+    if pairing_clean:
+        report.unrolled_iters = _deadlock_scan(
+            summaries, queues, per_iter, queue_depth, max_unroll, diags,
+        )
+    return report
+
+
+def _cross_check_plan(plan, summaries: list[CoreSummary],
+                      diags: list[Diagnostic]) -> None:
+    """CommPlan vs artifact: the loop body must carry exactly the
+    planned transfers, queue by queue, guard multiset included."""
+    from collections import Counter
+
+    planned: dict[tuple, Counter] = {}
+    for t in plan.transfers:
+        key = (t.src_pid, t.dst_pid, t.vclass.value)
+        planned.setdefault(key, Counter())[frozenset(t.pred)] += 1
+    actual: dict[tuple, Counter] = {}
+    for s in summaries:
+        for g in s.queue_ops:
+            if g.region != "body" or g.instr.op != "enq":
+                continue
+            key = _qkey(g.queue)
+            actual.setdefault(key, Counter())[g.pred_key] += 1
+    for key in sorted(set(planned) | set(actual)):
+        p = planned.get(key, Counter())
+        a = actual.get(key, Counter())
+        if p != a:
+            diags.append(Diagnostic(
+                category="plan-mismatch",
+                queue=key,
+                message=(
+                    f"CommPlan plans {sum(p.values())} transfer(s)/iter "
+                    f"but the lowered body enqueues {sum(a.values())} "
+                    "(or their guards differ)"
+                ),
+            ))
+
+
+def check_kernel(kernel, *, queue_depth: int = 20,
+                 max_unroll: int = 64) -> CheckReport:
+    """Verify a :class:`~repro.isa.lower.LoweredKernel` end to end."""
+    loop = kernel.plan.loop
+    preload = {0: {p.name for p in loop.params}}
+    return check_programs(
+        kernel.programs,
+        queue_depth=queue_depth,
+        preload=preload,
+        plan=kernel.plan.comm,
+        max_unroll=max_unroll,
+    )

@@ -14,6 +14,10 @@ Commands
 * ``chaos`` — seeded fault-injection campaign over tier-1 kernels
   through the guarded runtime (resilience table, exit 1 on any
   silent corruption);
+* ``check`` — static queue-protocol verification of lowered kernels
+  across a cores × depth × speculation matrix (exit 1 on rejection);
+* ``fuzz`` — seeded differential fuzzing campaign with shrinking and
+  replayable JSON artifacts (``--replay`` re-probes a saved finding);
 * ``sweep`` — run a kernel × core-count grid through the parallel
   sweep engine and the persistent result store;
 * ``cache {stats,clear,gc}`` — inspect / maintain the result store;
@@ -312,6 +316,89 @@ def _cmd_chaos(args) -> int:
     return 0 if res.silent == 0 else 1
 
 
+def _cmd_check(args) -> int:
+    from .check import check_kernel
+    from .compiler import CompilerConfig
+    from .kernels import all_kernels, get_kernel
+    from .runtime import compile_loop
+
+    if args.kernels:
+        try:
+            specs = [get_kernel(name) for name in args.kernels]
+        except KeyError as exc:
+            print(f"unknown kernel {exc.args[0]!r}; see `python -m repro list`")
+            return 2
+    else:
+        specs = all_kernels()
+    try:
+        cores = _parse_int_list(args.cores)
+        depths = _parse_int_list(args.depths)
+    except ValueError:
+        print("--cores/--depths expect comma-separated lists of integers")
+        return 2
+    spec_flags = {
+        "off": (False,), "on": (True,), "both": (False, True),
+    }[args.speculation]
+
+    checked = 0
+    rejected = 0
+    for spec in specs:
+        loop = spec.loop()
+        for n in cores:
+            for s in spec_flags:
+                try:
+                    kern = compile_loop(
+                        loop, n, CompilerConfig(speculation=s), check=False
+                    )
+                except Exception as exc:
+                    print(f"{spec.name}: compile failed at {n} cores "
+                          f"(speculation={s}): {exc}")
+                    rejected += 1
+                    continue
+                for depth in depths:
+                    checked += 1
+                    report = check_kernel(kern, queue_depth=depth)
+                    if report.ok:
+                        continue
+                    rejected += 1
+                    print(f"{spec.name} cores={n} depth={depth} "
+                          f"speculation={'on' if s else 'off'}: REJECTED")
+                    for line in report.describe().splitlines():
+                        print(f"  {line}")
+    print(
+        f"checked {checked} kernel configuration(s) over "
+        f"{len(specs)} kernel(s): "
+        + ("all protocols verified" if rejected == 0
+           else f"{rejected} REJECTED")
+    )
+    return 0 if rejected == 0 else 1
+
+
+def _cmd_fuzz(args) -> int:
+    from .fuzz import replay_artifact, run_campaign
+
+    if args.replay:
+        expected, observed = replay_artifact(args.replay)
+        same = expected == observed
+        print(f"artifact : {args.replay}")
+        print(f"expected : {expected}")
+        print(f"observed : {observed}")
+        print("replay   : " + ("REPRODUCED" if same else "DID NOT REPRODUCE"))
+        return 0 if same else 1
+
+    res = run_campaign(
+        args.seed,
+        trials=args.trials,
+        max_seconds=args.max_seconds,
+        trip=args.trip,
+        inject=args.inject,
+        out_dir=args.out,
+        log=print,
+    )
+    print(res.describe())
+    return 0 if not res.findings else 1
+
+
 def _cmd_cache(args) -> int:
     from .store.disk import ResultStore, store_root
 
@@ -440,6 +527,39 @@ def build_parser() -> argparse.ArgumentParser:
     xp.add_argument("--intensity", type=float, default=1.0,
                     help="fault probability scale (see FaultPlan.single)")
     xp.set_defaults(fn=_cmd_chaos)
+
+    kp = sub.add_parser(
+        "check",
+        help="statically verify kernel queue protocols (exit 1 on rejection)",
+    )
+    kp.add_argument("kernels", nargs="*",
+                    help="kernel names (default: all registered kernels)")
+    kp.add_argument("--cores", default="2,4",
+                    help="comma-separated core counts (default 2,4)")
+    kp.add_argument("--depths", default="4,20",
+                    help="comma-separated queue depths (default 4,20)")
+    kp.add_argument("--speculation", choices=("off", "on", "both"),
+                    default="both")
+    kp.set_defaults(fn=_cmd_check)
+
+    fp = sub.add_parser(
+        "fuzz",
+        help="seeded differential fuzzing campaign with shrinking",
+    )
+    fp.add_argument("--seed", type=int, default=0)
+    fp.add_argument("--trials", type=int, default=None,
+                    help="trial budget (default 25 unless --max-seconds)")
+    fp.add_argument("--max-seconds", type=float, default=None,
+                    help="wall-clock budget for the campaign")
+    fp.add_argument("--trip", type=int, default=16)
+    fp.add_argument("--inject", default=None,
+                    choices=("drop-enq", "swap-enq", "flip-guard", "delay-deq"),
+                    help="arm a known protocol-bug mutation after compilation")
+    fp.add_argument("--out", default=None,
+                    help="directory for replayable JSON repro artifacts")
+    fp.add_argument("--replay", default=None,
+                    help="re-probe a saved artifact instead of fuzzing")
+    fp.set_defaults(fn=_cmd_fuzz)
 
     cp2 = sub.add_parser("cache", help="persistent result-store maintenance")
     cp2.add_argument("action", choices=("stats", "clear", "gc"))

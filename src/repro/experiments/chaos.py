@@ -28,6 +28,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from ..check import prediction_verdict
 from ..faults import FAULT_KINDS, FaultPlan
 from ..interp import run_loop
 from ..kernels import get_kernel
@@ -58,6 +59,9 @@ class ChaosCell:
     outcome: str                   # one of OUTCOMES
     failure_kinds: tuple[str, ...]  # classified failures, in order
     source: str                    # "parallel" | "fallback"
+    #: did the static protocol model predict the observed failure class?
+    #: "yes" / "no" / "-" (see repro.check.predict)
+    predicted: str = "-"
 
 
 @dataclass
@@ -122,12 +126,16 @@ def run(
             outcome = _classify(len(g.injected), correct, g)
             counts[outcome] += 1
             total_injected += len(g.injected)
+            fail_kinds = tuple(k.value for k in g.failure_kinds)
             cells.append(ChaosCell(
                 kernel=name, fault=kind, seed=cell_seed,
                 injected=len(g.injected), attempts=g.attempts,
                 outcome=outcome,
-                failure_kinds=tuple(k.value for k in g.failure_kinds),
+                failure_kinds=fail_kinds,
                 source=g.source,
+                predicted=prediction_verdict(
+                    kind, len(g.injected), list(fail_kinds)
+                ),
             ))
     return ChaosResult(cells=cells, counts=counts,
                        total_injected=total_injected)
@@ -137,13 +145,13 @@ def format_result(res: ChaosResult) -> str:
     lines = [
         "E11 — chaos campaign: injected faults vs. detection/degradation",
         f"{'kernel':10s} {'fault':9s} {'inj':>4s} {'att':>4s} "
-        f"{'outcome':9s} {'source':9s} failures",
+        f"{'outcome':9s} {'source':9s} {'pred':4s} failures",
     ]
     for c in res.cells:
         fails = ",".join(c.failure_kinds) or "-"
         lines.append(
             f"{c.kernel:10s} {c.fault:9s} {c.injected:4d} {c.attempts:4d} "
-            f"{c.outcome:9s} {c.source:9s} {fails}"
+            f"{c.outcome:9s} {c.source:9s} {c.predicted:4s} {fails}"
         )
     lines.append("")
     lines.append(
@@ -155,5 +163,11 @@ def format_result(res: ChaosResult) -> str:
         f"silent corruption: {res.silent}"
         + ("  — SAFETY INVARIANT HOLDS" if res.silent == 0
            else "  — SAFETY INVARIANT VIOLATED")
+    )
+    judged = [c for c in res.cells if c.predicted != "-"]
+    agree = sum(1 for c in judged if c.predicted == "yes")
+    lines.append(
+        f"checker prediction: {agree}/{len(judged)} faulted cells within "
+        "the statically predicted failure class"
     )
     return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""The shared loop grammar behind property tests and the fuzzer.
+
+One generator, two entropy sources: ``tests/strategies.py`` drives it
+with Hypothesis draws (shrinking-friendly property tests), while
+:class:`RandomDraw` drives it with a seeded :class:`random.Random`
+(replayable campaigns with no test-framework dependency at runtime).
+Keeping a single grammar means "the fuzzer uses the tests'
+loop grammar" is true by construction rather than by imitation.
+
+Every generated loop is well formed by design: in-bounds accesses for
+the default :func:`repro.workload.random_workload` sizing, denominators
+bounded away from zero, sqrt over non-negative values.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..ir import F64, LoopBuilder, as_expr, fabs, sqrt
+from ..ir.nodes import Expr, fmax, fmin
+from ..ir.stmts import Loop
+
+__all__ = ["Draw", "RandomDraw", "build_loop"]
+
+
+class Draw:
+    """Entropy-source interface the grammar consumes."""
+
+    def integers(self, lo: int, hi: int) -> int:  # inclusive bounds
+        raise NotImplementedError
+
+    def booleans(self) -> bool:
+        raise NotImplementedError
+
+    def sampled_from(self, seq):
+        raise NotImplementedError
+
+    def floats(self, lo: float, hi: float) -> float:
+        raise NotImplementedError
+
+
+class RandomDraw(Draw):
+    """Seeded ``random.Random`` backend (deterministic, replayable)."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def integers(self, lo: int, hi: int) -> int:
+        return self.rng.randint(lo, hi)
+
+    def booleans(self) -> bool:
+        return self.rng.random() < 0.5
+
+    def sampled_from(self, seq):
+        return seq[self.rng.randrange(len(seq))]
+
+    def floats(self, lo: float, hi: float) -> float:
+        # round for printable, exactly JSON-round-trippable artifacts
+        return round(self.rng.uniform(lo, hi), 6)
+
+
+def _leaf(draw: Draw, arrays, scalars, i):
+    choice = draw.integers(0, 3)
+    if choice == 0 and scalars:
+        return draw.sampled_from(scalars)
+    if choice == 1:
+        return draw.floats(-2.0, 2.0)
+    arr = draw.sampled_from(arrays)
+    if draw.booleans():
+        return arr[i]
+    return arr[i + draw.integers(0, 3)]
+
+
+def _expr(draw: Draw, arrays, scalars, i, depth: int) -> Expr:
+    if depth <= 0:
+        return as_expr(_leaf(draw, arrays, scalars, i))
+    op = draw.sampled_from(
+        ["add", "sub", "mul", "safe_div", "min", "max", "sqrt", "abs"]
+    )
+    a = _expr(draw, arrays, scalars, i, depth - 1)
+    if op == "sqrt":
+        return sqrt(fabs(a) + 0.25)
+    if op == "abs":
+        return fabs(a)
+    c = _expr(draw, arrays, scalars, i, depth - 1)
+    if op == "add":
+        return a + c
+    if op == "sub":
+        return a - c
+    if op == "mul":
+        return a * c
+    if op == "min":
+        return fmin(a, c)
+    if op == "max":
+        return fmax(a, c)
+    # safe division: denominator bounded away from zero
+    return a / (fabs(c) + 0.5)
+
+
+def build_loop(draw: Draw, name: str = "fuzz") -> Loop:
+    """A random well-formed loop with 2-10 statements."""
+    b = LoopBuilder(name, trip="n")
+    i = b.index
+    n_arrays = draw.integers(2, 4)
+    arrays = [b.array(f"a{k}", F64) for k in range(n_arrays)]
+    out = b.array("out", F64)
+    p = b.param("p", F64)
+    scalars = [p]
+    use_acc = draw.booleans()
+    if use_acc:
+        acc = b.accumulator("acc", F64)
+
+    n_stmts = draw.integers(1, 5)
+    for k in range(n_stmts):
+        e = _expr(draw, arrays, scalars, i, draw.integers(1, 3))
+        t = b.let(f"t{k}", e)
+        scalars.append(t)
+
+    if draw.booleans():
+        cond = _expr(draw, arrays, scalars, i, 1) > 0.5
+        with b.if_(cond) as br:
+            tv = b.let(None, _expr(draw, arrays, scalars, i, 2))
+            b.store(out, i, tv)
+        with br.otherwise():
+            fv = b.let(None, _expr(draw, arrays, scalars, i, 1))
+            b.store(out, i, fv * 0.5)
+    else:
+        b.store(out, i, _expr(draw, arrays, scalars, i, 2))
+
+    if use_acc:
+        b.set(acc, acc + scalars[-1] if len(scalars) > 1 else acc + p)
+    return b.build()

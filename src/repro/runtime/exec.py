@@ -16,17 +16,32 @@ def compile_loop(
     n_cores: int,
     config: CompilerConfig | None = None,
     obs=None,
+    check: bool = True,
 ) -> LoweredKernel:
     """Run the full compiler pipeline and lower to machine programs.
 
     ``obs`` (a :class:`repro.obs.events.EventBus`) records wall-clock
     spans for every pipeline pass, lowering included.
+
+    ``check`` runs the mandatory static protocol verification
+    (:mod:`repro.check`) over the lowered artifact and raises
+    :class:`~repro.check.ProtocolError` on rejection; callers that
+    re-verify against specific machine parameters (the guard's
+    pre-flight, the fuzzer) pass ``check=False`` to avoid paying twice.
     """
     from ..obs.events import span
 
     plan = parallelize(loop, n_cores, config, obs=obs)
     with span(obs, "lower"):
-        return lower_plan(plan)
+        kernel = lower_plan(plan)
+    if check:
+        from ..check import ProtocolError, check_kernel
+
+        with span(obs, "check"):
+            report = check_kernel(kernel)
+        if not report.ok:
+            raise ProtocolError(report)
+    return kernel
 
 
 def execute_kernel(

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field, replace
 
 from ..interp import run_loop
 from ..ir.stmts import Loop
+from ..obs.events import span
 from ..sim import (
     BudgetExceeded,
     DeadlockError,
@@ -58,6 +59,7 @@ class FailureKind(enum.Enum):
     MEMORY_FAULT = "memory-fault"    # MemoryFault: out-of-bounds access
     VERIFY_MISMATCH = "verify-mismatch"  # ran to completion, wrong answer
     COMPILE_ERROR = "compile-error"  # the compiler pipeline itself raised
+    PROTOCOL = "protocol"            # static checker rejected the artifact
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -70,6 +72,10 @@ _RELAXABLE = frozenset({FailureKind.DEADLOCK, FailureKind.BUDGET})
 
 def classify_failure(exc: BaseException) -> FailureKind:
     """Map an exception from the compile/execute path to the taxonomy."""
+    from ..check import ProtocolError
+
+    if isinstance(exc, ProtocolError):
+        return FailureKind.PROTOCOL
     if isinstance(exc, DeadlockError):
         return FailureKind.DEADLOCK
     if isinstance(exc, BudgetExceeded):
@@ -183,7 +189,8 @@ def guarded_run(
     injected: list = []
 
     try:
-        kernel = compile_loop(loop, n_cores, config, obs=obs)
+        # checked explicitly below against the *actual* machine params
+        kernel = compile_loop(loop, n_cores, config, obs=obs, check=False)
     except Exception as exc:  # compiler bug: no parallel path exists
         log.warning("guard: compile failed (%s: %s); sequential fallback",
                     type(exc).__name__, exc)
@@ -195,6 +202,32 @@ def guarded_run(
         ))
         if obs is not None:
             obs.emit_guard(FailureKind.COMPILE_ERROR.value, 0)
+            obs.emit_guard("fallback", 0)
+        return GuardedRun(
+            arrays=ref.arrays, scalars=dict(ref.scalars), source="fallback",
+            attempts=0, failures=failures,
+        )
+
+    # Static protocol pre-flight (repro.check): a rejected artifact is
+    # *known* broken — retrying cannot help, and running it can only
+    # reproduce the predicted failure slowly.  Skip straight to the
+    # sequential fallback with the checker's diagnosis attached.
+    from ..check import check_kernel
+
+    with span(obs, "check"):
+        report = check_kernel(kernel, queue_depth=base.queue_depth)
+    if not report.ok:
+        log.warning("guard: static protocol check rejected the kernel; "
+                    "sequential fallback without retries")
+        failures.append(FailureReport(
+            kind=FailureKind.PROTOCOL,
+            message=report.describe(),
+            attempt=0, queue_depth=base.queue_depth,
+            max_instrs=base.max_instrs,
+        ))
+        if obs is not None:
+            obs.emit_guard(FailureKind.PROTOCOL.value, 0,
+                           note=", ".join(report.categories))
             obs.emit_guard("fallback", 0)
         return GuardedRun(
             arrays=ref.arrays, scalars=dict(ref.scalars), source="fallback",

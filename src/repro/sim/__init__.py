@@ -8,6 +8,7 @@ latency.
 
 from .core import Core, CoreStats, SimError
 from .machine import (
+    BlockedTransfer,
     BudgetExceeded,
     DeadlockError,
     Machine,
@@ -23,7 +24,8 @@ from .race import Race, RaceDetector
 from .trace import TraceEvent, TraceRecorder
 
 __all__ = [
-    "BudgetExceeded", "Core", "CoreCache", "CoreStats", "DeadlockError",
+    "BlockedTransfer", "BudgetExceeded", "Core", "CoreCache", "CoreStats",
+    "DeadlockError",
     "HwQueue", "Machine", "MachineFailure", "MachineParams", "MemoryFault",
     "PartialStats", "QueueStat", "Race", "RaceDetector", "SharedMemory",
     "SimError", "SimResult", "TraceEvent", "TraceRecorder",

@@ -63,8 +63,42 @@ class MachineFailure(RuntimeError):
         self.partial = partial
 
 
+@dataclass(frozen=True)
+class BlockedTransfer:
+    """One transfer a core is deadlocked on, in static-checker terms.
+
+    ``queue`` uses the same ``(src, dst, vclass)`` key the static
+    wait-for-graph cycle reports (repro.check), so a dynamic deadlock
+    can be cross-checked against the predicted cycle.
+    """
+
+    core: int
+    kind: str                    # 'entry' (dequeue) | 'slot' (enqueue)
+    queue: tuple                 # (producer pid, consumer pid, vclass)
+    index: int                   # FIFO index the core is waiting for
+    tag: str                     # value register / immediate involved
+
+    def format(self) -> str:
+        op = "deq" if self.kind == "entry" else "enq"
+        return f"core{self.core}:{op} {self.queue}[{self.tag}]#{self.index}"
+
+
 class DeadlockError(MachineFailure):
-    pass
+    """All unfinished cores wait on queue events that cannot happen.
+
+    ``blocked`` lists the precise blocked transfer set: queue key,
+    producer/consumer partition ids and the value tag of the
+    instruction each stuck core is executing.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        partial: PartialStats | None = None,
+        blocked: tuple[BlockedTransfer, ...] = (),
+    ):
+        super().__init__(message, partial)
+        self.blocked = blocked
 
 
 class BudgetExceeded(MachineFailure):
@@ -210,6 +244,7 @@ class Machine:
                 raise DeadlockError(
                     self._deadlock_report(),
                     partial=self._partial_stats(total),
+                    blocked=self._blocked_transfers(),
                 )
 
         self._check_drained(total)
@@ -257,6 +292,29 @@ class Machine:
             err = SimError(f"unbalanced communication at halt: {detail}")
             err.partial = self._partial_stats(total)
             raise err
+
+    def _blocked_transfers(self) -> tuple[BlockedTransfer, ...]:
+        out = []
+        for core in self.cores:
+            b = core.blocked
+            if core.halted or b is None:
+                continue
+            ins = core.program.functions[core.fn].instrs[core.pc]
+            if ins.op == "deq":
+                tag = ins.dst or "?"
+            elif isinstance(ins.a, str):
+                tag = ins.a
+            else:
+                tag = repr(ins.a)
+            qid = b.queue.qid
+            out.append(BlockedTransfer(
+                core=core.cid,
+                kind=b.kind,
+                queue=(qid.src, qid.dst, qid.vclass.value),
+                index=b.index,
+                tag=tag,
+            ))
+        return tuple(out)
 
     def _deadlock_report(self) -> str:
         lines = ["deadlock: no core can make progress"]

@@ -1,95 +1,39 @@
 """Hypothesis strategies: random well-formed loops for property tests.
 
-The generator builds loops from a small grammar — scalar temporaries,
-array loads/stores with affine or indirect indices, one level of
-if/else, reduction accumulators — such that every generated loop passes
-normalization/validation and has in-bounds accesses for the default
-:func:`repro.workload.random_workload` sizing.
+The grammar itself lives in :mod:`repro.fuzz.gen` and is shared with
+the ``repro fuzz`` campaign — this module only adapts Hypothesis's
+``draw`` to the grammar's :class:`~repro.fuzz.gen.Draw` interface, so
+property tests and the fuzzer explore the same loop space.
 """
 
 from __future__ import annotations
 
 from hypothesis import strategies as st
 
-from repro.ir import F64, I64, LoopBuilder, fabs, sqrt
-from repro.ir.nodes import Expr, fmax, fmin
+from repro.fuzz.gen import Draw, build_loop
 
 
-def _leaf(draw, b, arrays, scalars, i):
-    choice = draw(st.integers(0, 3))
-    if choice == 0 and scalars:
-        return draw(st.sampled_from(scalars))
-    if choice == 1:
-        return draw(
-            st.floats(
-                min_value=-2.0, max_value=2.0,
-                allow_nan=False, allow_infinity=False,
-            )
-        )
-    arr = draw(st.sampled_from(arrays))
-    if draw(st.booleans()):
-        return arr[i]
-    return arr[i + draw(st.integers(0, 3))]
+class _HypDraw(Draw):
+    def __init__(self, draw):
+        self._draw = draw
 
+    def integers(self, lo: int, hi: int) -> int:
+        return self._draw(st.integers(lo, hi))
 
-def _expr(draw, b, arrays, scalars, i, depth: int) -> Expr:
-    if depth <= 0:
-        leaf = _leaf(draw, b, arrays, scalars, i)
-        from repro.ir import as_expr
+    def booleans(self) -> bool:
+        return self._draw(st.booleans())
 
-        return as_expr(leaf)
-    op = draw(st.sampled_from(["add", "sub", "mul", "safe_div", "min", "max", "sqrt", "abs"]))
-    a = _expr(draw, b, arrays, scalars, i, depth - 1)
-    if op == "sqrt":
-        return sqrt(fabs(a) + 0.25)
-    if op == "abs":
-        return fabs(a)
-    c = _expr(draw, b, arrays, scalars, i, depth - 1)
-    if op == "add":
-        return a + c
-    if op == "sub":
-        return a - c
-    if op == "mul":
-        return a * c
-    if op == "min":
-        return fmin(a, c)
-    if op == "max":
-        return fmax(a, c)
-    # safe division: denominator bounded away from zero
-    return a / (fabs(c) + 0.5)
+    def sampled_from(self, seq):
+        return self._draw(st.sampled_from(list(seq)))
+
+    def floats(self, lo: float, hi: float) -> float:
+        return self._draw(st.floats(
+            min_value=lo, max_value=hi,
+            allow_nan=False, allow_infinity=False,
+        ))
 
 
 @st.composite
 def loops(draw):
     """A random well-formed loop with 2-10 statements."""
-    b = LoopBuilder("hyp", trip="n")
-    i = b.index
-    n_arrays = draw(st.integers(2, 4))
-    arrays = [b.array(f"a{k}", F64) for k in range(n_arrays)]
-    out = b.array("out", F64)
-    p = b.param("p", F64)
-    scalars = [p]
-    use_acc = draw(st.booleans())
-    if use_acc:
-        acc = b.accumulator("acc", F64)
-
-    n_stmts = draw(st.integers(1, 5))
-    for k in range(n_stmts):
-        e = _expr(draw, b, arrays, scalars, i, draw(st.integers(1, 3)))
-        t = b.let(f"t{k}", e)
-        scalars.append(t)
-
-    if draw(st.booleans()):
-        cond = _expr(draw, b, arrays, scalars, i, 1) > 0.5
-        with b.if_(cond) as br:
-            tv = b.let(None, _expr(draw, b, arrays, scalars, i, 2))
-            b.store(out, i, tv)
-        with br.otherwise():
-            fv = b.let(None, _expr(draw, b, arrays, scalars, i, 1))
-            b.store(out, i, fv * 0.5)
-    else:
-        b.store(out, i, _expr(draw, b, arrays, scalars, i, 2))
-
-    if use_acc:
-        b.set(acc, acc + scalars[-1] if len(scalars) > 1 else acc + p)
-    return b.build()
+    return build_loop(_HypDraw(draw), name="hyp")

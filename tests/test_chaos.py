@@ -53,6 +53,21 @@ class TestCampaign:
         with pytest.raises(ValueError, match="unknown fault kind"):
             chaos.run(trip=TRIP, kernels=("umt2k-1",), faults=("neutrino",))
 
+    def test_timing_cells_match_checker_prediction(self):
+        # timing faults predict no failures; a fired cell with a clean
+        # run must be judged "yes"
+        res = _small(faults=("jitter", "stall", "slowdown"))
+        for c in res.cells:
+            assert c.predicted == ("yes" if c.injected else "-"), c
+
+    def test_semantic_cells_carry_verdict(self):
+        res = _small(faults=("drop", "corrupt"))
+        for c in res.cells:
+            if c.injected == 0:
+                assert c.predicted == "-"
+            else:
+                assert c.predicted in ("yes", "no"), c
+
     def test_default_matrix_meets_issue_floor(self):
         # ISSUE-2: >= 3 fault kinds x >= 4 tier-1 kernels
         assert len(chaos.DEFAULT_KERNELS) >= 4
@@ -65,6 +80,7 @@ class TestReport:
         text = chaos.format_result(res)
         assert "silent corruption: 0" in text
         assert "SAFETY INVARIANT HOLDS" in text
+        assert "checker prediction:" in text
         for c in res.cells:
             assert c.kernel in text and c.fault in text
 

@@ -1,0 +1,224 @@
+"""Tests for the static queue-protocol verifier (repro.check).
+
+Two obligations, mirroring the ISSUE acceptance bar:
+
+* **soundness on real output** — zero false positives over tier-1
+  kernels across the cores × depth × speculation matrix (the checker
+  runs inside ``compile_loop`` by default, so a false positive would
+  break every pipeline user);
+* **sensitivity to planted bugs** — each of the five classic protocol
+  bugs (dropped transfer, swapped enqueue order, unbalanced
+  conditional arm, capacity cycle, use-before-deque) is rejected with
+  the *expected* diagnostic category, and the static deadlock cycle is
+  cross-checked against the dynamic machine's blocked-transfer set.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    CATEGORIES,
+    EXPECTED_CATEGORY,
+    MUTATIONS,
+    CheckReport,
+    ProtocolError,
+    build_capacity_cycle_programs,
+    check_kernel,
+    check_programs,
+    mutate_kernel,
+    prediction_verdict,
+)
+from repro.compiler import CompilerConfig
+from repro.kernels import all_kernels, get_kernel
+from repro.runtime import compile_loop
+from repro.sim import DeadlockError, Machine, MachineParams
+from repro.sim.memory import SharedMemory
+
+#: tier-1 subset spanning all structural classes (dense arithmetic,
+#: stencil, conditional, transcendental, reduction); the full corpus
+#: runs under ``repro check`` in CI.
+KERNELS = ("lammps-1", "lammps-2", "irs-1", "umt2k-1", "umt2k-5", "sphot-2")
+
+MATRIX = [
+    (n, depth, spec)
+    for n in (2, 4)
+    for depth in (4, 20)
+    for spec in (False, True)
+]
+
+
+def _kern(name, n_cores=4, speculation=False):
+    loop = get_kernel(name).loop()
+    return compile_loop(
+        loop, n_cores, CompilerConfig(speculation=speculation), check=False
+    )
+
+
+class TestZeroFalsePositives:
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_tier1_kernels_verify_across_matrix(self, name):
+        loop = get_kernel(name).loop()
+        for n, depth, spec in MATRIX:
+            kern = compile_loop(
+                loop, n, CompilerConfig(speculation=spec), check=False
+            )
+            report = check_kernel(kern, queue_depth=depth)
+            assert report.ok, (
+                f"{name} cores={n} depth={depth} spec={spec}:\n"
+                + report.describe()
+            )
+
+    def test_report_counts_traffic(self):
+        report = check_kernel(_kern("umt2k-1"))
+        assert report.ok and not report.diagnostics
+        assert report.n_cores == 4
+        assert report.n_queues > 0 and report.n_body_transfers > 0
+        assert "verified" in report.describe()
+
+    def test_check_is_mandatory_pipeline_stage(self):
+        # default compile_loop runs the checker; check=False skips it
+        loop = get_kernel("umt2k-1").loop()
+        kern = compile_loop(loop, 4)
+        assert check_kernel(kern).ok
+
+
+class TestMutations:
+    """Each planted protocol bug must be rejected with its category."""
+
+    def _first_applicable(self, mutation):
+        for spec in all_kernels():
+            kern = compile_loop(spec.loop(), 4, check=False)
+            bad = mutate_kernel(kern, mutation)
+            if bad is not None:
+                return spec.name, bad
+        pytest.fail(f"no kernel offers a site for {mutation!r}")
+
+    @pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+    def test_mutation_rejected_with_expected_category(self, mutation):
+        name, bad = self._first_applicable(mutation)
+        report = check_kernel(bad)
+        assert not report.ok, f"{mutation} on {name} not flagged"
+        assert EXPECTED_CATEGORY[mutation] in report.categories, (
+            f"{mutation} on {name}: got {report.categories}, "
+            f"expected {EXPECTED_CATEGORY[mutation]}\n" + report.describe()
+        )
+
+    def test_mutations_apply_broadly(self):
+        # every mutation finds sites in a healthy share of the corpus,
+        # so the sensitivity test is not a single-kernel fluke
+        counts = {m: 0 for m in MUTATIONS}
+        for spec in all_kernels():
+            kern = compile_loop(spec.loop(), 4, check=False)
+            for m in MUTATIONS:
+                if mutate_kernel(kern, m) is not None:
+                    counts[m] += 1
+        assert all(c >= 3 for c in counts.values()), counts
+
+    def test_unknown_mutation_rejected(self):
+        kern = _kern("umt2k-1")
+        with pytest.raises(ValueError, match="unknown mutation"):
+            mutate_kernel(kern, "bit-rot")
+
+    def test_categories_are_known(self):
+        assert set(EXPECTED_CATEGORY.values()) <= set(CATEGORIES)
+
+
+class TestCapacityCycle:
+    """Fifth bug class: deadlock from finite queue capacity alone."""
+
+    DEPTH = 4
+
+    def test_static_rejection_at_depth(self):
+        report = check_programs(
+            build_capacity_cycle_programs(self.DEPTH),
+            queue_depth=self.DEPTH,
+        )
+        assert not report.ok
+        assert "deadlock-cycle" in report.categories
+        diag = next(d for d in report.diagnostics
+                    if d.category == "deadlock-cycle")
+        assert diag.cycle and diag.cycle_queues
+
+    def test_clean_at_sufficient_depth(self):
+        report = check_programs(
+            build_capacity_cycle_programs(self.DEPTH),
+            queue_depth=self.DEPTH + 1,
+        )
+        assert report.ok, report.describe()
+
+    def test_static_cycle_matches_dynamic_blocked_set(self):
+        progs = build_capacity_cycle_programs(self.DEPTH)
+        report = check_programs(progs, queue_depth=self.DEPTH)
+        diag = next(d for d in report.diagnostics
+                    if d.category == "deadlock-cycle")
+
+        machine = Machine(
+            progs, SharedMemory({}),
+            MachineParams(queue_depth=self.DEPTH),
+        )
+        with pytest.raises(DeadlockError) as exc:
+            machine.run()
+        blocked = exc.value.blocked
+        assert blocked, "DeadlockError must carry the blocked transfers"
+        # precise blocked set: every stuck core, with queue + kind + tag
+        assert {b.core for b in blocked} == {0, 1}
+        assert all(b.kind in ("entry", "slot") for b in blocked)
+        assert all(b.format() for b in blocked)
+        # the statically reported cycle names the same hardware queues
+        # the machine is actually wedged on
+        dynamic_queues = {b.queue for b in blocked}
+        static_queues = set(diag.cycle_queues)
+        assert dynamic_queues <= static_queues, (
+            f"dynamic {dynamic_queues} vs static {static_queues}"
+        )
+
+    def test_real_kernels_never_capacity_deadlock(self):
+        # rank-ordered §III-D plans cannot produce capacity cycles;
+        # document that the fifth bug class needs the hand-built pair
+        report = check_kernel(_kern("lammps-1"), queue_depth=1)
+        assert report.ok, report.describe()
+
+
+class TestProtocolError:
+    def test_carries_report(self):
+        report = check_kernel(mutate_kernel(_kern("umt2k-1"), "drop-enq"))
+        err = ProtocolError(report)
+        assert err.report is report
+        assert "count-mismatch" in str(err)
+
+    def test_compile_loop_raises_on_planted_bug(self, monkeypatch):
+        # simulate a miscompile: lowering emits a broken kernel, the
+        # mandatory check stage must refuse it before simulation
+        import repro.runtime.exec as E
+
+        loop = get_kernel("umt2k-1").loop()
+        real = E.lower_plan
+
+        def bad_lower(*a, **kw):
+            return _break(real(*a, **kw))
+
+        def _break(kernel):
+            return mutate_kernel(kernel, "drop-enq") or kernel
+
+        monkeypatch.setattr(E, "lower_plan", bad_lower)
+        with pytest.raises(ProtocolError) as exc:
+            compile_loop(loop, 4)
+        assert "count-mismatch" in exc.value.report.categories
+
+
+class TestPrediction:
+    def test_timing_faults_predict_no_failures(self):
+        assert prediction_verdict("jitter", 5, []) == "yes"
+        assert prediction_verdict("stall", 5, ["deadlock"]) == "no"
+
+    def test_drop_must_fail(self):
+        assert prediction_verdict("drop", 3, ["deadlock"]) == "yes"
+        assert prediction_verdict("drop", 3, []) == "no"
+        assert prediction_verdict("drop", 3, ["verify-mismatch"]) == "no"
+
+    def test_corrupt_may_fail(self):
+        assert prediction_verdict("corrupt", 2, []) == "yes"
+        assert prediction_verdict("corrupt", 2, ["verify-mismatch"]) == "yes"
+
+    def test_unfired_plan_abstains(self):
+        assert prediction_verdict("drop", 0, []) == "-"

@@ -120,6 +120,46 @@ class TestCommands:
         assert main(["chaos", "--kernels", "umt2k-1", "--faults", "gamma-ray"]) == 2
         assert "unknown fault" in capsys.readouterr().out
 
+    def test_check_smoke(self, capsys):
+        rc = main(["check", "umt2k-1", "lammps-1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all protocols verified" in out
+        assert "2 kernel(s)" in out
+
+    def test_check_unknown_kernel(self, capsys):
+        assert main(["check", "nosuch-kernel"]) == 2
+        assert "unknown kernel" in capsys.readouterr().out
+
+    def test_check_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.cores == "2,4" and args.depths == "4,20"
+        assert args.speculation == "both" and args.kernels == []
+
+    def test_check_bad_cores(self, capsys):
+        assert main(["check", "umt2k-1", "--cores", "abc"]) == 2
+        assert "comma-separated" in capsys.readouterr().out
+
+    def test_fuzz_clean_campaign(self, capsys):
+        rc = main(["fuzz", "--trials", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 finding(s)" in out
+
+    def test_fuzz_inject_finds_saves_and_replays(self, capsys, tmp_path):
+        rc = main([
+            "fuzz", "--trials", "1", "--inject", "drop-enq",
+            "--out", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1  # findings => nonzero for CI smoke
+        assert "both:count-mismatch" in out
+        arts = sorted(tmp_path.glob("repro-*.json"))
+        assert arts
+        rc = main(["fuzz", "--replay", str(arts[0])])
+        out = capsys.readouterr().out
+        assert rc == 0 and "REPRODUCED" in out
+
     def test_cache_stats_clear_gc(self, capsys, tmp_path):
         root = str(tmp_path / "cache-cli")
         assert main(["cache", "stats", "--dir", root]) == 0

@@ -175,6 +175,50 @@ class TestRelaxation:
         assert g.failure_kinds == [FailureKind.COMPILE_ERROR]
         _assert_matches_reference(loop, wl, g)
 
+    def test_protocol_rejection_skips_retries(self, monkeypatch):
+        # a statically-rejected artifact is known broken: zero parallel
+        # attempts, straight to the sequential fallback with diagnosis
+        from repro.check import mutate_kernel
+        from repro.runtime.exec import compile_loop
+
+        loop, wl = _case()
+
+        def _miscompile(loop_, n_cores, config=None, obs=None, check=True):
+            kern = compile_loop(loop_, n_cores, config, check=False)
+            return mutate_kernel(kern, "drop-enq") or kern
+
+        monkeypatch.setattr(G, "compile_loop", _miscompile)
+        g = guarded_run(loop, wl, 4)
+        assert g.source == "fallback" and g.attempts == 0
+        assert g.failure_kinds == [FailureKind.PROTOCOL]
+        assert "count-mismatch" in g.failures[0].message
+        _assert_matches_reference(loop, wl, g)
+
+    def test_protocol_classified_from_exception(self):
+        from repro.check import ProtocolError, check_kernel, mutate_kernel
+        from repro.runtime.exec import compile_loop
+
+        loop, _ = _case()
+        bad = mutate_kernel(compile_loop(loop, 4, check=False), "drop-enq")
+        exc = ProtocolError(check_kernel(bad))
+        assert classify_failure(exc) is FailureKind.PROTOCOL
+
+    def test_protocol_provenance_round_trips_store_record(self):
+        # FailureKind.PROTOCOL must survive the store's run envelope
+        # without a schema bump
+        from repro.experiments.common import ExpConfig, KernelRun
+        from repro.store.records import decode_run, encode_run
+
+        run = KernelRun(
+            kernel="umt2k-1", config=ExpConfig(n_cores=4, trip=TRIP),
+            seq_cycles=100.0, par_cycles=float("inf"),
+            correct=True, deadlocked=False, stats=None,
+            failure=FailureKind.PROTOCOL.value, fallback=True,
+        )
+        back = decode_run(encode_run("k" * 64, run))
+        assert back is not None
+        assert back.failure == "protocol" and back.fallback
+
     def test_failure_report_carries_partial_stats(self):
         loop, wl = _case()
         # a guaranteed-drop plan deadlocks the machine mid-flight, so the
