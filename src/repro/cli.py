@@ -20,7 +20,14 @@ Commands
   replayable JSON artifacts (``--replay`` re-probes a saved finding);
 * ``sweep`` — run a kernel × core-count grid through the parallel
   sweep engine and the persistent result store;
-* ``cache {stats,clear,gc}`` — inspect / maintain the result store;
+* ``serve`` — run the async compile-and-simulate daemon (NDJSON over
+  TCP: compile/run/sweep/trace/metrics/health endpoints, tiered
+  cache, singleflight coalescing, priority admission, rate limits);
+* ``loadgen`` — zipf-distributed synthetic-client load campaign
+  (cold + warm phases) against a daemon or an in-process service;
+  updates ``BENCH_serve.json``;
+* ``cache {stats,clear,gc}`` — inspect / maintain the result store
+  (stats includes the serve cache-tier counters);
 * ``show <kernel>`` — print the kernel IR and its flat normalized form;
 * ``characterize`` — run the §IV classifier over the corpus.
 """
@@ -399,12 +406,98 @@ def _cmd_fuzz(args) -> int:
     return 0 if not res.findings else 1
 
 
+def _cmd_serve(args) -> int:
+    from .obs.metrics import default_registry
+    from .serve.server import run_server
+    from .serve.service import ServeConfig
+
+    config = ServeConfig(
+        store_root=args.store_dir,
+        use_store=not args.no_store,
+        workers=args.workers,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        l1_capacity=args.l1_size,
+        l1_ttl=args.l1_ttl,
+        rate=args.rate,
+        burst=args.burst,
+        default_timeout=args.timeout,
+    )
+    return run_server(config, host=args.host, port=args.port,
+                      registry=default_registry())
+
+
+def _cmd_loadgen(args) -> int:
+    import json as _json
+
+    from .kernels import get_kernel
+    from .serve.loadgen import (
+        BENCH_PATH, LoadgenConfig, format_report, run_loadgen, write_bench,
+    )
+
+    kernels: tuple[str, ...] = ()
+    if args.kernels and args.kernels != "all":
+        try:
+            kernels = tuple(
+                get_kernel(name.strip()).name for name in args.kernels.split(",")
+            )
+        except KeyError as exc:
+            print(f"unknown kernel {exc.args[0]!r}; see `python -m repro list`")
+            return 2
+    try:
+        cores = tuple(_parse_int_list(args.cores))
+    except ValueError:
+        print(f"--cores expects a comma-separated list of integers, got {args.cores!r}")
+        return 2
+    if args.requests < 1 or args.clients < 1:
+        print("--requests and --clients must be >= 1")
+        return 2
+    cfg = LoadgenConfig(
+        requests=args.requests,
+        clients=args.clients,
+        zipf_s=args.zipf,
+        seed=args.seed,
+        kernels=kernels,
+        cores=cores,
+        trip=args.trip,
+    )
+    report = run_loadgen(cfg, host=args.host, port=args.port)
+    print(format_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"metrics      : wrote {args.json}")
+    if not args.no_bench:
+        bench = args.bench or BENCH_PATH
+        write_bench(bench, report)
+        print(f"bench        : updated {bench}")
+
+    warm = report["phases"]["warm"]["hit_rate"]
+    failures = []
+    if report["unhandled"]:
+        failures.append(f"{report['unhandled']} unhandled server error(s)")
+    errors = sum(p["errors"] for p in report["phases"].values())
+    if errors:
+        failures.append(f"{errors} request error(s)")
+    if args.min_warm_hit is not None and warm < args.min_warm_hit:
+        failures.append(
+            f"warm hit rate {warm:.3f} below required {args.min_warm_hit:g}"
+        )
+    if failures:
+        print("FAILED       : " + "; ".join(failures))
+        return 1
+    return 0
+
+
 def _cmd_cache(args) -> int:
+    from .obs.metrics import default_registry
+    from .serve.cache import tier_stats_line
     from .store.disk import ResultStore, store_root
 
     store = ResultStore(args.dir) if args.dir else ResultStore(store_root())
     if args.action == "stats":
         print(store.stats().format())
+        print(tier_stats_line(default_registry()))
     elif args.action == "clear":
         print(f"removed {store.clear()} record(s) from {store.root}")
     elif args.action == "gc":
@@ -560,6 +653,66 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--replay", default=None,
                     help="re-probe a saved artifact instead of fuzzing")
     fp.set_defaults(fn=_cmd_fuzz)
+
+    vp = sub.add_parser(
+        "serve",
+        help="run the async compile-and-simulate daemon (NDJSON/TCP)",
+    )
+    vp.add_argument("--host", default="127.0.0.1")
+    vp.add_argument("--port", type=int, default=7421,
+                    help="TCP port (0 picks an ephemeral port)")
+    vp.add_argument("--workers", type=int, default=0,
+                    help="compute processes (0 = bounded thread executor)")
+    vp.add_argument("--max-concurrency", type=int, default=4,
+                    help="concurrent compute slots")
+    vp.add_argument("--max-queue", type=int, default=1024,
+                    help="bounded admission wait list")
+    vp.add_argument("--l1-size", type=int, default=4096,
+                    help="L1 LRU capacity (entries)")
+    vp.add_argument("--l1-ttl", type=float, default=None,
+                    help="L1 entry TTL in seconds (default: no expiry)")
+    vp.add_argument("--rate", type=float, default=0.0,
+                    help="per-client rate limit in req/s (0 = unlimited)")
+    vp.add_argument("--burst", type=float, default=None,
+                    help="rate-limit burst (default 2x rate)")
+    vp.add_argument("--timeout", type=float, default=60.0,
+                    help="default per-request compute timeout (seconds)")
+    vp.add_argument("--store-dir", default=None,
+                    help="L2 store root (default $REPRO_CACHE_DIR or "
+                    "~/.cache/repro/store)")
+    vp.add_argument("--no-store", action="store_true",
+                    help="disable the L2 disk tier (L1 only)")
+    vp.set_defaults(fn=_cmd_serve)
+
+    gp = sub.add_parser(
+        "loadgen",
+        help="zipf synthetic-client load campaign (cold + warm phases)",
+    )
+    gp.add_argument("--host", default=None,
+                    help="target daemon host (default: in-process service "
+                    "over a fresh temp store)")
+    gp.add_argument("--port", type=int, default=7421)
+    gp.add_argument("--requests", type=int, default=1000,
+                    help="requests per phase (default 1000)")
+    gp.add_argument("--clients", type=int, default=50,
+                    help="concurrent synthetic clients (default 50)")
+    gp.add_argument("--zipf", type=float, default=1.1,
+                    help="zipf exponent shaping kernel popularity")
+    gp.add_argument("--seed", type=int, default=0)
+    gp.add_argument("--kernels", default="all",
+                    help="comma-separated kernel names, or 'all' (Table I)")
+    gp.add_argument("--cores", default="2,4",
+                    help="comma-separated core counts (default 2,4)")
+    gp.add_argument("--trip", type=int, default=16)
+    gp.add_argument("--json", default=None,
+                    help="also dump the full report JSON here")
+    gp.add_argument("--bench", default=None,
+                    help="bench file to update (default BENCH_serve.json)")
+    gp.add_argument("--no-bench", action="store_true",
+                    help="skip updating the bench file")
+    gp.add_argument("--min-warm-hit", type=float, default=None,
+                    help="exit 1 if the warm-phase hit rate is below this")
+    gp.set_defaults(fn=_cmd_loadgen)
 
     cp2 = sub.add_parser("cache", help="persistent result-store maintenance")
     cp2.add_argument("action", choices=("stats", "clear", "gc"))

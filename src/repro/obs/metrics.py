@@ -140,6 +140,23 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
 
+_default_registry: MetricsRegistry | None = None
+
+
+def default_registry() -> MetricsRegistry:
+    """Process-wide shared registry.
+
+    Long-lived components that want their counters visible to CLI
+    reporting (the serve cache tiers, ``repro cache stats``) register
+    here; ephemeral consumers (one experiment run, one test) should
+    construct their own :class:`MetricsRegistry` instead.
+    """
+    global _default_registry
+    if _default_registry is None:
+        _default_registry = MetricsRegistry()
+    return _default_registry
+
+
 class MetricsCollector:
     """Event-bus subscriber that folds the stream into a registry.
 

@@ -1,0 +1,39 @@
+"""repro.serve — the async compile-and-simulate service.
+
+The pipeline as a long-running daemon instead of a one-shot CLI:
+``compile`` / ``run`` / ``sweep`` / ``trace`` / ``metrics`` /
+``health`` over newline-delimited JSON TCP (plus an in-process
+client for tests and the load generator).  Requests are keyed by the
+same content hashes as :mod:`repro.store` and flow through a tiered
+cache (in-memory LRU L1, disk store L2) with singleflight coalescing,
+priority admission, per-client rate limits, and the guard taxonomy as
+the failure boundary.  See DESIGN.md §8.
+"""
+
+from .admission import AdmissionQueue, QueueFull, RateLimited, RateLimiter, TokenBucket
+from .cache import LRUCache, TieredCache, tier_stats_line
+from .client import ServeClient, TCPClient
+from .protocol import BadRequest, Request, parse_request
+from .service import ServeConfig, ServeService, cell_key, run_payload
+from .singleflight import Singleflight
+
+__all__ = [
+    "AdmissionQueue",
+    "BadRequest",
+    "LRUCache",
+    "QueueFull",
+    "RateLimited",
+    "RateLimiter",
+    "Request",
+    "ServeClient",
+    "ServeConfig",
+    "ServeService",
+    "Singleflight",
+    "TCPClient",
+    "TieredCache",
+    "TokenBucket",
+    "cell_key",
+    "parse_request",
+    "run_payload",
+    "tier_stats_line",
+]

@@ -1,0 +1,148 @@
+"""Admission control: priority queueing and per-client rate limits.
+
+Two gates stand between a decoded request and the compute executor:
+
+* :class:`TokenBucket` — per-client request budget.  Buckets refill
+  continuously at ``rate`` tokens/second up to ``burst``; an empty
+  bucket *rejects* (structured ``rate-limited`` error) rather than
+  queueing, so one chatty client cannot occupy admission slots.
+* :class:`AdmissionQueue` — a bounded-concurrency gate with a priority
+  heap of waiters (lower number = sooner; FIFO within a priority).
+  When the wait list itself is full new work is rejected with
+  ``queue-full`` — bounded memory under overload, by construction.
+
+Both are pure-asyncio (single-loop) objects: no locks needed, and the
+clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from typing import Any, Awaitable, Callable
+
+
+class AdmitError(Exception):
+    """Request rejected at admission; ``code`` is the protocol error kind."""
+
+    code = "rejected"
+
+
+class RateLimited(AdmitError):
+    code = "rate-limited"
+
+
+class QueueFull(AdmitError):
+    code = "queue-full"
+
+
+class TokenBucket:
+    """Continuous-refill token bucket.  ``rate <= 0`` disables limiting."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst if burst is not None else max(1.0, 2.0 * rate)
+        self._clock = clock
+        self.tokens = float(self.burst)
+        self._last = clock()
+
+    def try_take(self, n: float = 1.0) -> bool:
+        if self.rate <= 0:
+            return True
+        now = self._clock()
+        self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+
+class RateLimiter:
+    """Lazy per-client bucket table."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def check(self, client: str, cost: float = 1.0) -> None:
+        """Raise :class:`RateLimited` when ``client`` is over budget."""
+        if self.rate <= 0:
+            return
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client] = bucket
+        if not bucket.try_take(cost):
+            raise RateLimited(
+                f"client {client!r} over rate limit "
+                f"({self.rate:g} req/s, burst {bucket.burst:g})"
+            )
+
+
+class AdmissionQueue:
+    """Priority-ordered bounded-concurrency admission gate."""
+
+    def __init__(self, max_concurrency: int = 4, max_queue: int = 1024) -> None:
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        self.max_concurrency = max_concurrency
+        self.max_queue = max_queue
+        self._active = 0
+        self._seq = itertools.count()
+        #: heap of (priority, arrival-seq, future) — future resolves
+        #: when the slot is handed over.
+        self._waiters: list[tuple[int, int, asyncio.Future]] = []
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+    @property
+    def depth(self) -> int:
+        return len(self._waiters)
+
+    async def acquire(self, priority: int = 10) -> None:
+        if self._active < self.max_concurrency and not self._waiters:
+            self._active += 1
+            return
+        if len(self._waiters) >= self.max_queue:
+            raise QueueFull(
+                f"admission queue full ({self.max_queue} waiting)"
+            )
+        fut = asyncio.get_running_loop().create_future()
+        heapq.heappush(self._waiters, (priority, next(self._seq), fut))
+        # A resolved future means release() transferred its slot to us
+        # (``_active`` stays counted); a cancelled waiter is skipped by
+        # release() via the fut.done() check.
+        await fut
+
+    def release(self) -> None:
+        while self._waiters:
+            _, _, fut = heapq.heappop(self._waiters)
+            if not fut.done():
+                fut.set_result(None)  # slot handed over, _active unchanged
+                return
+        self._active -= 1
+
+    async def run(self, priority: int, fn: Callable[[], Awaitable[Any]]) -> Any:
+        """Admit by ``priority``, run ``fn``, always release the slot."""
+        await self.acquire(priority)
+        try:
+            return await fn()
+        finally:
+            self.release()

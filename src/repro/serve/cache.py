@@ -1,0 +1,202 @@
+"""Tiered result cache: in-memory LRU (L1) over the disk store (L2).
+
+The L1 holds *response-ready payload dicts* keyed by the same
+content-addressed digests as the persistent store, bounded three ways:
+entry count, approximate total bytes (JSON-encoded size of each
+payload), and an optional per-entry TTL.  The L2 is the existing
+:class:`repro.store.disk.ResultStore`; an L1 miss that hits L2 decodes
+the stored record, re-encodes the payload and promotes it into L1.
+
+Every lookup outcome increments a counter in an
+:class:`~repro.obs.metrics.MetricsRegistry` (the process-wide
+:func:`~repro.obs.metrics.default_registry` unless one is injected):
+``cache.l1_hit``, ``cache.l2_hit``, ``cache.miss`` — plus
+``cache.coalesced`` maintained by :mod:`repro.serve.singleflight` —
+so ``repro cache stats`` and the serve ``metrics`` endpoint report the
+same numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import OrderedDict
+from typing import Any, Callable
+
+from ..obs.metrics import MetricsRegistry, default_registry
+
+#: registry counter names for the cache tiers (satellite: surfaced by
+#: ``repro cache stats`` alongside the disk-store session counters).
+TIER_COUNTERS = ("cache.l1_hit", "cache.l2_hit", "cache.miss", "cache.coalesced")
+
+_UNSET = object()
+
+
+def payload_cost(value: Any) -> int:
+    """Approximate in-memory cost of a cached payload, in bytes.
+
+    Payloads are JSON-shaped dicts by construction, so the encoded
+    length is a faithful (and cheap) proxy; anything unencodable is
+    charged a flat floor so the bytes bound still makes progress.
+    """
+    try:
+        return len(json.dumps(value, separators=(",", ":")))
+    except (TypeError, ValueError):
+        return 256
+
+
+class LRUCache:
+    """Size-, byte- and TTL-bounded LRU map.
+
+    ``capacity`` bounds the entry count, ``max_bytes`` the summed
+    :func:`payload_cost` of live entries, and ``ttl`` (seconds, from
+    ``clock``) expires entries lazily at lookup time.  ``clock`` is
+    injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        max_bytes: int | None = None,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.max_bytes = max_bytes
+        self.ttl = ttl
+        self._clock = clock
+        #: key -> (value, expiry-or-None, cost)
+        self._data: OrderedDict[str, tuple[Any, float | None, int]] = OrderedDict()
+        self._bytes = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    @property
+    def bytes(self) -> int:
+        return self._bytes
+
+    def _drop(self, key: str, *, expired: bool = False) -> None:
+        _, _, cost = self._data.pop(key)
+        self._bytes -= cost
+        if expired:
+            self.expirations += 1
+        else:
+            self.evictions += 1
+
+    def get(self, key: str) -> Any | None:
+        entry = self._data.get(key)
+        if entry is None:
+            return None
+        value, expiry, _ = entry
+        if expiry is not None and self._clock() >= expiry:
+            self._drop(key, expired=True)
+            return None
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: Any, ttl: float | None = _UNSET) -> None:
+        if ttl is _UNSET:
+            ttl = self.ttl
+        if key in self._data:
+            self._drop(key)
+        cost = payload_cost(value)
+        if self.max_bytes is not None and cost > self.max_bytes:
+            return  # a single over-budget entry can never fit
+        expiry = self._clock() + ttl if ttl is not None else None
+        self._data[key] = (value, expiry, cost)
+        self._bytes += cost
+        while len(self._data) > self.capacity or (
+            self.max_bytes is not None and self._bytes > self.max_bytes
+        ):
+            self._drop(next(iter(self._data)))
+
+    def purge_expired(self) -> int:
+        """Eagerly drop expired entries; returns how many."""
+        now = self._clock()
+        dead = [
+            k for k, (_, expiry, _) in self._data.items()
+            if expiry is not None and now >= expiry
+        ]
+        for k in dead:
+            self._drop(k, expired=True)
+        return len(dead)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._bytes = 0
+
+
+class TieredCache:
+    """L1 (:class:`LRUCache`) over L2 (the content-addressed disk store).
+
+    ``get_run``/``put_run`` speak the run-record tier pair; ``get_local``
+    /``put_local`` are L1-only (compile plans and trace summaries have
+    no on-disk record kind, so they live purely in memory).  L2 writes
+    are the compute path's job (``run_kernel`` already persists its
+    result); this class only *reads* L2 and promotes hits.
+    """
+
+    def __init__(
+        self,
+        store: Any = None,
+        l1: LRUCache | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.store = store
+        self.l1 = l1 or LRUCache()
+        self.registry = registry if registry is not None else default_registry()
+
+    def _count(self, outcome: str) -> None:
+        self.registry.counter(f"cache.{outcome}").inc()
+
+    def get_run(self, key: str) -> tuple[str | None, Any | None]:
+        """Look up a run payload: returns ``(tier, payload)`` where tier
+        is ``"l1"``, ``"l2"``, or ``None`` on a full miss."""
+        payload = self.l1.get(key)
+        if payload is not None:
+            self._count("l1_hit")
+            return "l1", payload
+        if self.store is not None:
+            run = self.store.get_run(key)
+            if run is not None:
+                from .service import run_payload  # local: avoid cycle
+
+                payload = run_payload(run)
+                self.l1.put(key, payload)
+                self._count("l2_hit")
+                return "l2", payload
+        self._count("miss")
+        return None, None
+
+    def put_run(self, key: str, payload: Any) -> None:
+        """Promote a freshly computed payload into L1 (L2 was written by
+        the compute path itself)."""
+        self.l1.put(key, payload)
+
+    def get_local(self, key: str) -> tuple[str | None, Any | None]:
+        payload = self.l1.get(key)
+        if payload is not None:
+            self._count("l1_hit")
+            return "l1", payload
+        self._count("miss")
+        return None, None
+
+    def put_local(self, key: str, payload: Any) -> None:
+        self.l1.put(key, payload)
+
+
+def tier_stats_line(registry: MetricsRegistry | None = None) -> str:
+    """One-line tier-counter summary for ``repro cache stats``."""
+    r = registry if registry is not None else default_registry()
+    parts = []
+    for name in TIER_COUNTERS:
+        parts.append(f"{name.removeprefix('cache.')} {int(r.value(name))}")
+    return "cache tiers  : " + " / ".join(parts)

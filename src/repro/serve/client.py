@@ -1,0 +1,111 @@
+"""Clients: in-process (tests, loadgen) and TCP (the real wire).
+
+Both expose the same awaitable ``request(op, **fields) -> response
+dict`` surface, so the load generator and the test-suite drive either
+transport with identical code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Any
+
+from .service import ServeService
+
+
+class ServeClient:
+    """In-process client: requests go straight to the service core —
+    no sockets, no serialization (beyond the id bookkeeping)."""
+
+    def __init__(self, service: ServeService, client_id: str = "inproc") -> None:
+        self.service = service
+        self.client_id = client_id
+        self._ids = itertools.count(1)
+
+    async def request(self, op: str, **fields: Any) -> dict:
+        obj = {"op": op, "id": next(self._ids), "client": self.client_id}
+        obj.update(fields)
+        return await self.service.handle(obj, default_client=self.client_id)
+
+    async def close(self) -> None:  # symmetry with TCPClient
+        return None
+
+
+class TCPClient:
+    """NDJSON-over-TCP client.
+
+    Requests on one connection are pipelined-safe: each carries a
+    unique id and responses are matched by id, so callers may overlap
+    ``request`` calls on the same client.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        client_id: str = "tcp",
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.client_id = client_id
+        self._ids = itertools.count(1)
+        self._pending: dict[Any, asyncio.Future] = {}
+        self._pump: asyncio.Task | None = None
+        self._wlock = asyncio.Lock()
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 7421, client_id: str = "tcp"
+    ) -> "TCPClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        self = cls(reader, writer, client_id=client_id)
+        self._pump = asyncio.get_running_loop().create_task(self._read_loop())
+        return self
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    resp = json.loads(line)
+                except ValueError:
+                    continue
+                fut = self._pending.pop(resp.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(resp)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            for fut in self._pending.values():
+                if not fut.done():
+                    fut.set_exception(ConnectionError("server closed connection"))
+            self._pending.clear()
+
+    async def request(self, op: str, **fields: Any) -> dict:
+        req_id = f"{self.client_id}-{next(self._ids)}"
+        obj = {"op": op, "id": req_id, "client": self.client_id}
+        obj.update(fields)
+        fut = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = fut
+        data = json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+        async with self._wlock:
+            self._writer.write(data)
+            await self._writer.drain()
+        return await fut
+
+    async def close(self) -> None:
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except asyncio.CancelledError:
+                pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass

@@ -1,0 +1,154 @@
+"""The asyncio TCP daemon: newline-delimited JSON over a socket.
+
+Each accepted connection reads one JSON request per line; every line
+is handled as an independent task, so a single connection can keep
+many requests in flight (responses interleave — clients match on
+``id``).  All failure modes produce a structured error line, never a
+silently dropped connection; anything that escapes the service's own
+failure boundary is counted in ``serve.unhandled`` (a healthy daemon
+holds that at zero — the serve-smoke CI job asserts it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Any
+
+from .protocol import error_response
+from .service import ServeConfig, ServeService
+
+log = logging.getLogger(__name__)
+
+#: per-line size cap (1 MiB): a sweep over the whole corpus fits with
+#: orders of magnitude to spare, and no client can balloon the reader.
+MAX_LINE = 1 << 20
+
+
+def _encode(resp: dict) -> bytes:
+    return json.dumps(resp, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+async def _handle_line(
+    service: ServeService,
+    line: bytes,
+    writer: asyncio.StreamWriter,
+    wlock: asyncio.Lock,
+    peer: str,
+) -> None:
+    try:
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            resp = error_response(None, "bad-json", "line is not valid JSON")
+        else:
+            resp = await service.handle(obj, default_client=peer)
+    except Exception as exc:  # the service's own boundary failed
+        service.registry.counter("serve.unhandled").inc()
+        log.exception("serve: unhandled error on request from %s", peer)
+        resp = error_response(
+            None, "internal", f"{type(exc).__name__}: {exc}"
+        )
+    try:
+        async with wlock:
+            writer.write(_encode(resp))
+            await writer.drain()
+    except (ConnectionError, RuntimeError):
+        pass  # client went away mid-response
+
+
+async def _handle_conn(
+    service: ServeService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    peer = str(writer.get_extra_info("peername"))
+    wlock = asyncio.Lock()
+    tasks: set[asyncio.Task] = set()
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                async with wlock:
+                    writer.write(_encode(error_response(
+                        None, "bad-request",
+                        f"request line exceeds {MAX_LINE} bytes",
+                    )))
+                    await writer.drain()
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            task = asyncio.ensure_future(
+                _handle_line(service, line, writer, wlock, peer)
+            )
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+    except ConnectionError:
+        pass
+    finally:
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        try:
+            # close() alone: awaiting wait_closed() here races loop
+            # shutdown (the transport finishes closing on its own).
+            writer.close()
+        except (ConnectionError, RuntimeError):
+            pass
+
+
+async def start_server(
+    service: ServeService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Bind and start serving; ``port=0`` picks an ephemeral port
+    (read it back from ``server.sockets[0].getsockname()``)."""
+    return await asyncio.start_server(
+        lambda r, w: _handle_conn(service, r, w),
+        host=host, port=port, limit=MAX_LINE,
+    )
+
+
+async def serve_forever(
+    config: ServeConfig,
+    host: str = "127.0.0.1",
+    port: int = 7421,
+    registry: Any = None,
+    ready: Any = None,
+) -> None:
+    """Run the daemon until cancelled.  ``ready`` (an optional callable)
+    receives the bound ``(host, port)`` once listening."""
+    service = ServeService(config, registry=registry)
+    server = await start_server(service, host, port)
+    addr = server.sockets[0].getsockname()[:2]
+    log.info("serve: listening on %s:%s", *addr)
+    if ready is not None:
+        ready(addr)
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await service.aclose()
+
+
+def run_server(
+    config: ServeConfig,
+    host: str = "127.0.0.1",
+    port: int = 7421,
+    registry: Any = None,
+) -> int:
+    """Blocking CLI entry; returns an exit code."""
+    def _ready(addr: tuple) -> None:
+        # printed (not logged) so scripts can scrape the bound port
+        print(f"serving on {addr[0]}:{addr[1]}", flush=True)
+
+    try:
+        asyncio.run(serve_forever(config, host, port, registry, ready=_ready))
+    except KeyboardInterrupt:
+        print("serve: shutting down")
+    except OSError as exc:
+        print(f"serve: cannot bind {host}:{port}: {exc}")
+        return 1
+    return 0

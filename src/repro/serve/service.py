@@ -1,0 +1,493 @@
+"""The compile-and-simulate service core (transport-independent).
+
+:class:`ServeService` turns decoded request dicts into response dicts.
+Every request flows::
+
+    parse/validate → per-client rate limit → tiered cache (L1 LRU,
+    L2 disk store) → singleflight coalescing → priority admission →
+    bounded executor compute → cache fill → response
+
+Cache hits bypass admission entirely (they cost microseconds and must
+not queue behind compute).  Heavy work runs in a bounded executor —
+threads by default (sharing the store instance and the obs event bus),
+or a ``ProcessPoolExecutor`` when ``workers > 0`` (each worker opens
+the store by root path; the atomic-rename write discipline makes that
+safe).  A broken process pool is rebuilt lazily instead of poisoning
+the daemon.
+
+Failure boundary: compute failures are classified through the
+:class:`repro.runtime.guard.FailureKind` taxonomy and returned as
+structured error responses with provenance — the daemon itself never
+dies on a request.  Simulation failures inside ``run`` don't even
+reach that path: ``run_kernel`` already folds them into the
+``KernelRun`` record (``failure`` / ``fallback`` provenance fields).
+
+The obs event bus backs the ``metrics`` endpoint: compile pass spans,
+guard decisions and task lifecycle events from thread-mode computes
+are folded into the same :class:`~repro.obs.metrics.MetricsRegistry`
+that holds the cache-tier and admission counters.  Only wall-clock
+(host-domain) events are folded — per-cycle simulator events would
+grow collector state without bound in a long-running daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass
+from functools import partial
+from pathlib import Path
+from typing import Any
+
+from ..obs.events import WALL_KINDS, EventBus
+from ..obs.metrics import MetricsCollector, MetricsRegistry
+from .admission import AdmissionQueue, AdmitError, RateLimiter
+from .cache import LRUCache, TieredCache
+from .protocol import (
+    BadRequest,
+    Request,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .singleflight import Singleflight
+
+log = logging.getLogger(__name__)
+
+#: how many recent request latencies (ms) back the exact p50/p95/p99
+#: quantiles of the ``metrics`` endpoint.
+LATENCY_WINDOW = 50_000
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Daemon configuration knobs."""
+
+    #: store root; ``None`` uses the process default store resolution.
+    store_root: str | Path | None = None
+    #: ``False`` disables the L2 disk tier entirely.
+    use_store: bool = True
+    #: compute processes; 0 = bounded thread executor (shares the store
+    #: instance and obs bus with the service).
+    workers: int = 0
+    #: concurrent compute slots (admission gate width).
+    max_concurrency: int = 4
+    #: bounded admission wait list; beyond this, ``queue-full``.
+    max_queue: int = 1024
+    l1_capacity: int = 4096
+    l1_max_bytes: int | None = 32 * 1024 * 1024
+    l1_ttl: float | None = None
+    #: per-client token-bucket rate (req/s); 0 disables limiting.
+    rate: float = 0.0
+    burst: float | None = None
+    #: per-request compute timeout (seconds) when the request sets none.
+    default_timeout: float = 60.0
+
+
+def run_payload(run: Any) -> dict:
+    """Response payload for a :class:`~repro.experiments.common.KernelRun`
+    (the same JSON shape the store records, plus the derived speedup)."""
+    from ..store.records import encode_run
+
+    payload = encode_run("", run)["payload"]
+    payload["speedup"] = run.speedup
+    return payload
+
+
+def cell_key(spec: Any, config: Any, kind: str = "run") -> str:
+    """Content-addressed key for one (kernel, config) cell.
+
+    ``kind="run"`` matches :func:`repro.experiments.common.store_key_for`
+    exactly (so serve and sweep share L2 records); ``compile`` and
+    ``trace`` keys only ever index the in-memory L1.
+    """
+    from ..experiments.common import _workload_recipe
+    from ..store.keys import kernel_run_key
+
+    return kernel_run_key(
+        spec.loop(),
+        config.n_cores,
+        config.compiler(),
+        config.machine(),
+        config.trip,
+        spec.seed + config.seed,
+        workload=_workload_recipe(spec),
+        kind=kind,
+    )
+
+
+def compute_payload(
+    kind: str, kernel: str, cfg: dict, store: Any, obs: Any = None
+) -> dict:
+    """Execute one compute op; returns a JSON-safe payload dict.
+
+    Runs inside an executor (thread or worker process).  ``run`` goes
+    through the full cached/verified :func:`run_kernel` harness —
+    simulator failures come back *inside* the payload as provenance;
+    ``compile`` and ``trace`` raise on failure and are classified by
+    the caller.
+    """
+    from ..experiments.common import ExpConfig, run_kernel
+    from ..kernels import get_kernel
+
+    spec = get_kernel(kernel)
+    config = ExpConfig(**cfg)
+
+    if kind == "run":
+        return run_payload(run_kernel(spec, config, store=store, obs=obs))
+
+    loop_ir = spec.loop()
+    wl = spec.workload(trip=config.trip, seed=spec.seed + config.seed)
+    from ..runtime import compile_loop, execute_kernel
+
+    if kind == "compile":
+        k = compile_loop(
+            loop_ir, config.n_cores,
+            config.compiler(profile_workload=wl), obs=obs,
+        )
+        return {
+            "kernel": kernel,
+            "n_cores": config.n_cores,
+            "trip": config.trip,
+            "stats": asdict(k.plan.stats),
+        }
+
+    if kind == "trace":
+        from ..obs.events import EventLog
+
+        bus = EventBus()
+        ev_log = EventLog()
+        bus.subscribe(ev_log)
+        k = compile_loop(
+            loop_ir, config.n_cores,
+            config.compiler(profile_workload=wl), obs=bus,
+        )
+        res = execute_kernel(k, wl, config.machine(), obs=bus)
+        counts: dict[str, int] = {}
+        for ev in ev_log.events:
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+        return {
+            "kernel": kernel,
+            "n_cores": config.n_cores,
+            "trip": config.trip,
+            "cycles": res.cycles,
+            "queue_stall": res.total_queue_stall,
+            "instrs": res.total_instrs,
+            "events": counts,
+            "dropped": ev_log.dropped,
+        }
+
+    raise ValueError(f"unknown compute kind {kind!r}")
+
+
+def _pool_compute(kind: str, kernel: str, cfg: dict, store_root: str | None) -> dict:
+    """Picklable process-pool entry: open the store by root path."""
+    from ..store.disk import ResultStore
+
+    store = ResultStore(store_root) if store_root is not None else None
+    return compute_payload(kind, kernel, cfg, store)
+
+
+class ServeService:
+    """In-process service core; see the module docstring for the flow."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.store = self._open_store()
+        self.cache = TieredCache(
+            store=self.store,
+            l1=LRUCache(
+                capacity=self.config.l1_capacity,
+                max_bytes=self.config.l1_max_bytes,
+                ttl=self.config.l1_ttl,
+            ),
+            registry=self.registry,
+        )
+        self.singleflight = Singleflight(registry=self.registry)
+        self.admission = AdmissionQueue(
+            max_concurrency=self.config.max_concurrency,
+            max_queue=self.config.max_queue,
+        )
+        self.limiter = RateLimiter(self.config.rate, self.config.burst)
+        self.bus = EventBus()
+        self._collector = MetricsCollector(self.registry)
+        self.bus.subscribe(self._on_event)
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        #: (kernel, sorted-config-items, kind) → content digest.  Key
+        #: derivation rebuilds and prints the kernel IR (~ms); memoising
+        #: it keeps the warm hit path in the microsecond range.  Bounded
+        #: like L1: the input space is the same.
+        self._key_memo = LRUCache(capacity=max(1024, self.config.l1_capacity))
+        self._executor: Any = None
+        self._started = time.monotonic()
+
+    # -- plumbing ------------------------------------------------------
+
+    def _open_store(self) -> Any:
+        if not self.config.use_store:
+            return None
+        if self.config.store_root is not None:
+            from ..store.disk import ResultStore
+
+            return ResultStore(self.config.store_root)
+        from ..store.disk import default_store
+
+        return default_store()
+
+    def _on_event(self, ev: Any) -> None:
+        # Host-domain events only: per-cycle sim events would accumulate
+        # unbounded occupancy state in a long-running daemon.
+        if ev.kind in WALL_KINDS:
+            self._collector(ev)
+
+    def _make_executor(self) -> Any:
+        if self.config.workers > 0:
+            try:
+                return ProcessPoolExecutor(max_workers=self.config.workers)
+            except (OSError, ValueError, ImportError) as exc:
+                log.warning(
+                    "serve: process pool unavailable (%s); using threads", exc
+                )
+        return ThreadPoolExecutor(
+            max_workers=max(2, self.config.max_concurrency),
+            thread_name_prefix="repro-serve",
+        )
+
+    async def _in_executor(self, fn: Any) -> Any:
+        if self._executor is None:
+            self._executor = self._make_executor()
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(self._executor, fn)
+        except BrokenProcessPool:
+            # One crashed worker must not poison every later request:
+            # drop the pool (rebuilt lazily) and fail just this call.
+            log.warning("serve: process pool broke; rebuilding on next request")
+            broken, self._executor = self._executor, None
+            broken.shutdown(wait=False, cancel_futures=True)
+            raise RuntimeError("compute worker crashed (pool rebuilt)") from None
+
+    async def aclose(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    @property
+    def uptime(self) -> float:
+        return time.monotonic() - self._started
+
+    # -- compute path --------------------------------------------------
+
+    def _compute_fn(self, kind: str, kernel: str, cfg: dict) -> Any:
+        if isinstance(self._executor, ProcessPoolExecutor) or (
+            self._executor is None and self.config.workers > 0
+        ):
+            root = str(self.store.root) if self.store is not None else None
+            return partial(_pool_compute, kind, kernel, cfg, root)
+        return partial(
+            compute_payload, kind, kernel, cfg, self.store, self.bus
+        )
+
+    async def _compute_cell(
+        self, req: Request, kind: str, kernel: str, cfg: dict, key: str
+    ) -> dict:
+        """Admission-gated executor compute + cache fill.  Runs as the
+        singleflight leader task, detached from any one waiter."""
+
+        async def work() -> dict:
+            payload = await self._in_executor(self._compute_fn(kind, kernel, cfg))
+            self.registry.counter("serve.computed").inc()
+            if kind == "run":
+                self.cache.put_run(key, payload)
+            else:
+                self.cache.put_local(key, payload)
+            return payload
+
+        return await self.admission.run(req.priority, work)
+
+    async def _cell(
+        self, req: Request, kernel: str, n_cores: int, kind: str = "run"
+    ) -> tuple[str | None, dict]:
+        """One (kernel, cores) cell through cache → singleflight → compute."""
+        from ..experiments.common import ExpConfig
+        from ..kernels import get_kernel
+
+        try:
+            spec = get_kernel(kernel)
+        except KeyError:
+            raise BadRequest(f"unknown kernel {kernel!r}") from None
+        cfg = req.exp_config_kwargs(n_cores)
+        memo_key = repr((kernel, sorted(cfg.items()), kind))
+        key = self._key_memo.get(memo_key)
+        if key is None:
+            key = cell_key(spec, ExpConfig(**cfg), kind=kind)
+            self._key_memo.put(memo_key, key)
+        tier, payload = (
+            self.cache.get_run(key) if kind == "run"
+            else self.cache.get_local(key)
+        )
+        if payload is not None:
+            return tier, payload
+        payload = await self.singleflight.do(
+            key, lambda: self._compute_cell(req, kind, kernel, cfg, key)
+        )
+        return None, payload
+
+    # -- ops -----------------------------------------------------------
+
+    async def _op_run(self, req: Request) -> tuple[str | None, dict]:
+        return await self._cell(req, req.kernel, req.cores, kind="run")
+
+    async def _op_compile(self, req: Request) -> tuple[str | None, dict]:
+        return await self._cell(req, req.kernel, req.cores, kind="compile")
+
+    async def _op_trace(self, req: Request) -> tuple[str | None, dict]:
+        return await self._cell(req, req.kernel, req.cores, kind="trace")
+
+    async def _op_sweep(self, req: Request) -> tuple[str | None, dict]:
+        cells = [(k, c) for k in req.kernels for c in req.cores_list]
+        results = await asyncio.gather(
+            *(self._cell(req, k, c, kind="run") for k, c in cells)
+        )
+        rows = []
+        all_cached = True
+        for (kernel, cores), (tier, payload) in zip(cells, results):
+            all_cached = all_cached and tier is not None
+            rows.append({
+                "kernel": kernel,
+                "n_cores": cores,
+                "cached": tier,
+                "speedup": payload.get("speedup"),
+                "correct": payload.get("correct"),
+                "deadlocked": payload.get("deadlocked"),
+                "failure": payload.get("failure"),
+            })
+        return ("l1" if all_cached else None), {"cells": len(rows), "rows": rows}
+
+    def _latency_quantiles(self) -> dict:
+        from .stats import percentiles
+
+        vals = list(self._latencies)
+        q = percentiles(vals, (50.0, 95.0, 99.0))
+        return {
+            "count": len(vals),
+            "mean": sum(vals) / len(vals) if vals else 0.0,
+            "p50": q[0], "p95": q[1], "p99": q[2],
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """The ``metrics`` endpoint body (also used by loadgen reports)."""
+        self.registry.gauge("serve.queue_depth").set(self.admission.depth)
+        self.registry.gauge("serve.active").set(self.admission.active)
+        self.registry.gauge("serve.inflight_keys").set(len(self.singleflight))
+        self.registry.gauge("serve.l1_entries").set(len(self.cache.l1))
+        self.registry.gauge("serve.l1_bytes").set(self.cache.l1.bytes)
+        snap: dict[str, Any] = {
+            "uptime_s": round(self.uptime, 3),
+            "latency_ms": self._latency_quantiles(),
+            "counters": self.registry.snapshot(),
+        }
+        if self.store is not None:
+            st = self.store.stats()
+            snap["store"] = {
+                "root": st.root,
+                "run_records": st.run_records,
+                "seq_records": st.seq_records,
+                "hits": st.hits,
+                "misses": st.misses,
+                "writes": st.writes,
+            }
+        return snap
+
+    def _op_health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": round(self.uptime, 3),
+            "inflight": len(self.singleflight),
+            "active": self.admission.active,
+            "queue_depth": self.admission.depth,
+        }
+
+    # -- entry point ---------------------------------------------------
+
+    async def handle(self, obj: Any, default_client: str = "anon") -> dict:
+        """Process one decoded request object.  Never raises: every
+        outcome — including an internal bug — is a structured response
+        (``serve.unhandled`` counts the internal ones; a healthy daemon
+        keeps it at zero)."""
+        t0 = time.perf_counter()
+        req_id = obj.get("id") if isinstance(obj, dict) else None
+
+        def _ms() -> float:
+            ms = (time.perf_counter() - t0) * 1e3
+            self._latencies.append(ms)
+            self.registry.histogram(
+                "serve.latency_ms", bounds=(0.5, 1, 5, 10, 50, 100, 500, 1000, 5000)
+            ).observe(ms)
+            return ms
+
+        self.registry.counter("serve.requests").inc()
+        try:
+            req = parse_request(obj, default_client=default_client)
+        except BadRequest as exc:
+            self.registry.counter("serve.rejected.bad-request").inc()
+            return error_response(req_id, "bad-request", str(exc), elapsed_ms=_ms())
+
+        try:
+            if req.op == "health":
+                return ok_response(req.id, self._op_health(), elapsed_ms=_ms())
+            if req.op == "metrics":
+                return ok_response(req.id, self.metrics_snapshot(), elapsed_ms=_ms())
+
+            self.limiter.check(req.client)
+            dispatch = {
+                "run": self._op_run,
+                "compile": self._op_compile,
+                "trace": self._op_trace,
+                "sweep": self._op_sweep,
+            }[req.op]
+            timeout = req.timeout or self.config.default_timeout
+            tier, result = await asyncio.wait_for(dispatch(req), timeout)
+            self.registry.counter(f"serve.ok.{req.op}").inc()
+            return ok_response(req.id, result, cached=tier, elapsed_ms=_ms())
+        except BadRequest as exc:
+            self.registry.counter("serve.rejected.bad-request").inc()
+            return error_response(req.id, "bad-request", str(exc), elapsed_ms=_ms())
+        except AdmitError as exc:
+            self.registry.counter(f"serve.rejected.{exc.code}").inc()
+            return error_response(req.id, exc.code, str(exc), elapsed_ms=_ms())
+        except asyncio.TimeoutError:
+            # The coalesced compute keeps running and will fill the
+            # cache; only this caller's wait is abandoned.
+            self.registry.counter("serve.rejected.timeout").inc()
+            return error_response(
+                req.id, "timeout",
+                f"request exceeded {req.timeout or self.config.default_timeout:g}s",
+                elapsed_ms=_ms(),
+            )
+        except Exception as exc:  # compute failure: classify, never die
+            from ..runtime.guard import classify_failure
+
+            kind = classify_failure(exc).value
+            self.registry.counter(f"serve.failures.{kind}").inc()
+            self.bus.emit_guard(kind, 1, note=str(exc).splitlines()[0] if str(exc) else None)
+            log.warning("serve: %s %s failed (%s: %s)",
+                        req.op, req.kernel, type(exc).__name__, exc)
+            return error_response(
+                req.id, kind, f"{type(exc).__name__}: {exc}",
+                provenance={
+                    "exception": type(exc).__name__,
+                    "op": req.op,
+                    "kernel": req.kernel,
+                },
+                elapsed_ms=_ms(),
+            )

@@ -1,0 +1,49 @@
+"""Singleflight request coalescing.
+
+N concurrent requests for the same content-addressed key trigger
+exactly one underlying computation; the other N-1 await the same task
+and share its result (or its exception).  The leader's task is
+*detached* from any individual waiter: every awaiter goes through
+:func:`asyncio.shield`, so a waiter that times out or disconnects
+cannot cancel work that other waiters — or the cache — still want.
+Each coalesced (non-leader) join increments the ``cache.coalesced``
+counter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+from ..obs.metrics import MetricsRegistry, default_registry
+
+
+class Singleflight:
+    """Keyed in-flight task table with result sharing."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._inflight: dict[str, asyncio.Task] = {}
+        self.registry = registry if registry is not None else default_registry()
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def inflight(self, key: str) -> bool:
+        return key in self._inflight
+
+    async def do(self, key: str, factory: Callable[[], Awaitable[Any]]) -> Any:
+        """Run ``factory()`` for ``key`` unless one is already in flight;
+        either way, return (a shielded await of) the shared result."""
+        task = self._inflight.get(key)
+        if task is None:
+            task = asyncio.get_running_loop().create_task(factory())
+            self._inflight[key] = task
+
+            def _done(t: asyncio.Task, *, _key: str = key, _task: asyncio.Task = task) -> None:
+                if self._inflight.get(_key) is _task:
+                    del self._inflight[_key]
+
+            task.add_done_callback(_done)
+        else:
+            self.registry.counter("cache.coalesced").inc()
+        return await asyncio.shield(task)

@@ -1,0 +1,27 @@
+"""Small exact-quantile helpers shared by the service and loadgen.
+
+The obs :class:`~repro.obs.metrics.Histogram` is fixed-bucket (good for
+streams, lossy for tails); latency SLOs want exact nearest-rank
+percentiles over a bounded window, which these provide.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def percentile(sorted_vals: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile ``q`` (0..100) of pre-sorted values."""
+    if not sorted_vals:
+        return 0.0
+    if q <= 0:
+        return float(sorted_vals[0])
+    rank = math.ceil(q / 100.0 * len(sorted_vals))
+    return float(sorted_vals[min(len(sorted_vals), max(1, rank)) - 1])
+
+
+def percentiles(values: Iterable[float], qs: Sequence[float]) -> list[float]:
+    """Sort once, read many quantiles."""
+    vals = sorted(values)
+    return [percentile(vals, q) for q in qs]

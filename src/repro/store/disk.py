@@ -15,6 +15,16 @@ schema-mismatched record is treated as a cache miss.  ``gc`` deletes
 such records (plus abandoned temp files); ``clear`` deletes
 everything.
 
+Concurrent writers: on filesystems where the rename is *not* atomic
+(network mounts, some overlayfs setups) a reader can observe a
+partially-visible or mid-replace record.  The read path therefore
+retries exactly once — after a short delay — when a record *exists but
+fails to parse*; a plain missing file is a genuine miss and is never
+retried (no added latency on the hot miss path).  ``gc`` re-validates
+every stale candidate immediately before unlinking, so a writer that
+replaces a corrupt record mid-collection never has its fresh record
+deleted underfoot.
+
 The default store root is, in priority order, ``$REPRO_CACHE_DIR``,
 else ``~/.cache/repro/store``.  Setting ``REPRO_CACHE=0`` disables the
 persistent layer entirely (pure in-process memoisation remains).
@@ -25,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
@@ -35,6 +46,18 @@ from . import records
 ROOT_ENV = "REPRO_CACHE_DIR"
 #: set to "0" to disable the persistent store.
 ENABLE_ENV = "REPRO_CACHE"
+
+#: pause before re-reading a record that exists but failed to parse —
+#: long enough for a concurrent ``os.replace`` to land, short enough
+#: to be invisible (only paid on the corrupt-read path, never on a
+#: plain miss).
+RETRY_DELAY = 0.002
+
+#: ``gc`` only reclaims temp files at least this old (seconds): a
+#: fresh temp file is almost certainly a live writer mid-``put``, and
+#: unlinking it would make the writer's ``os.replace`` blow up.  Only
+#: genuinely abandoned files (crashed writers) age past this.
+TMP_GRACE = 60.0
 
 
 def store_root() -> Path:
@@ -101,14 +124,38 @@ class ResultStore:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _read_text(self, path: Path) -> str:
+        """Single raw read; split out so tests can fault-inject torn
+        reads without touching the filesystem layer."""
+        return path.read_text(encoding="utf-8")
+
+    def _read_envelope(self, path: Path) -> dict | None:
+        """Read + parse one record, retrying once on a corrupt read.
+
+        A missing file is a definitive miss (the atomic-rename contract
+        means it was never written) and returns immediately.  A file
+        that exists but does not parse is plausibly a concurrent writer
+        mid-replace on a non-atomic filesystem: re-read once after
+        :data:`RETRY_DELAY` before declaring it corrupt.
+        """
+        for attempt in (0, 1):
+            try:
+                envelope = json.loads(self._read_text(path))
+                if not isinstance(envelope, dict):
+                    raise ValueError("record is not an object")
+                return envelope
+            except FileNotFoundError:
+                return None
+            except (OSError, ValueError):
+                if attempt:
+                    return None
+                time.sleep(RETRY_DELAY)
+        return None
+
     def get(self, key: str) -> dict | None:
         """Load an envelope; any failure mode is a miss."""
-        try:
-            text = self._path(key).read_text(encoding="utf-8")
-            envelope = json.loads(text)
-            if not isinstance(envelope, dict):
-                raise ValueError("record is not an object")
-        except (OSError, ValueError):
+        envelope = self._read_envelope(self._path(key))
+        if envelope is None:
             self.misses += 1
             return None
         self.hits += 1
@@ -189,9 +236,14 @@ class ResultStore:
         for path in self._record_paths():
             try:
                 st.total_bytes += path.stat().st_size
-                envelope = json.loads(path.read_text(encoding="utf-8"))
-                kind = envelope.get("kind")
-                if envelope.get("schema") != records.SCHEMA_VERSION:
+            except OSError:
+                continue  # vanished mid-walk (concurrent gc/clear)
+            envelope = self._read_envelope(path)
+            try:
+                kind = envelope.get("kind") if envelope else None
+                if envelope is None and not path.exists():
+                    continue  # deleted underfoot, not stale
+                if envelope is None or envelope.get("schema") != records.SCHEMA_VERSION:
                     st.stale_records += 1
                 elif kind == "run":
                     st.run_records += 1
@@ -199,7 +251,7 @@ class ResultStore:
                     st.seq_records += 1
                 else:
                     st.stale_records += 1
-            except (OSError, ValueError, AttributeError):
+            except (OSError, AttributeError):
                 st.stale_records += 1
         return st
 
@@ -214,27 +266,45 @@ class ResultStore:
                 pass
         return removed
 
+    @staticmethod
+    def _envelope_stale(envelope: dict | None) -> bool:
+        return (
+            envelope is None
+            or envelope.get("schema") != records.SCHEMA_VERSION
+            or envelope.get("kind") not in ("run", "seq")
+        )
+
     def gc(self) -> GcReport:
-        """Drop unreadable / stale-schema records and abandoned temp files."""
+        """Drop unreadable / stale-schema records and abandoned temp files.
+
+        Safe against concurrent writers and readers: a stale candidate
+        is re-validated immediately before the unlink, so a writer that
+        replaced the record since the sweep started keeps its fresh
+        record; files that vanish mid-sweep are simply skipped; temp
+        files younger than :data:`TMP_GRACE` are left alone (they are
+        live writers mid-``put``, not abandoned debris).
+        """
         report = GcReport()
         for path in self._record_paths():
-            stale = False
+            if not self._envelope_stale(self._read_envelope(path)):
+                continue
+            if not path.exists():
+                continue  # already gone: nothing to reclaim
+            # Re-validate right before deleting — the record may have
+            # been atomically replaced with a fresh one since the first
+            # read; deleting it now would drop a live result underfoot.
+            if not self._envelope_stale(self._read_envelope(path)):
+                continue
             try:
-                envelope = json.loads(path.read_text(encoding="utf-8"))
-                if envelope.get("schema") != records.SCHEMA_VERSION:
-                    stale = True
-                if envelope.get("kind") not in ("run", "seq"):
-                    stale = True
-            except (OSError, ValueError, AttributeError):
-                stale = True
-            if stale:
-                try:
-                    path.unlink()
-                    report.removed_stale += 1
-                except OSError:
-                    pass
+                path.unlink()
+                report.removed_stale += 1
+            except OSError:
+                pass
+        cutoff = time.time() - TMP_GRACE
         for path in self._tmp_paths():
             try:
+                if path.stat().st_mtime > cutoff:
+                    continue  # a live writer is mid-put; leave it alone
                 path.unlink()
                 report.removed_tmp += 1
             except OSError:

@@ -232,3 +232,53 @@ class TestObservabilityCommands:
             "--out", str(out_path),
         ])
         assert rc == 0 and out_path.exists()
+
+
+class TestServeCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7421 and args.workers == 0
+        assert args.max_concurrency == 4 and args.rate == 0.0
+        assert args.store_dir is None and not args.no_store
+
+    def test_loadgen_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.requests == 1000 and args.clients == 50
+        assert args.zipf == 1.1 and args.kernels == "all"
+        assert args.min_warm_hit is None
+
+    def test_loadgen_unknown_kernel(self, capsys):
+        assert main(["loadgen", "--kernels", "nosuch-kernel"]) == 2
+        assert "unknown kernel" in capsys.readouterr().out
+
+    def test_loadgen_bad_cores(self, capsys):
+        assert main(["loadgen", "--cores", "two"]) == 2
+        assert "--cores" in capsys.readouterr().out
+
+    def test_loadgen_small_campaign(self, capsys, tmp_path):
+        from repro.experiments.common import clear_cache
+
+        clear_cache()
+        bench = tmp_path / "bench.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main([
+            "loadgen", "--requests", "30", "--clients", "4", "--trip", "8",
+            "--kernels", "sphot-1,lammps-1", "--cores", "2", "--seed", "7",
+            "--bench", str(bench), "--json", str(metrics),
+            "--min-warm-hit", "0.5",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "warm" in out and "coalescing" in out
+        import json
+
+        doc = json.loads(bench.read_text())
+        assert doc["rows"] and doc["rows"][0]["phases"]["warm"]["hit_rate"] > 0.5
+        report = json.loads(metrics.read_text())
+        assert report["unhandled"] == 0
+        assert report["computed"] == report["unique_cells_drawn"]
+
+    def test_cache_stats_includes_tier_counters(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "cache tiers" in out and "l1_hit" in out

@@ -1,0 +1,623 @@
+"""repro.serve: tiered cache, coalescing, admission, protocol, daemon."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments.common import clear_cache
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import (
+    AdmissionQueue,
+    QueueFull,
+    RateLimited,
+    RateLimiter,
+    TokenBucket,
+)
+from repro.serve.cache import LRUCache, TieredCache, tier_stats_line
+from repro.serve.client import ServeClient, TCPClient
+from repro.serve.loadgen import LoadgenConfig, population, run_loadgen, zipf_cdf
+from repro.serve.protocol import BadRequest, parse_request
+from repro.serve.server import start_server
+from repro.serve.service import ServeConfig, ServeService
+from repro.serve.singleflight import Singleflight
+from repro.serve.stats import percentile, percentiles
+from repro.store.disk import ResultStore
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_service(tmp_path, **kw) -> ServeService:
+    kw.setdefault("store_root", tmp_path / "store")
+    return ServeService(ServeConfig(**kw), registry=MetricsRegistry())
+
+
+def counter(svc: ServeService, name: str) -> float:
+    return svc.registry.value(name)
+
+
+def run_records(root) -> int:
+    store = ResultStore(root)
+    return store.stats().run_records
+
+
+# -- L1 LRU ---------------------------------------------------------------
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestLRUCache:
+    def test_capacity_eviction_is_lru(self):
+        c = LRUCache(capacity=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.get("a") == 1          # refresh a
+        c.put("c", 3)                   # evicts b
+        assert c.get("b") is None
+        assert c.get("a") == 1 and c.get("c") == 3
+        assert c.evictions == 1
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        c = LRUCache(capacity=8, ttl=10.0, clock=clock)
+        c.put("a", {"v": 1})
+        clock.t = 9.9
+        assert c.get("a") == {"v": 1}
+        clock.t = 10.0
+        assert c.get("a") is None
+        assert c.expirations == 1
+
+    def test_per_entry_ttl_override(self):
+        clock = FakeClock()
+        c = LRUCache(capacity=8, ttl=10.0, clock=clock)
+        c.put("forever", 1, ttl=None)
+        clock.t = 1e9
+        assert c.get("forever") == 1
+
+    def test_bytes_bound(self):
+        c = LRUCache(capacity=100, max_bytes=100)
+        big = {"payload": "x" * 60}
+        c.put("a", big)
+        c.put("b", big)                 # pushes total over 100 bytes
+        assert c.get("a") is None and c.get("b") == big
+        assert c.bytes <= 100
+
+    def test_oversized_entry_rejected(self):
+        c = LRUCache(capacity=4, max_bytes=10)
+        c.put("huge", {"payload": "x" * 1000})
+        assert c.get("huge") is None and len(c) == 0
+
+    def test_purge_expired(self):
+        clock = FakeClock()
+        c = LRUCache(capacity=8, ttl=1.0, clock=clock)
+        c.put("a", 1)
+        c.put("b", 2)
+        clock.t = 2.0
+        assert c.purge_expired() == 2
+        assert len(c) == 0
+
+
+# -- rate limiting --------------------------------------------------------
+
+class TestTokenBucket:
+    def test_burst_then_deny_then_refill(self):
+        clock = FakeClock()
+        b = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert b.try_take() and b.try_take()
+        assert not b.try_take()
+        clock.t = 1.0
+        assert b.try_take()
+        assert not b.try_take()
+
+    def test_rate_zero_is_unlimited(self):
+        b = TokenBucket(rate=0.0)
+        assert all(b.try_take() for _ in range(1000))
+
+    def test_limiter_is_per_client(self):
+        clock = FakeClock()
+        lim = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+        lim.check("a")
+        with pytest.raises(RateLimited):
+            lim.check("a")
+        lim.check("b")  # separate bucket
+
+
+# -- admission queue ------------------------------------------------------
+
+class TestAdmissionQueue:
+    def test_priority_order(self):
+        async def main():
+            q = AdmissionQueue(max_concurrency=1)
+            order = []
+
+            async def job(tag, pri):
+                await q.acquire(pri)
+                order.append(tag)
+                q.release()
+
+            await q.acquire(0)  # occupy the only slot
+            tasks = [
+                asyncio.ensure_future(job("low", 20)),
+                asyncio.ensure_future(job("mid", 10)),
+                asyncio.ensure_future(job("high", 1)),
+            ]
+            for _ in range(5):
+                await asyncio.sleep(0)  # let all three enqueue
+            assert q.depth == 3
+            q.release()
+            await asyncio.gather(*tasks)
+            assert order == ["high", "mid", "low"]
+
+        run(main())
+
+    def test_fifo_within_priority(self):
+        async def main():
+            q = AdmissionQueue(max_concurrency=1)
+            order = []
+
+            async def job(tag):
+                await q.acquire(10)
+                order.append(tag)
+                q.release()
+
+            await q.acquire(0)
+            tasks = [asyncio.ensure_future(job(i)) for i in range(4)]
+            for _ in range(5):
+                await asyncio.sleep(0)
+            q.release()
+            await asyncio.gather(*tasks)
+            assert order == [0, 1, 2, 3]
+
+        run(main())
+
+    def test_queue_full(self):
+        async def main():
+            q = AdmissionQueue(max_concurrency=1, max_queue=1)
+            await q.acquire(0)
+            waiter = asyncio.ensure_future(q.acquire(5))
+            await asyncio.sleep(0)
+            with pytest.raises(QueueFull):
+                await q.acquire(5)
+            q.release()
+            await waiter
+            q.release()
+
+        run(main())
+
+    def test_concurrency_bound(self):
+        async def main():
+            q = AdmissionQueue(max_concurrency=2)
+            peak = 0
+            active = 0
+
+            async def job():
+                nonlocal peak, active
+                await q.acquire()
+                active += 1
+                peak = max(peak, active)
+                await asyncio.sleep(0.001)
+                active -= 1
+                q.release()
+
+            await asyncio.gather(*(job() for _ in range(10)))
+            assert peak == 2
+
+        run(main())
+
+
+# -- singleflight ---------------------------------------------------------
+
+class TestSingleflight:
+    def test_coalesces_identical_keys(self):
+        async def main():
+            reg = MetricsRegistry()
+            sf = Singleflight(reg)
+            calls = 0
+            gate = asyncio.Event()
+
+            async def factory():
+                nonlocal calls
+                calls += 1
+                await gate.wait()
+                return "result"
+
+            tasks = [asyncio.ensure_future(sf.do("k", factory)) for _ in range(5)]
+            await asyncio.sleep(0)
+            assert len(sf) == 1
+            gate.set()
+            results = await asyncio.gather(*tasks)
+            assert results == ["result"] * 5
+            assert calls == 1
+            assert reg.value("cache.coalesced") == 4
+            assert len(sf) == 0  # table cleaned up
+
+        run(main())
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def main():
+            reg = MetricsRegistry()
+            sf = Singleflight(reg)
+
+            async def factory(v):
+                await asyncio.sleep(0)
+                return v
+
+            results = await asyncio.gather(
+                sf.do("a", lambda: factory(1)), sf.do("b", lambda: factory(2))
+            )
+            assert results == [1, 2]
+            assert reg.value("cache.coalesced") == 0
+
+        run(main())
+
+    def test_exception_shared_and_cleared(self):
+        async def main():
+            sf = Singleflight(MetricsRegistry())
+            gate = asyncio.Event()
+
+            async def boom():
+                await gate.wait()
+                raise ValueError("shared failure")
+
+            tasks = [asyncio.ensure_future(sf.do("k", boom)) for _ in range(3)]
+            await asyncio.sleep(0)
+            gate.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            assert all(isinstance(r, ValueError) for r in results)
+            assert len(sf) == 0  # a failed flight must not wedge the key
+
+        run(main())
+
+
+# -- protocol -------------------------------------------------------------
+
+class TestProtocol:
+    def test_minimal_run_request(self):
+        req = parse_request({"op": "run", "kernel": "lammps-1"})
+        assert req.cores == 4 and req.trip == 64 and req.client == "anon"
+
+    def test_unknown_op(self):
+        with pytest.raises(BadRequest, match="unknown op"):
+            parse_request({"op": "explode"})
+
+    def test_missing_kernel(self):
+        with pytest.raises(BadRequest, match="requires 'kernel'"):
+            parse_request({"op": "run"})
+
+    def test_bad_trip(self):
+        with pytest.raises(BadRequest, match="'trip'"):
+            parse_request({"op": "run", "kernel": "k", "trip": -1})
+        with pytest.raises(BadRequest, match="'trip'"):
+            parse_request({"op": "run", "kernel": "k", "trip": "many"})
+
+    def test_sweep_requires_lists(self):
+        with pytest.raises(BadRequest, match="'kernels'"):
+            parse_request({"op": "sweep"})
+        with pytest.raises(BadRequest, match="'cores'"):
+            parse_request({"op": "sweep", "kernels": ["a"], "cores": [0]})
+
+    def test_bad_timeout(self):
+        with pytest.raises(BadRequest, match="'timeout'"):
+            parse_request({"op": "run", "kernel": "k", "timeout": 0})
+
+    def test_non_object(self):
+        with pytest.raises(BadRequest):
+            parse_request([1, 2, 3])
+
+
+# -- stats helpers --------------------------------------------------------
+
+class TestPercentiles:
+    def test_nearest_rank(self):
+        vals = sorted(float(v) for v in range(1, 101))
+        assert percentile(vals, 50) == 50.0
+        assert percentile(vals, 99) == 99.0
+        assert percentile(vals, 100) == 100.0
+
+    def test_empty(self):
+        assert percentiles([], (50, 95, 99)) == [0.0, 0.0, 0.0]
+
+
+# -- service: caching and coalescing --------------------------------------
+
+class TestServiceCaching:
+    def test_l1_then_l2_tiers(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            cli = ServeClient(svc)
+            clear_cache()
+            r1 = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert r1["ok"] and r1["cached"] is None
+            r2 = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert r2["cached"] == "l1"
+            assert r2["result"] == r1["result"]
+            await svc.aclose()
+
+            # A fresh service over the same store: L2 hit, then L1.
+            svc2 = make_service(tmp_path)
+            cli2 = ServeClient(svc2)
+            r3 = await cli2.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert r3["cached"] == "l2"
+            assert r3["result"] == r1["result"]
+            r4 = await cli2.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert r4["cached"] == "l1"
+            assert svc2.registry.value("cache.l2_hit") == 1
+            assert svc2.registry.value("cache.l1_hit") == 1
+            await svc2.aclose()
+
+        run(main())
+
+    def test_coalescing_50_identical_requests(self, tmp_path):
+        """The satellite contract: 50 concurrent identical requests make
+        exactly one store write and one compile on the bus."""
+        async def main():
+            svc = make_service(tmp_path)
+            log = EventLog()
+            svc.bus.subscribe(log)
+            cli = ServeClient(svc)
+            clear_cache()
+            responses = await asyncio.gather(*(
+                cli.request("run", kernel="irs-3", cores=2, trip=8)
+                for _ in range(50)
+            ))
+            assert all(r["ok"] for r in responses)
+            payloads = [json.dumps(r["result"], sort_keys=True) for r in responses]
+            assert len(set(payloads)) == 1  # everyone got the same result
+
+            assert counter(svc, "serve.computed") == 1
+            assert counter(svc, "cache.coalesced") == 49
+            # exactly one parallel-run record hit the disk
+            assert run_records(tmp_path / "store") == 1
+            # exactly one compile/simulate happened on the bus
+            task_events = [e for e in log.events if e.kind == "task"]
+            assert len(task_events) == 1 and task_events[0].value == "ok"
+            await svc.aclose()
+
+        run(main())
+
+    def test_mixed_key_storm_no_bleed(self, tmp_path):
+        """Concurrent storms over distinct keys never cross results."""
+        async def main():
+            svc = make_service(tmp_path)
+            cli = ServeClient(svc)
+            clear_cache()
+            kernels = ["lammps-1", "irs-1", "sphot-1", "umt2k-1", "amg-t2"]
+            reqs = [(k, i) for k in kernels for i in range(10)]
+            responses = await asyncio.gather(*(
+                cli.request("run", kernel=k, cores=2, trip=8) for k, _ in reqs
+            ))
+            by_kernel: dict[str, set] = {}
+            for (k, _), r in zip(reqs, responses):
+                assert r["ok"], r
+                assert r["result"]["kernel"] == k  # no cross-key bleed
+                by_kernel.setdefault(k, set()).add(
+                    json.dumps(r["result"], sort_keys=True)
+                )
+            for k, payloads in by_kernel.items():
+                assert len(payloads) == 1, f"{k} saw divergent results"
+            assert counter(svc, "serve.computed") == len(kernels)
+            assert run_records(tmp_path / "store") == len(kernels)
+            await svc.aclose()
+
+        run(main())
+
+    def test_compile_and_trace_ops(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            cli = ServeClient(svc)
+            r = await cli.request("compile", kernel="umt2k-6", cores=4, trip=8)
+            assert r["ok"] and r["result"]["stats"]["n_partitions"] >= 1
+            r2 = await cli.request("compile", kernel="umt2k-6", cores=4, trip=8)
+            assert r2["cached"] == "l1"  # L1-only tier for compile
+            t = await cli.request("trace", kernel="umt2k-6", cores=2, trip=8)
+            assert t["ok"] and t["result"]["events"].get("retire", 0) > 0
+            await svc.aclose()
+
+        run(main())
+
+    def test_sweep_op(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            cli = ServeClient(svc)
+            clear_cache()
+            r = await cli.request(
+                "sweep", kernels=["lammps-1", "sphot-1"], cores=[2, 4], trip=8
+            )
+            assert r["ok"] and r["result"]["cells"] == 4
+            assert all(row["correct"] or row["deadlocked"]
+                       for row in r["result"]["rows"])
+            # all four cells are now cached; a repeat sweep is pure L1
+            r2 = await cli.request(
+                "sweep", kernels=["lammps-1", "sphot-1"], cores=[2, 4], trip=8
+            )
+            assert r2["cached"] == "l1"
+            await svc.aclose()
+
+        run(main())
+
+
+# -- service: admission, failure boundary, endpoints ----------------------
+
+class TestServiceBoundary:
+    def test_unknown_kernel_is_bad_request(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            cli = ServeClient(svc)
+            r = await cli.request("run", kernel="not-a-kernel")
+            assert not r["ok"] and r["error"]["kind"] == "bad-request"
+            # daemon still healthy afterwards
+            h = await cli.request("health")
+            assert h["result"]["status"] == "ok"
+            await svc.aclose()
+
+        run(main())
+
+    def test_rate_limit_rejects_structured(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path, rate=1.0, burst=1.0)
+            cli = ServeClient(svc, client_id="hog")
+            r1 = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert r1["ok"]
+            r2 = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert not r2["ok"] and r2["error"]["kind"] == "rate-limited"
+            # a different client has its own bucket
+            other = ServeClient(svc, client_id="polite")
+            r3 = await other.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert r3["ok"]
+            await svc.aclose()
+
+        run(main())
+
+    def test_timeout_returns_structured_error_and_cache_still_fills(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.serve.service as service_mod
+
+        def slow_compute(kind, kernel, cfg, store, obs=None):
+            import time as _t
+
+            _t.sleep(0.3)
+            return {"kernel": kernel, "speedup": 1.0, "slow": True}
+
+        async def main():
+            svc = make_service(tmp_path)
+            monkeypatch.setattr(service_mod, "compute_payload", slow_compute)
+            cli = ServeClient(svc)
+            r = await cli.request(
+                "run", kernel="sphot-1", cores=2, trip=8, timeout=0.05
+            )
+            assert not r["ok"] and r["error"]["kind"] == "timeout"
+            h = await cli.request("health")  # daemon alive
+            assert h["result"]["status"] == "ok"
+            # the abandoned compute keeps running and fills the cache
+            await asyncio.sleep(0.4)
+            r2 = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert r2["ok"] and r2["cached"] == "l1"
+            assert r2["result"]["slow"] is True
+            await svc.aclose()
+
+        run(main())
+
+    def test_compute_failure_is_classified(self, tmp_path, monkeypatch):
+        import repro.serve.service as service_mod
+
+        def broken(kind, kernel, cfg, store, obs=None):
+            raise ValueError("synthetic compile explosion")
+
+        async def main():
+            svc = make_service(tmp_path)
+            monkeypatch.setattr(service_mod, "compute_payload", broken)
+            cli = ServeClient(svc)
+            r = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert not r["ok"]
+            assert r["error"]["kind"] == "compile-error"
+            assert "synthetic compile explosion" in r["error"]["message"]
+            assert r["error"]["provenance"]["exception"] == "ValueError"
+            assert counter(svc, "serve.failures.compile-error") >= 1
+            h = await cli.request("health")
+            assert h["result"]["status"] == "ok"
+            await svc.aclose()
+
+        run(main())
+
+    def test_metrics_endpoint(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            cli = ServeClient(svc)
+            clear_cache()
+            await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            m = (await cli.request("metrics"))["result"]
+            assert m["counters"]["serve.requests"]["value"] == 3
+            assert m["counters"]["cache.l1_hit"]["value"] == 1
+            assert m["counters"]["cache.miss"]["value"] == 1
+            assert m["latency_ms"]["count"] == 2  # metrics op not yet recorded
+            assert m["store"]["run_records"] == 1
+            assert m["uptime_s"] >= 0.0
+            await svc.aclose()
+
+        run(main())
+
+    def test_tier_stats_line(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.l1_hit").inc(7)
+        line = tier_stats_line(reg)
+        assert "l1_hit 7" in line and "coalesced 0" in line
+
+
+# -- TCP daemon -----------------------------------------------------------
+
+class TestTCPServer:
+    def test_round_trip_and_bad_lines(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            server = await start_server(svc, port=0)
+            port = server.sockets[0].getsockname()[1]
+            cli = await TCPClient.connect(port=port, client_id="t1")
+            clear_cache()
+
+            r = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert r["ok"] and r["result"]["correct"]
+
+            # pipelined identical requests over one connection coalesce
+            rs = await asyncio.gather(*(
+                cli.request("run", kernel="irs-1", cores=2, trip=8)
+                for _ in range(10)
+            ))
+            assert all(x["ok"] for x in rs)
+            assert svc.registry.value("serve.computed") == 2
+
+            # a garbage line gets a structured error, not a dropped conn
+            cli._writer.write(b"this is not json\n")
+            await cli._writer.drain()
+            await asyncio.sleep(0.05)
+            h = await cli.request("health")
+            assert h["result"]["status"] == "ok"
+            assert svc.registry.value("serve.unhandled") == 0
+
+            await cli.close()
+            server.close()
+            await server.wait_closed()
+            await svc.aclose()
+
+        run(main())
+
+
+# -- loadgen --------------------------------------------------------------
+
+class TestLoadgen:
+    def test_zipf_cdf_monotone_normalised(self):
+        cdf = zipf_cdf(10, 1.2)
+        assert cdf == sorted(cdf) and cdf[-1] == 1.0
+        assert cdf[0] > 1.0 / 10  # head heavier than uniform
+
+    def test_population_deterministic(self):
+        cfg = LoadgenConfig(seed=3, kernels=("a", "b"), cores=(2, 4))
+        assert population(cfg) == population(cfg)
+        assert len(population(cfg)) == 4
+
+    def test_small_campaign_in_process(self):
+        clear_cache()
+        cfg = LoadgenConfig(
+            requests=40, clients=4, seed=1, trip=8,
+            kernels=("sphot-1", "lammps-1", "irs-1"), cores=(2,),
+        )
+        report = run_loadgen(cfg)
+        assert report["phases"]["cold"]["requests"] == 40
+        assert report["phases"]["cold"]["errors"] == 0
+        assert report["phases"]["warm"]["errors"] == 0
+        # the coalescing invariant: every unique cell computed exactly once
+        assert report["computed"] == report["unique_cells_drawn"]
+        assert report["run_records"] == report["unique_cells_drawn"]
+        assert report["unhandled"] == 0
+        assert report["phases"]["warm"]["hit_rate"] > 0.9

@@ -234,6 +234,14 @@ class TestRobustness:
         # mkstemp-style hidden name — the shape put() actually leaves behind
         (store.root / "aa" / ".aa000000-x1y2z3.tmp").write_text("partial")
         (store.root / "aa" / "orphan.tmp").write_text("partial")
+        # age them past TMP_GRACE: fresh temp files are live writers
+        # mid-put and gc deliberately leaves those alone
+        import os
+        import time
+
+        old = time.time() - 3600
+        for name in (".aa000000-x1y2z3.tmp", "orphan.tmp"):
+            os.utime(store.root / "aa" / name, (old, old))
         report = store.gc()
         assert report.removed_stale == 2 and report.removed_tmp == 2
         assert store.get_run(good) is not None

@@ -1,0 +1,260 @@
+"""Disk store under concurrent writers: torn-read retry, gc safety."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.store import records
+from repro.store.disk import ResultStore
+
+
+def make_envelope(key: str) -> dict:
+    return {
+        "schema": records.SCHEMA_VERSION,
+        "kind": "seq",
+        "key": key,
+        "payload": {"kernel": "k", "cycles": 123.0},
+    }
+
+
+class FlakyReadStore(ResultStore):
+    """Fault-injected store: the first ``fail_reads`` raw reads of each
+    path return garbage (simulating a mid-replace torn read on a
+    non-atomic filesystem); later reads see the real bytes."""
+
+    def __init__(self, root, fail_reads: int = 1):
+        super().__init__(root)
+        self.fail_reads = fail_reads
+        self.read_calls: dict[str, int] = {}
+
+    def _read_text(self, path):
+        n = self.read_calls.get(path.name, 0)
+        self.read_calls[path.name] = n + 1
+        if n < self.fail_reads:
+            return '{"schema": 1, "kind": "ru'  # truncated mid-write
+        return super()._read_text(path)
+
+
+class TestTornReadRetry:
+    def test_corrupt_then_valid_read_is_a_hit(self, tmp_path):
+        writer = ResultStore(tmp_path)
+        writer.put("ab" + "0" * 14, make_envelope("ab" + "0" * 14))
+
+        reader = FlakyReadStore(tmp_path, fail_reads=1)
+        env = reader.get("ab" + "0" * 14)
+        assert env is not None and env["kind"] == "seq"
+        assert reader.hits == 1 and reader.misses == 0
+        # exactly two raw reads: the torn one, then the retry
+        assert reader.read_calls[("ab" + "0" * 14) + ".json"] == 2
+
+    def test_persistently_corrupt_read_is_a_miss(self, tmp_path):
+        writer = ResultStore(tmp_path)
+        writer.put("cd" + "0" * 14, make_envelope("cd" + "0" * 14))
+
+        reader = FlakyReadStore(tmp_path, fail_reads=10)
+        assert reader.get("cd" + "0" * 14) is None
+        assert reader.misses == 1
+        # retried exactly once — a truly corrupt record costs 2 reads, not N
+        assert reader.read_calls[("cd" + "0" * 14) + ".json"] == 2
+
+    def test_missing_file_is_never_retried(self, tmp_path):
+        reader = FlakyReadStore(tmp_path, fail_reads=0)
+
+        calls = []
+        orig = ResultStore._read_text
+
+        def counting(self, path):
+            calls.append(path)
+            return orig(self, path)
+
+        FlakyReadStore._read_text = counting  # type: ignore[method-assign]
+        try:
+            assert reader.get("ee" + "0" * 14) is None
+        finally:
+            FlakyReadStore._read_text = FlakyReadStore.__dict__["_read_text"]
+        # one attempt, immediate miss — no sleep/retry on the hot path
+        assert len(calls) == 1
+
+    def test_on_disk_corruption_still_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ff" + "0" * 14
+        path = store._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("not json at all")
+        assert store.get(key) is None
+        assert store.misses == 1
+
+
+class ReplacedDuringGcStore(ResultStore):
+    """The first ``torn_reads`` raw reads of each path are torn; after
+    that the file reads clean — modelling a writer whose ``os.replace``
+    lands while gc is mid-sweep."""
+
+    def __init__(self, root, torn_reads: int):
+        super().__init__(root)
+        self.torn_reads = torn_reads
+        self.read_calls: dict[str, int] = {}
+
+    def _read_text(self, path):
+        n = self.read_calls.get(path.name, 0)
+        self.read_calls[path.name] = n + 1
+        if n < self.torn_reads:
+            return "{torn"
+        return super()._read_text(path)
+
+
+class TestGcSafety:
+    def test_gc_removes_plain_corrupt_and_stale_schema(self, tmp_path):
+        store = ResultStore(tmp_path)
+        good = "aa" + "0" * 14
+        store.put(good, make_envelope(good))
+        bad = store._path("bb" + "0" * 14)
+        bad.parent.mkdir(parents=True, exist_ok=True)
+        bad.write_text("garbage")
+        old = store._path("cc" + "0" * 14)
+        old.parent.mkdir(parents=True, exist_ok=True)
+        old.write_text('{"schema": -1, "kind": "run"}')
+
+        report = store.gc()
+        assert report.removed_stale == 2
+        assert store.get(good) is not None
+
+    def test_gc_keeps_record_replaced_mid_sweep(self, tmp_path):
+        """First read sees a torn record (both attempts), the
+        revalidation read right before unlink sees the writer's fresh
+        replacement — gc must keep the file."""
+        key = "dd" + "0" * 14
+        writer = ResultStore(tmp_path)
+        writer.put(key, make_envelope(key))
+
+        # attempts: 1 torn, 2 torn (retry) -> stale candidate;
+        # 3rd read (pre-unlink revalidation) sees the clean record.
+        gc_store = ReplacedDuringGcStore(tmp_path, torn_reads=2)
+        report = gc_store.gc()
+        assert report.removed_stale == 0
+        assert gc_store._path(key).exists()
+        assert ResultStore(tmp_path).get(key) is not None
+
+    def test_gc_tolerates_files_vanishing_mid_sweep(self, tmp_path):
+        key = "ee" + "0" * 14
+        store = ResultStore(tmp_path)
+        path = store._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("corrupt")
+
+        class VanishingStore(ResultStore):
+            def _read_text(self, p):
+                p.unlink(missing_ok=True)  # another gc got there first
+                raise FileNotFoundError(p)
+
+        report = VanishingStore(tmp_path).gc()
+        assert report.removed_stale == 0  # nothing left to reclaim
+
+    def test_gc_removes_abandoned_tmp_files(self, tmp_path):
+        import os
+        import time
+
+        store = ResultStore(tmp_path)
+        shard = tmp_path / "ab"
+        shard.mkdir(parents=True)
+        tmp = shard / ".abcd1234-x.tmp"
+        tmp.write_text("half a record")
+        # age it past the grace window: an abandoned file, not a live put
+        old = time.time() - 3600
+        os.utime(tmp, (old, old))
+        report = store.gc()
+        assert report.removed_tmp == 1
+
+    def test_gc_keeps_fresh_tmp_files(self, tmp_path):
+        """A just-created temp file belongs to a writer mid-put; gc
+        reclaiming it would make that writer's rename explode."""
+        store = ResultStore(tmp_path)
+        shard = tmp_path / "ab"
+        shard.mkdir(parents=True)
+        tmp = shard / ".abcd1234-y.tmp"
+        tmp.write_text("being written right now")
+        report = store.gc()
+        assert report.removed_tmp == 0 and tmp.exists()
+
+    def test_stats_tolerates_vanishing_and_corrupt(self, tmp_path):
+        store = ResultStore(tmp_path)
+        good = "aa" + "0" * 14
+        store.put(good, make_envelope(good))
+        bad = store._path("bb" + "0" * 14)
+        bad.parent.mkdir(parents=True, exist_ok=True)
+        bad.write_text("garbage")
+        st = store.stats()
+        assert st.seq_records == 1 and st.stale_records == 1
+
+
+class TestConcurrentWritersAndReaders:
+    def test_same_key_hammering(self, tmp_path):
+        """Many threads writing and reading one key concurrently: every
+        read returns either a miss or a complete valid record — never a
+        crash, never a torn envelope."""
+        key = "ab" + "0" * 14
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer():
+            store = ResultStore(tmp_path)
+            try:
+                for _ in range(200):
+                    store.put(key, make_envelope(key))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            store = ResultStore(tmp_path)
+            try:
+                while not stop.is_set():
+                    env = store.get(key)
+                    assert env is None or env["payload"]["cycles"] == 123.0
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+
+    def test_gc_concurrent_with_writer(self, tmp_path):
+        """gc sweeping while a writer keeps replacing records must never
+        leave the store without the writer's live record."""
+        key = "cd" + "0" * 14
+        store = ResultStore(tmp_path)
+        store.put(key, make_envelope(key))
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer():
+            w = ResultStore(tmp_path)
+            try:
+                for _ in range(300):
+                    w.put(key, make_envelope(key))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def collector():
+            g = ResultStore(tmp_path)
+            try:
+                while not stop.is_set():
+                    g.gc()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=collector)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert ResultStore(tmp_path).get(key) is not None
