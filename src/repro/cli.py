@@ -14,17 +14,26 @@ Commands
 * ``chaos`` — seeded fault-injection campaign over tier-1 kernels
   through the guarded runtime (resilience table, exit 1 on any
   silent corruption);
+* ``chaos-serve`` — crash-safety campaign against the serving stack
+  (E12): worker kills, daemon SIGKILL mid-sweep + journal resume,
+  torn/garbage NDJSON, disk-full store writes; exit 1 on any
+  lost ack or duplicate compute;
 * ``check`` — static queue-protocol verification of lowered kernels
   across a cores × depth × speculation matrix (exit 1 on rejection);
 * ``fuzz`` — seeded differential fuzzing campaign with shrinking and
   replayable JSON artifacts (``--replay`` re-probes a saved finding);
 * ``sweep`` — run a kernel × core-count grid through the parallel
-  sweep engine and the persistent result store;
+  sweep engine and the persistent result store; ``--journal`` arms
+  the write-ahead journal and ``--resume`` replays a crashed one,
+  re-dispatching only the missing cells;
 * ``serve`` — run the async compile-and-simulate daemon (NDJSON over
   TCP: compile/run/sweep/trace/metrics/health endpoints, tiered
-  cache, singleflight coalescing, priority admission, rate limits);
+  cache, singleflight coalescing, priority admission, rate limits,
+  journaled computes, supervised workers, graceful SIGTERM drain);
 * ``loadgen`` — zipf-distributed synthetic-client load campaign
   (cold + warm phases) against a daemon or an in-process service;
+  enforces the coalescing/durability invariants (exit 1 on
+  violation), optionally under an armed fault plan (``--chaos``);
   updates ``BENCH_serve.json``;
 * ``cache {stats,clear,gc}`` — inspect / maintain the result store
   (stats includes the serve cache-tier counters);
@@ -46,6 +55,10 @@ _DEFAULT_TRIP = 64
 #: keeps heavyweight imports lazy, so the help text repeats the names
 #: (a test asserts the two stay in sync).
 _CHAOS_DEFAULT_KERNELS = ("lammps-1", "irs-1", "umt2k-1", "sphot-2")
+
+#: mirrors :data:`repro.faults.SERVE_FAULT_KINDS` (same lazy-import
+#: rationale; a test asserts the two stay in sync).
+_SERVE_FAULT_KINDS = ("compute-crash", "store-enospc", "store-eio")
 
 
 def _cmd_list(args) -> int:
@@ -234,7 +247,31 @@ def _cmd_sweep(args) -> int:
     from .experiments.common import ExpConfig
     from .kernels import get_kernel, table1_kernels
     from .store.disk import default_store
-    from .store.sweep import run_grid
+    from .store.journal import incomplete_journals, new_journal_path
+    from .store.sweep import resume_grid, run_grid
+
+    if args.resume is not None:
+        store = default_store()
+        if store is None:
+            print("--resume needs a persistent store ($REPRO_CACHE_DIR)")
+            return 2
+        path = args.resume
+        if path == "auto":
+            found = incomplete_journals(store.root)
+            if not found:
+                print(f"no incomplete journal under {store.root}; nothing to resume")
+                return 0
+            path = str(found[-1].path)  # newest incomplete journal
+        try:
+            _results, report = resume_grid(
+                path, workers=args.workers, timeout=args.timeout,
+                retries=args.retries, store=store,
+            )
+        except (ValueError, OSError) as exc:
+            print(f"--resume: {exc}")
+            return 2
+        print(report.format())
+        return 0
 
     if args.kernels == "all":
         specs = table1_kernels()
@@ -268,10 +305,18 @@ def _cmd_sweep(args) -> int:
         print(f"--workers: {exc}")
         return 2
     store = default_store()
+    journal = None
+    if args.journal is not None:
+        if store is None:
+            print("--journal needs a persistent store ($REPRO_CACHE_DIR)")
+            return 2
+        journal = (new_journal_path(store.root) if args.journal == "auto"
+                   else args.journal)
+        print(f"journal      : {journal}")
     grid = run_grid(
         specs, configs,
         workers=args.workers, timeout=args.timeout, retries=args.retries,
-        store=store,
+        store=store, journal=journal,
     )
 
     head = " ".join(f"{f'{n}-core':>8s}" for n in cores)
@@ -321,6 +366,27 @@ def _cmd_chaos(args) -> int:
     )
     print(chaos.format_result(res))
     return 0 if res.silent == 0 else 1
+
+
+def _cmd_chaos_serve(args) -> int:
+    from .experiments import chaos_serve
+
+    scenarios = chaos_serve.SCENARIOS
+    if args.scenarios:
+        scenarios = tuple(
+            tok.strip() for tok in args.scenarios.split(",") if tok.strip()
+        )
+        bad = [s for s in scenarios if s not in chaos_serve.SCENARIOS]
+        if bad:
+            print(f"unknown scenario(s) {bad}; "
+                  f"known: {list(chaos_serve.SCENARIOS)}")
+            return 2
+    res = chaos_serve.run(
+        seed=args.seed, scenarios=scenarios, requests=args.requests,
+        tmpdir=args.store_dir,
+    )
+    print(chaos_serve.format_result(res))
+    return 0 if res.ok else 1
 
 
 def _cmd_check(args) -> int:
@@ -422,6 +488,12 @@ def _cmd_serve(args) -> int:
         rate=args.rate,
         burst=args.burst,
         default_timeout=args.timeout,
+        journal=not args.no_journal,
+        resume=args.resume,
+        drain_deadline=args.drain_deadline,
+        max_restarts=args.max_restarts,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
     return run_server(config, host=args.host, port=args.port,
                       registry=default_registry())
@@ -452,6 +524,10 @@ def _cmd_loadgen(args) -> int:
     if args.requests < 1 or args.clients < 1:
         print("--requests and --clients must be >= 1")
         return 2
+    if args.chaos and args.host is not None:
+        print("--chaos arms the owned in-process service; it cannot "
+              "target a TCP daemon (drop --host)")
+        return 2
     cfg = LoadgenConfig(
         requests=args.requests,
         clients=args.clients,
@@ -460,6 +536,7 @@ def _cmd_loadgen(args) -> int:
         kernels=kernels,
         cores=cores,
         trip=args.trip,
+        chaos=args.chaos,
     )
     report = run_loadgen(cfg, host=args.host, port=args.port)
     print(format_report(report))
@@ -477,12 +554,40 @@ def _cmd_loadgen(args) -> int:
     if report["unhandled"]:
         failures.append(f"{report['unhandled']} unhandled server error(s)")
     errors = sum(p["errors"] for p in report["phases"].values())
-    if errors:
+    if errors and not args.chaos:
+        # under --chaos, structured error responses are the injection
+        # working as designed; the durability invariants below still hold.
         failures.append(f"{errors} request error(s)")
     if args.min_warm_hit is not None and warm < args.min_warm_hit:
         failures.append(
             f"warm hit rate {warm:.3f} below required {args.min_warm_hit:g}"
         )
+    if args.host is None:
+        # Coalescing/durability invariants — provable only against the
+        # owned in-process service (fresh temp store, so every durable
+        # run record was written by this campaign):
+        #   * every successful compute left exactly one run record;
+        #   * no cell was computed twice (chaos may leave some cells
+        #     uncomputed, so <= replaces == there).
+        unique = report["unique_cells_drawn"]
+        computed = report["computed"]
+        records = report["run_records"]
+        if records is not None and computed != records:
+            failures.append(
+                f"durability invariant violated: {computed} computed "
+                f"vs {records} run record(s)"
+            )
+        if args.chaos:
+            if computed > unique:
+                failures.append(
+                    f"duplicate compute: {computed} computed for "
+                    f"{unique} unique cell(s)"
+                )
+        elif computed != unique:
+            failures.append(
+                f"coalescing invariant violated: {unique} unique cell(s) "
+                f"drawn vs {computed} computed"
+            )
     if failures:
         print("FAILED       : " + "; ".join(failures))
         return 1
@@ -603,6 +708,15 @@ def build_parser() -> argparse.ArgumentParser:
     wp.add_argument("--timeout", type=float, default=None,
                     help="per-task timeout in seconds")
     wp.add_argument("--retries", type=int, default=1)
+    wp.add_argument("--journal", nargs="?", const="auto", default=None,
+                    metavar="PATH",
+                    help="write-ahead journal the sweep (optionally at "
+                    "PATH; default <store>/journals/sweep-*.journal)")
+    wp.add_argument("--resume", nargs="?", const="auto", default=None,
+                    metavar="JOURNAL",
+                    help="resume a crashed journaled sweep (newest "
+                    "incomplete journal when no path is given); "
+                    "re-dispatches only cells missing from the store")
     wp.set_defaults(fn=_cmd_sweep)
 
     xp = sub.add_parser(
@@ -620,6 +734,21 @@ def build_parser() -> argparse.ArgumentParser:
     xp.add_argument("--intensity", type=float, default=1.0,
                     help="fault probability scale (see FaultPlan.single)")
     xp.set_defaults(fn=_cmd_chaos)
+
+    xs = sub.add_parser(
+        "chaos-serve",
+        help="crash-safety campaign against the serving stack (E12): "
+        "worker kills, daemon SIGKILL + resume, torn NDJSON, disk-full",
+    )
+    xs.add_argument("--seed", type=int, default=12)
+    xs.add_argument("--scenarios", default=None,
+                    help="comma-separated scenario names (default: all)")
+    xs.add_argument("--requests", type=int, default=10,
+                    help="requests per scenario (default 10)")
+    xs.add_argument("--store-dir", default=None,
+                    help="scratch directory for per-scenario stores "
+                    "(default: a fresh temp dir)")
+    xs.set_defaults(fn=_cmd_chaos_serve)
 
     kp = sub.add_parser(
         "check",
@@ -682,6 +811,23 @@ def build_parser() -> argparse.ArgumentParser:
                     "~/.cache/repro/store)")
     vp.add_argument("--no-store", action="store_true",
                     help="disable the L2 disk tier (L1 only)")
+    vp.add_argument("--no-journal", action="store_true",
+                    help="disable the write-ahead compute journal")
+    vp.add_argument("--resume", action="store_true",
+                    help="replay incomplete journals under the store root "
+                    "before accepting traffic (recompute missing cells)")
+    vp.add_argument("--drain-deadline", type=float, default=10.0,
+                    help="seconds granted to in-flight requests on "
+                    "SIGTERM/SIGINT before exiting (default 10)")
+    vp.add_argument("--max-restarts", type=int, default=3,
+                    help="executor rebuilds allowed before compute is "
+                    "disabled (default 3)")
+    vp.add_argument("--breaker-threshold", type=int, default=5,
+                    help="consecutive per-key failures tripping the "
+                    "circuit breaker (default 5)")
+    vp.add_argument("--breaker-cooldown", type=float, default=30.0,
+                    help="seconds a tripped key sheds load before a "
+                    "half-open probe (default 30)")
     vp.set_defaults(fn=_cmd_serve)
 
     gp = sub.add_parser(
@@ -712,6 +858,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip updating the bench file")
     gp.add_argument("--min-warm-hit", type=float, default=None,
                     help="exit 1 if the warm-phase hit rate is below this")
+    gp.add_argument("--chaos", default=None, choices=_SERVE_FAULT_KINDS,
+                    help="arm a serve-side fault plan on the owned "
+                    "in-process service (incompatible with --host); the "
+                    "durability invariants are still enforced")
     gp.set_defaults(fn=_cmd_loadgen)
 
     cp2 = sub.add_parser("cache", help="persistent result-store maintenance")

@@ -10,6 +10,7 @@ from . import (
     ablation_queue_depth,
     ablation_throughput,
     chaos,
+    chaos_serve,
     fig12_speedup,
     fig13_latency,
     fig14_speculation,
@@ -40,6 +41,7 @@ REGISTRY = {
     "E9": (ablation_multipair, "§III-B multi-pair merge"),
     "E10": (ablation_adaptive, "latency-adaptive compilation (extension)"),
     "E11": (chaos, "fault-injection campaign (robustness extension)"),
+    "E12": (chaos_serve, "chaos-serve campaign (crash-safety extension)"),
 }
 
 
@@ -47,7 +49,8 @@ def run_all(trip: int = 64) -> dict[str, str]:
     """Run every experiment and return formatted reports keyed by id."""
     out: dict[str, str] = {}
     for eid, (mod, _title) in REGISTRY.items():
-        res = mod.run() if eid == "E1" else mod.run(trip=trip)
+        # E1 is trip-free by design; E12 sizes its own (tiny) cells
+        res = mod.run() if eid in ("E1", "E12") else mod.run(trip=trip)
         out[eid] = mod.format_result(res)
     return out
 

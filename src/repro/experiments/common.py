@@ -175,6 +175,15 @@ def run_kernel(
     key = (spec.name, config)
     hit = _cache.get(key)
     if hit is not None:
+        if store is not None:
+            # The memo says "computed"; the caller needs "durable in
+            # *this* store".  After a gc/clear, or when resuming a
+            # different store root in a warm process, the record may
+            # be absent — rewrite it so run_kernel's contract (return
+            # implies a durable record) holds for crash recovery.
+            digest = store_key_for(spec, config)
+            if store.get_run(digest) is None:
+                store.put_run(digest, hit)
         _task_event(obs, task, t0, "cached")
         return hit
 

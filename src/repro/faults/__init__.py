@@ -12,6 +12,10 @@ not assumed.
 * :mod:`repro.faults.plan` — :class:`FaultPlan`: a frozen, seed-driven
   description of which faults to inject and how often.  The same plan
   against the same programs injects the same faults every time.
+* :mod:`repro.faults.serve` — :class:`ServeFaultPlan` /
+  :class:`ServeFaultInjector`: the same seeded discipline aimed at the
+  *serving infrastructure* — worker crashes, ENOSPC/EIO on store
+  writes — driving the E12 chaos-serve campaign.
 * :mod:`repro.faults.inject` — :class:`FaultInjector`: one machine
   run's worth of injection state.  Hooked into
   :class:`~repro.sim.queues.HwQueue` (transfer jitter, transient
@@ -29,5 +33,20 @@ interpreter) — never a silently wrong answer.
 
 from .inject import FaultInjector
 from .plan import FAULT_KINDS, FaultEvent, FaultPlan
+from .serve import (
+    SERVE_FAULT_KINDS,
+    FaultyStore,
+    ServeFaultInjector,
+    ServeFaultPlan,
+)
 
-__all__ = ["FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultPlan"]
+__all__ = [
+    "FAULT_KINDS",
+    "SERVE_FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyStore",
+    "ServeFaultInjector",
+    "ServeFaultPlan",
+]

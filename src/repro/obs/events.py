@@ -28,7 +28,8 @@ from dataclasses import dataclass
 #: event kinds timestamped in simulated cycles.
 SIM_KINDS = frozenset({"enq", "deq", "stall", "retire", "halt"})
 #: event kinds timestamped in wall-clock seconds (perf_counter).
-WALL_KINDS = frozenset({"pass", "guard", "task"})
+#: ``heartbeat`` carries executor-task liveness (serve supervisor).
+WALL_KINDS = frozenset({"pass", "guard", "task", "heartbeat"})
 
 #: stall reasons attached to ``stall`` events (also the bucket names of
 #: the per-core breakdown in :mod:`repro.obs.report`).
@@ -135,6 +136,15 @@ class EventBus:
         if not self.enabled or not self._subs:
             return
         self.emit(Event("task", t0, name=name, value=status, dur=t1 - t0))
+
+    def emit_heartbeat(self, name, status, age=0.0) -> None:
+        """Executor-task liveness pulse: ``status`` is ``start`` /
+        ``alive`` / ``done`` / ``stuck`` / ``killed``; ``age`` is the
+        task's wall-clock age in seconds at emit time."""
+        if not self.enabled or not self._subs:
+            return
+        self.emit(Event("heartbeat", time.perf_counter(), name=name,
+                        value=status, dur=age))
 
 
 class EventLog:

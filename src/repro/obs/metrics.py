@@ -191,6 +191,8 @@ class MetricsCollector:
             r.counter(f"guard.{ev.name}").inc()
         elif ev.kind == "task":
             r.counter(f"task.{ev.value}").inc()
+        elif ev.kind == "heartbeat":
+            r.counter(f"heartbeat.{ev.value}").inc()
 
     def finalize(self) -> MetricsRegistry:
         """Derive per-queue occupancy (max + time-weighted mean) from

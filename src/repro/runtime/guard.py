@@ -60,6 +60,7 @@ class FailureKind(enum.Enum):
     VERIFY_MISMATCH = "verify-mismatch"  # ran to completion, wrong answer
     COMPILE_ERROR = "compile-error"  # the compiler pipeline itself raised
     PROTOCOL = "protocol"            # static checker rejected the artifact
+    STORE = "store-error"            # durable store write failed (ENOSPC/EIO)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -73,9 +74,14 @@ _RELAXABLE = frozenset({FailureKind.DEADLOCK, FailureKind.BUDGET})
 def classify_failure(exc: BaseException) -> FailureKind:
     """Map an exception from the compile/execute path to the taxonomy."""
     from ..check import ProtocolError
+    from ..store.disk import StoreWriteError
 
     if isinstance(exc, ProtocolError):
         return FailureKind.PROTOCOL
+    if isinstance(exc, StoreWriteError):
+        # a full/broken disk is an infrastructure failure, not a
+        # compute bug: serving turns it into structured load-shedding.
+        return FailureKind.STORE
     if isinstance(exc, DeadlockError):
         return FailureKind.DEADLOCK
     if isinstance(exc, BudgetExceeded):

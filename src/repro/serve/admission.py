@@ -38,6 +38,20 @@ class QueueFull(AdmitError):
     code = "queue-full"
 
 
+class Overloaded(AdmitError):
+    """Shed by the circuit breaker or the worker supervisor: the key
+    keeps failing, or the executor is in its restart backoff window."""
+
+    code = "overloaded"
+
+
+class Draining(AdmitError):
+    """The daemon received SIGTERM/SIGINT and stopped admitting new
+    compute; in-flight requests are being flushed before exit."""
+
+    code = "draining"
+
+
 class TokenBucket:
     """Continuous-refill token bucket.  ``rate <= 0`` disables limiting."""
 

@@ -52,6 +52,9 @@ class LoadgenConfig:
     cores: tuple[int, ...] = (2, 4)
     trip: int = 16
     timeout: float = 120.0        # per-request client-side timeout
+    #: serve-side fault kind (see ``repro.faults.SERVE_FAULT_KINDS``) to
+    #: arm on the owned in-process service; only valid without ``host``.
+    chaos: str | None = None
 
 
 @dataclass
@@ -199,12 +202,24 @@ async def _run_campaign(
     drawn: set[tuple[str, int]] = set()
 
     owned_service = service is None and host is None
+    if cfg.chaos is not None and not owned_service:
+        raise ValueError(
+            "chaos injection arms the owned in-process service; it cannot "
+            "target a TCP daemon or a caller-supplied service"
+        )
     tmp_store: str | None = None
     if owned_service:
         # Self-contained campaign: fresh service over a fresh temp
         # store, so "cold" genuinely means cold.
+        fault_plan = None
+        if cfg.chaos is not None:
+            from ..faults import ServeFaultPlan
+
+            fault_plan = ServeFaultPlan.single(cfg.chaos, seed=cfg.seed)
         tmp_store = tempfile.mkdtemp(prefix="repro-loadgen-store-")
-        service = ServeService(ServeConfig(store_root=tmp_store))
+        service = ServeService(ServeConfig(
+            store_root=tmp_store, fault_plan=fault_plan,
+        ))
 
     if host is not None:
         clients: list[Any] = []
@@ -246,6 +261,7 @@ async def _run_campaign(
             "cores": list(cfg.cores),
             "population": len(cells),
             "transport": "tcp" if host is not None else "inproc",
+            "chaos": cfg.chaos,
         },
         "phases": {p.name: p.row() for p in phases},
         "unique_cells_drawn": len(drawn),
@@ -277,7 +293,8 @@ def format_report(report: dict) -> str:
         f"loadgen      : {cfg['requests']} req/phase x "
         f"{cfg['clients']} clients ({cfg['transport']}), "
         f"zipf s={cfg['zipf_s']:g} over {cfg['population']} cells, "
-        f"seed {cfg['seed']}",
+        f"seed {cfg['seed']}"
+        + (f", chaos={cfg['chaos']}" if cfg.get("chaos") else ""),
     ]
     for name, p in report["phases"].items():
         lines.append(
@@ -299,7 +316,8 @@ def format_report(report: dict) -> str:
 def _bench_key(row: dict) -> tuple:
     c = row.get("config", {})
     return (c.get("requests"), c.get("clients"), c.get("zipf_s"),
-            c.get("seed"), c.get("trip"), c.get("transport"))
+            c.get("seed"), c.get("trip"), c.get("transport"),
+            c.get("chaos"))
 
 
 def write_bench(path: str | os.PathLike, report: dict) -> dict:

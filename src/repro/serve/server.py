@@ -14,6 +14,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import signal
 from typing import Any
 
 from .protocol import error_response
@@ -118,18 +119,66 @@ async def serve_forever(
     registry: Any = None,
     ready: Any = None,
 ) -> None:
-    """Run the daemon until cancelled.  ``ready`` (an optional callable)
-    receives the bound ``(host, port)`` once listening."""
+    """Run the daemon until cancelled or signalled.
+
+    ``ready`` (an optional callable) receives the bound ``(host,
+    port)`` once listening.  SIGTERM/SIGINT trigger the graceful-drain
+    path: stop accepting, refuse new compute with structured
+    ``draining`` errors, flush in-flight requests under
+    ``config.drain_deadline``, checkpoint the write-ahead journal, and
+    return normally (exit 0).  With ``config.resume`` set, incomplete
+    journals under the store root are replayed *before* the socket
+    binds, so a restarted daemon owes nothing from its previous life.
+    """
     service = ServeService(config, registry=registry)
+    if config.resume:
+        rep = await service.resume_incomplete()
+        log.info(
+            "serve: resume replayed %d journal(s): %d cell(s), "
+            "%d already durable, %d recomputed, %d failed",
+            rep["journals"], rep["cells"], rep["durable"],
+            rep["recomputed"], rep["failed"],
+        )
+    service.start_watchdog()
     server = await start_server(service, host, port)
     addr = server.sockets[0].getsockname()[:2]
     log.info("serve: listening on %s:%s", *addr)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    hooked: list[signal.Signals] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            hooked.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or platform without signal support
+
     if ready is not None:
         ready(addr)
     try:
         async with server:
-            await server.serve_forever()
+            serve_task = asyncio.ensure_future(server.serve_forever())
+            stop_task = asyncio.ensure_future(stop.wait())
+            try:
+                await asyncio.wait(
+                    {serve_task, stop_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            finally:
+                stop_task.cancel()
+                serve_task.cancel()
+                await asyncio.gather(
+                    serve_task, stop_task, return_exceptions=True
+                )
+            if stop.is_set():
+                log.info("serve: signal received; draining")
+                server.close()  # stop accepting new connections
+                report = await service.drain_and_close()
+                log.info("serve: %s", report.format())
     finally:
+        for sig in hooked:
+            loop.remove_signal_handler(sig)
         await service.aclose()
 
 
@@ -139,7 +188,8 @@ def run_server(
     port: int = 7421,
     registry: Any = None,
 ) -> int:
-    """Blocking CLI entry; returns an exit code."""
+    """Blocking CLI entry; returns an exit code (0 after a graceful
+    signal-triggered drain)."""
     def _ready(addr: tuple) -> None:
         # printed (not logged) so scripts can scrape the bound port
         print(f"serving on {addr[0]}:{addr[1]}", flush=True)
@@ -147,8 +197,10 @@ def run_server(
     try:
         asyncio.run(serve_forever(config, host, port, registry, ready=_ready))
     except KeyboardInterrupt:
+        # fallback for platforms where add_signal_handler is a no-op
         print("serve: shutting down")
     except OSError as exc:
         print(f"serve: cannot bind {host}:{port}: {exc}")
         return 1
+    print("serve: drained, exiting", flush=True)
     return 0

@@ -54,6 +54,13 @@ from .protocol import (
     ok_response,
     parse_request,
 )
+from .resilience import (
+    CircuitBreaker,
+    DrainController,
+    DrainReport,
+    SupervisorPolicy,
+    WorkerSupervisor,
+)
 from .singleflight import Singleflight
 
 log = logging.getLogger(__name__)
@@ -86,6 +93,29 @@ class ServeConfig:
     burst: float | None = None
     #: per-request compute timeout (seconds) when the request sets none.
     default_timeout: float = 60.0
+
+    # -- crash safety / resilience (PR 7) ------------------------------
+    #: write-ahead journal ``run`` computes into ``<store>/journals/``.
+    journal: bool = True
+    #: replay incomplete journals at startup (``repro serve --resume``).
+    resume: bool = False
+    #: seconds granted to in-flight requests on SIGTERM/SIGINT.
+    drain_deadline: float = 10.0
+    #: supervisor scan period (seconds); 0 disables the watchdog task.
+    watchdog_interval: float = 1.0
+    #: seconds past a compute's deadline before it is declared stuck.
+    task_grace: float = 5.0
+    #: consecutive per-key failures that trip the circuit breaker.
+    breaker_threshold: int = 5
+    #: seconds a tripped key sheds load before a half-open probe.
+    breaker_cooldown: float = 30.0
+    #: executor rebuilds allowed before compute is disabled for good.
+    max_restarts: int = 3
+    #: base of the exponential restart backoff (seconds).
+    restart_backoff: float = 0.5
+    #: a :class:`repro.faults.ServeFaultPlan` arming seeded chaos
+    #: (store write faults, compute crashes); ``None`` in production.
+    fault_plan: Any = None
 
 
 def run_payload(run: Any) -> dict:
@@ -230,6 +260,49 @@ class ServeService:
         self._executor: Any = None
         self._started = time.monotonic()
 
+        # -- resilience (PR 7) -----------------------------------------
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+            registry=self.registry,
+        )
+        self.supervisor = WorkerSupervisor(
+            policy=SupervisorPolicy(
+                grace=self.config.task_grace,
+                max_restarts=self.config.max_restarts,
+                backoff_base=self.config.restart_backoff,
+            ),
+            bus=self.bus,
+            registry=self.registry,
+        )
+        self.drain = DrainController()
+        self._watchdog: asyncio.Task | None = None
+        self.faults = self._arm_faults()
+        self.journal, self._journal_open = self._open_journal()
+
+    def _arm_faults(self) -> Any:
+        if self.config.fault_plan is None:
+            return None
+        from ..faults.serve import ServeFaultInjector
+
+        injector = ServeFaultInjector(self.config.fault_plan)
+        if self.store is not None:
+            self.store = injector.wrap_store(self.store)
+            self.cache.store = self.store
+        return injector
+
+    def _open_journal(self) -> tuple[Any, set]:
+        """Write-ahead journal for ``run`` computes: intent before
+        dispatch, done after the durable store write.  ``None`` when
+        there is no store to be durable against."""
+        if self.store is None or not self.config.journal:
+            return None, set()
+        from ..store.journal import SweepJournal, new_journal_path
+
+        journal = SweepJournal(new_journal_path(self.store.root, prefix="serve"))
+        journal.open_campaign({"mode": "serve"})
+        return journal, set()
+
     # -- plumbing ------------------------------------------------------
 
     def _open_store(self) -> Any:
@@ -271,15 +344,113 @@ class ServeService:
         except BrokenProcessPool:
             # One crashed worker must not poison every later request:
             # drop the pool (rebuilt lazily) and fail just this call.
+            # The rebuild is charged against the supervisor's bounded
+            # restart budget; while its backoff cools down, new
+            # computes are shed with ``overloaded``.
             log.warning("serve: process pool broke; rebuilding on next request")
             broken, self._executor = self._executor, None
             broken.shutdown(wait=False, cancel_futures=True)
+            self.supervisor.note_restart()
             raise RuntimeError("compute worker crashed (pool rebuilt)") from None
 
+    def start_watchdog(self) -> None:
+        """Launch the supervisor's periodic scan (daemon mode only —
+        in-process tests drive :meth:`WorkerSupervisor.scan` directly)."""
+        if self._watchdog is None and self.config.watchdog_interval > 0:
+            self._watchdog = asyncio.ensure_future(self._watchdog_loop())
+
+    async def _watchdog_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.watchdog_interval)
+            self.supervisor.scan(self._executor)
+
+    async def drain_and_close(self, deadline: float | None = None) -> DrainReport:
+        """Graceful shutdown: stop admission, flush in-flight requests
+        under the drain deadline, checkpoint the journal, release the
+        executor.  Idempotent with :meth:`aclose`."""
+        t0 = time.monotonic()
+        report = DrainReport(flushed=self.drain.inflight)
+        self.drain.begin()
+        report.clean = await self.drain.wait_idle(
+            self.config.drain_deadline if deadline is None else deadline
+        )
+        report.abandoned = self.drain.inflight
+        report.flushed -= report.abandoned
+        report.journal_pending = len(self._journal_open)
+        report.duration_s = time.monotonic() - t0
+        await self.aclose()
+        return report
+
     async def aclose(self) -> None:
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            try:
+                await self._watchdog
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._watchdog = None
+        if self.journal is not None and not self.journal.closed:
+            # a journal with open intents is left *incomplete* on
+            # purpose — that is the crash/abandon breadcrumb --resume
+            # replays; a fully-acked journal closes complete and is
+            # reclaimed by the next store gc.
+            self.journal.checkpoint(pending=len(self._journal_open))
+            self.journal.close(complete=not self._journal_open)
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+
+    async def resume_incomplete(self) -> dict:
+        """Replay every incomplete journal under the store root
+        (crashed sweeps and crashed serve daemons alike): re-dispatch
+        only the cells whose record is absent from the store, append
+        the completions to the *original* journal, and mark it done.
+        Idempotent — resuming a completed journal performs zero
+        computes."""
+        report = {"journals": 0, "cells": 0, "durable": 0, "recomputed": 0,
+                  "failed": 0}
+        if self.store is None:
+            return report
+        from ..store.journal import SweepJournal, incomplete_journals
+
+        own = self.journal.path.resolve() if self.journal is not None else None
+        for state in incomplete_journals(self.store.root):
+            if own is not None and Path(state.path).resolve() == own:
+                continue
+            if not state.schema_ok:
+                log.warning("serve: skipping journal %s (schema mismatch)",
+                            state.path)
+                continue
+            report["journals"] += 1
+            report["cells"] += len(state.intents)
+            missing = state.missing_cells(self.store)
+            report["durable"] += len(state.intents) - len(missing)
+            failed = 0
+            journal = SweepJournal(state.path)
+            try:
+                for key in missing:
+                    intent = state.intents[key]
+                    kernel = intent.get("kernel")
+                    cfg = intent.get("config") or {}
+                    if not kernel:
+                        failed += 1
+                        continue
+                    try:
+                        payload = await self._in_executor(
+                            self._compute_fn("run", kernel, cfg)
+                        )
+                        self.cache.put_run(key, payload)
+                    except Exception as exc:
+                        failed += 1
+                        log.warning("serve: resume of %s… failed (%s: %s)",
+                                    key[:12], type(exc).__name__, exc)
+                        continue
+                    journal.record_done(key)
+                    report["recomputed"] += 1
+            finally:
+                journal.close(complete=failed == 0)
+            report["failed"] += failed
+        return report
 
     @property
     def uptime(self) -> float:
@@ -301,15 +472,54 @@ class ServeService:
         self, req: Request, kind: str, kernel: str, cfg: dict, key: str
     ) -> dict:
         """Admission-gated executor compute + cache fill.  Runs as the
-        singleflight leader task, detached from any one waiter."""
+        singleflight leader task, detached from any one waiter.
+
+        Resilience wrapping (outermost first): circuit breaker sheds
+        keys that keep failing, supervisor sheds while the executor is
+        restarting, the journal records intent before dispatch and
+        completion only after the durable cache/store write."""
+        timeout = req.timeout or self.config.default_timeout
 
         async def work() -> dict:
-            payload = await self._in_executor(self._compute_fn(kind, kernel, cfg))
-            self.registry.counter("serve.computed").inc()
-            if kind == "run":
-                self.cache.put_run(key, payload)
-            else:
-                self.cache.put_local(key, payload)
+            self.breaker.check(key)
+            self.supervisor.admit()
+            journaled = kind == "run" and self.journal is not None
+            if journaled:
+                self.journal.record_intent(key, kernel, cfg)
+                self._journal_open.add(key)
+            token = self.supervisor.begin(f"{kind}:{kernel}", timeout)
+            try:
+                fn = self._compute_fn(kind, kernel, cfg)
+                if self.faults is not None:
+                    fn = self.faults.wrap_compute(key, fn)
+                payload = await self._in_executor(fn)
+                self.registry.counter("serve.computed").inc()
+                # the durable write happens *before* the done line and
+                # before any waiter is acked: no acked result can be
+                # lost, even to kill -9 between these statements.
+                if kind == "run":
+                    self.cache.put_run(key, payload)
+                else:
+                    self.cache.put_local(key, payload)
+            except BaseException as exc:
+                self.supervisor.end(token, "failed")
+                self.breaker.record_failure(key)
+                # A structured failure response is still an ack: the
+                # cell is not owed on resume (the store stays ground
+                # truth either way).  A *cancelled* compute was never
+                # acked — its intent stays open so the journal closes
+                # incomplete and --resume re-dispatches it.
+                if journaled and not self.journal.closed and not isinstance(
+                    exc, asyncio.CancelledError
+                ):
+                    self.journal.record_done(key, status="failed")
+                    self._journal_open.discard(key)
+                raise
+            self.supervisor.end(token, "done")
+            self.breaker.record_success(key)
+            if journaled and not self.journal.closed:
+                self.journal.record_done(key)
+            self._journal_open.discard(key)
             return payload
 
         return await self.admission.run(req.priority, work)
@@ -391,6 +601,12 @@ class ServeService:
         self.registry.gauge("serve.inflight_keys").set(len(self.singleflight))
         self.registry.gauge("serve.l1_entries").set(len(self.cache.l1))
         self.registry.gauge("serve.l1_bytes").set(self.cache.l1.bytes)
+        self.registry.gauge("serve.restarts").set(self.supervisor.restarts)
+        self.registry.gauge("serve.open_breakers").set(self.breaker.open_keys)
+        self.registry.gauge("serve.journal_pending").set(len(self._journal_open))
+        self.registry.gauge("serve.draining").set(
+            1.0 if self.drain.draining else 0.0
+        )
         snap: dict[str, Any] = {
             "uptime_s": round(self.uptime, 3),
             "latency_ms": self._latency_quantiles(),
@@ -409,12 +625,21 @@ class ServeService:
         return snap
 
     def _op_health(self) -> dict:
+        if self.drain.draining:
+            status = "draining"
+        elif not self.supervisor.healthy:
+            status = "degraded"
+        else:
+            status = "ok"
         return {
-            "status": "ok",
+            "status": status,
             "uptime_s": round(self.uptime, 3),
             "inflight": len(self.singleflight),
             "active": self.admission.active,
             "queue_depth": self.admission.depth,
+            "restarts": self.supervisor.restarts,
+            "open_breakers": self.breaker.open_keys,
+            "journal_pending": len(self._journal_open),
         }
 
     # -- entry point ---------------------------------------------------
@@ -448,6 +673,9 @@ class ServeService:
             if req.op == "metrics":
                 return ok_response(req.id, self.metrics_snapshot(), elapsed_ms=_ms())
 
+            # health/metrics stay answerable during drain (above);
+            # everything else is refused once shutdown began.
+            self.drain.check()
             self.limiter.check(req.client)
             dispatch = {
                 "run": self._op_run,
@@ -456,7 +684,11 @@ class ServeService:
                 "sweep": self._op_sweep,
             }[req.op]
             timeout = req.timeout or self.config.default_timeout
-            tier, result = await asyncio.wait_for(dispatch(req), timeout)
+            self.drain.enter()
+            try:
+                tier, result = await asyncio.wait_for(dispatch(req), timeout)
+            finally:
+                self.drain.exit()
             self.registry.counter(f"serve.ok.{req.op}").inc()
             return ok_response(req.id, result, cached=tier, elapsed_ms=_ms())
         except BadRequest as exc:

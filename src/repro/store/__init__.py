@@ -19,19 +19,30 @@ waste and turns the kernel × config matrix into a schedulable grid:
   out over a ``multiprocessing`` pool with longest-job-first ordering
   seeded from cached cycle counts, per-task timeout + retry, and
   graceful in-process serial fallback.
+* :mod:`repro.store.journal` — write-ahead sweep journal: intent
+  before compute, completion after the durable store write, so a
+  ``kill -9``'d sweep or daemon resumes by re-dispatching only the
+  missing cells (``run_grid(journal=...)`` / ``resume_grid``).
 """
 
-from .disk import ResultStore, StoreStats, default_store, store_root
+from .disk import ResultStore, StoreStats, StoreWriteError, default_store, store_root
+from .journal import JournalState, SweepJournal, load_journal, new_journal_path
 from .keys import SCHEMA_VERSION, ir_text, kernel_run_key, stable_digest
-from .sweep import run_grid
+from .sweep import resume_grid, run_grid
 
 __all__ = [
     "SCHEMA_VERSION",
+    "JournalState",
     "ResultStore",
     "StoreStats",
+    "StoreWriteError",
+    "SweepJournal",
     "default_store",
     "ir_text",
     "kernel_run_key",
+    "load_journal",
+    "new_journal_path",
+    "resume_grid",
     "run_grid",
     "stable_digest",
     "store_root",

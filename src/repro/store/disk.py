@@ -68,6 +68,15 @@ def store_root() -> Path:
     return Path.home() / ".cache" / "repro" / "store"
 
 
+class StoreWriteError(OSError):
+    """A store write failed at the OS level (``ENOSPC``, ``EIO``, a
+    vanished mount...).  Subclasses :class:`OSError` so existing
+    handlers still match, but carries a distinct identity so the serve
+    failure boundary can classify it as ``store-error`` instead of a
+    generic compute failure — a full disk must shed load loudly, not
+    masquerade as a compiler bug."""
+
+
 @dataclass
 class StoreStats:
     """Snapshot of on-disk contents plus this process's session counters."""
@@ -102,12 +111,19 @@ class StoreStats:
 class GcReport:
     removed_stale: int = 0
     removed_tmp: int = 0
+    removed_journals: int = 0
+    #: records spared because an incomplete journal still references them.
+    protected: int = 0
 
     def format(self) -> str:
-        return (
+        out = (
             f"removed {self.removed_stale} stale/corrupt record(s), "
-            f"{self.removed_tmp} abandoned temp file(s)"
+            f"{self.removed_tmp} abandoned temp file(s), "
+            f"{self.removed_journals} completed journal(s)"
         )
+        if self.protected:
+            out += f"; kept {self.protected} journal-protected record(s)"
+        return out
 
 
 class ResultStore:
@@ -162,21 +178,35 @@ class ResultStore:
         return envelope
 
     def put(self, key: str, envelope: dict) -> None:
-        """Atomically persist an envelope (temp file + rename)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
+        """Atomically persist an envelope (temp file + rename).
+
+        OS-level failures (``ENOSPC``, ``EIO``) are re-raised as
+        :class:`StoreWriteError` — still an :class:`OSError`, but
+        classifiable: callers that ack results only after a durable
+        write (serve, the journaled sweep) turn this into a structured
+        ``store-error`` response instead of a mystery crash.
+        """
+        try:
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
+        except OSError as exc:
+            raise StoreWriteError(f"store write failed for {key[:12]}…: {exc}") from exc
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as f:
                 json.dump(envelope, f, separators=(",", ":"))
             os.replace(tmp, path)
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            if isinstance(exc, OSError):
+                raise StoreWriteError(
+                    f"store write failed for {key[:12]}…: {exc}"
+                ) from exc
             raise
         self.writes += 1
 
@@ -274,7 +304,7 @@ class ResultStore:
             or envelope.get("kind") not in ("run", "seq")
         )
 
-    def gc(self) -> GcReport:
+    def gc(self, protect: set[str] | frozenset[str] | None = None) -> GcReport:
         """Drop unreadable / stale-schema records and abandoned temp files.
 
         Safe against concurrent writers and readers: a stale candidate
@@ -283,9 +313,23 @@ class ResultStore:
         record; files that vanish mid-sweep are simply skipped; temp
         files younger than :data:`TMP_GRACE` are left alone (they are
         live writers mid-``put``, not abandoned debris).
+
+        Safe against crash recovery: any key referenced by an
+        *incomplete* write-ahead journal under ``<root>/journals/`` —
+        plus anything in the explicit ``protect`` set — is never
+        collected, even if its current record looks stale.  A resume
+        may be about to read or rewrite exactly that key; collecting it
+        underfoot would turn a recoverable crash into lost work.
+        Completed journals are reclaimed in the same pass.
         """
+        from .journal import gc_journals, protected_keys
+
         report = GcReport()
+        protected = set(protect or ()) | protected_keys(self.root)
         for path in self._record_paths():
+            if path.stem in protected:
+                report.protected += 1
+                continue
             if not self._envelope_stale(self._read_envelope(path)):
                 continue
             if not path.exists():
@@ -309,6 +353,7 @@ class ResultStore:
                 report.removed_tmp += 1
             except OSError:
                 pass
+        report.removed_journals = gc_journals(self.root, store=self)
         return report
 
 

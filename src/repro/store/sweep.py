@@ -156,6 +156,61 @@ def _worker_run(kernel: str, config: Any, store_root: str | None) -> Any:
     return run_kernel(get_kernel(kernel), config, store=store)
 
 
+def _campaign_doc(specs: Sequence[Any], configs: Sequence[Any]) -> dict:
+    """JSON-safe description of a grid, sufficient to rebuild it on
+    resume (kernels by registry name, configs by field dict)."""
+    from dataclasses import asdict
+
+    return {
+        "kernels": [spec.name for spec in specs],
+        "configs": [asdict(cfg) for cfg in configs],
+    }
+
+
+class _JournalScribe:
+    """Parent-side journal bookkeeping for one grid run.
+
+    Records each cell's *intent* exactly once, immediately before its
+    first dispatch, and its *completion* once a result exists (the
+    store write happens inside ``run_kernel``, in the worker or
+    in-process, before the result is returned — so a ``done`` line
+    always post-dates the durable record)."""
+
+    def __init__(self, journal: Any, by_name: Mapping[str, Any]) -> None:
+        self.journal = journal
+        self.by_name = by_name
+        self._keys: dict[tuple, str] = {}
+        self._intents: set[str] = set()
+        self._done: set[str] = set()
+
+    def key_for(self, task: SweepTask) -> str:
+        key = self._keys.get(task.cell)
+        if key is None:
+            key = _task_key(self.by_name[task.kernel], task.config)
+            self._keys[task.cell] = key
+        return key
+
+    def intent(self, task: SweepTask) -> None:
+        from dataclasses import asdict
+
+        key = self.key_for(task)
+        if key in self._intents:
+            return  # retries re-dispatch; the intent stands
+        self._intents.add(key)
+        self.journal.record_intent(key, task.kernel, asdict(task.config))
+
+    def done(self, task: SweepTask, status: str = "ok") -> None:
+        key = self.key_for(task)
+        if key in self._done:
+            return
+        self._done.add(key)
+        self.journal.record_done(key, status)
+
+    @property
+    def pending(self) -> int:
+        return len(self._intents) - len(self._done)
+
+
 def run_grid(
     specs: Sequence[Any],
     configs: Sequence[Any],
@@ -165,6 +220,7 @@ def run_grid(
     retries: int = 1,
     store: Any = _UNSET,
     obs: Any = None,
+    journal: Any = None,
 ) -> Mapping[tuple[str, Any], Any]:
     """Run every kernel × config cell; returns ``{(name, config): KernelRun}``.
 
@@ -177,9 +233,16 @@ def run_grid(
     lifecycle: serial cells emit through :func:`run_kernel`'s hook,
     pool cells emit a parent-side completion event per handle (worker
     processes cannot share the in-memory bus).
+
+    ``journal`` (a :class:`~repro.store.journal.SweepJournal`, an open
+    path, or ``None``) arms the write-ahead journal: every cell's
+    intent is on disk before its compute dispatches and its completion
+    after the store write, so a killed sweep resumes with
+    :func:`resume_grid` re-dispatching only the missing cells.
     """
     from ..experiments import common
     from .disk import default_store
+    from .journal import SweepJournal
 
     if store is _UNSET:
         store = default_store()
@@ -190,10 +253,45 @@ def run_grid(
         key=lambda t: -_estimate_cycles(store, by_name[t.kernel], t.config)
     )
 
-    n_workers = resolve_workers(workers)
-    results: dict[tuple[str, Any], Any] = {}
-    pending = list(tasks)
+    owned_journal = journal is not None and not isinstance(journal, SweepJournal)
+    if owned_journal:
+        journal = SweepJournal(journal)
+        journal.open_campaign(_campaign_doc(specs, configs))
+    scribe = _JournalScribe(journal, by_name) if journal is not None else None
 
+    results: dict[tuple[str, Any], Any] = {}
+    try:
+        _dispatch_tasks(
+            tasks, by_name, results,
+            workers=workers, timeout=timeout, retries=retries,
+            store=store, obs=obs, scribe=scribe,
+        )
+    finally:
+        if owned_journal:
+            # complete only when nothing is owed: a crash or partial
+            # failure must leave the recovery breadcrumb behind.
+            journal.close(complete=scribe is not None and scribe.pending == 0)
+    return results
+
+
+def _dispatch_tasks(
+    tasks: list[SweepTask],
+    by_name: Mapping[str, Any],
+    results: dict,
+    *,
+    workers: int | str | None,
+    timeout: float | None,
+    retries: int,
+    store: Any,
+    obs: Any,
+    scribe: Any = None,
+) -> None:
+    """Pool-then-serial dispatch shared by ``run_grid`` and
+    ``resume_grid`` (which re-dispatches an arbitrary task subset)."""
+    from ..experiments import common
+
+    n_workers = resolve_workers(workers)
+    pending = list(tasks)
     if obs is not None and not getattr(obs, "enabled", False):
         obs = None
     if n_workers > 1 and len(tasks) > 1:
@@ -201,13 +299,114 @@ def run_grid(
             pending, by_name, results,
             workers=min(n_workers, len(tasks)),
             timeout=timeout, retries=retries, store=store, obs=obs,
+            scribe=scribe,
         )
 
     for task in pending:  # serial path and pool-failure fallback
+        if scribe is not None:
+            scribe.intent(task)
         results[task.cell] = common.run_kernel(
             by_name[task.kernel], task.config, store=store, obs=obs,
         )
-    return results
+        if scribe is not None:
+            scribe.done(task)
+
+
+@dataclass
+class ResumeReport:
+    """What :func:`resume_grid` found and did."""
+
+    journal: str
+    cells: int                     # total campaign cells
+    intents: int                   # cells whose intent survived the crash
+    completed: int                 # cells already durable in the store
+    recomputed: int                # cells actually re-dispatched
+    torn_lines: int = 0
+
+    def format(self) -> str:
+        return (
+            f"resume {self.journal}: {self.cells} cell(s), "
+            f"{self.intents} journaled intent(s), {self.completed} already "
+            f"durable, {self.recomputed} re-dispatched"
+            + (f", {self.torn_lines} torn line(s) tolerated"
+               if self.torn_lines else "")
+        )
+
+
+def resume_grid(
+    journal_path: Any,
+    *,
+    workers: int | str | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    store: Any = _UNSET,
+    obs: Any = None,
+) -> tuple[Mapping[tuple[str, Any], Any], ResumeReport]:
+    """Resume a crashed journaled sweep: replay the journal against the
+    store and re-dispatch **only** the missing cells.
+
+    The store is ground truth in both directions — a cell whose record
+    exists is complete even if its ``done`` line was torn off by the
+    crash, and a ``done`` whose record has vanished is recomputed.
+    Re-running a *completed* journal therefore performs zero computes
+    (the idempotence invariant).  Returns the full grid results plus a
+    :class:`ResumeReport`; on success the journal is closed complete.
+    """
+    from ..experiments.common import ExpConfig
+    from ..kernels import get_kernel
+    from .disk import default_store
+    from .journal import SweepJournal, load_journal
+
+    if store is _UNSET:
+        store = default_store()
+    state = load_journal(journal_path)
+    if not state.schema_ok:
+        raise ValueError(f"journal {journal_path} has an unsupported schema")
+    campaign = state.campaign
+    if not campaign.get("kernels") or not campaign.get("configs"):
+        raise ValueError(
+            f"journal {journal_path} carries no campaign (its 'open' record "
+            "was lost); cannot rebuild the task list"
+        )
+    specs = [get_kernel(name) for name in campaign["kernels"]]
+    configs = [ExpConfig(**cfg) for cfg in campaign["configs"]]
+    by_name = {spec.name: spec for spec in specs}
+    tasks = [SweepTask(spec.name, cfg) for spec in specs for cfg in configs]
+
+    results: dict[tuple[str, Any], Any] = {}
+    missing: list[SweepTask] = []
+    for task in tasks:
+        run = None
+        if store is not None:
+            run = store.get_run(_task_key(by_name[task.kernel], task.config))
+        if run is not None:
+            results[task.cell] = run
+        else:
+            missing.append(task)
+
+    durable = len(results)  # before dispatch mutates the results dict
+    if missing:
+        journal = SweepJournal(journal_path)  # append to the same file
+        scribe = _JournalScribe(journal, by_name)
+        try:
+            _dispatch_tasks(
+                missing, by_name, results,
+                workers=workers, timeout=timeout, retries=retries,
+                store=store, obs=obs, scribe=scribe,
+            )
+        finally:
+            journal.close(complete=scribe.pending == 0)
+    else:
+        # nothing owed: mark the journal complete so the next gc (and
+        # the next --resume scan) skip it.
+        journal = SweepJournal(journal_path)
+        journal.close(complete=not state.closed)
+    report = ResumeReport(
+        journal=str(journal_path), cells=len(tasks), intents=len(state.intents),
+        completed=durable, recomputed=len(missing),
+        torn_lines=state.torn_lines,
+    )
+    return results, report
 
 
 def _run_pool(
@@ -220,6 +419,7 @@ def _run_pool(
     retries: int,
     store: Any,
     obs: Any = None,
+    scribe: Any = None,
 ) -> list[SweepTask]:
     """Drain ``pending`` through a worker pool; returns tasks left for
     the serial fallback (retry-exhausted and quarantined cells).
@@ -274,6 +474,11 @@ def _run_pool(
 
         try:
             t_round = time.perf_counter()
+            if scribe is not None:
+                # write-ahead discipline: every intent line hits disk
+                # before the first worker can touch its cell.
+                for t in pending:
+                    scribe.intent(t)
             handles = [
                 (t, pool.apply_async(_worker_run, (t.kernel, t.config, root)))
                 for t in pending
@@ -298,6 +503,10 @@ def _run_pool(
                 else:
                     results[task.cell] = run
                     common.seed_cache(run)  # parent L1: later serial calls reuse
+                    if scribe is not None:
+                        # the worker's run_kernel persisted the record
+                        # before returning: completion is now durable.
+                        scribe.done(task)
                     if obs is not None:
                         obs.emit_task(name, t_round, time.perf_counter(),
                                       run.failure or "ok")

@@ -1,0 +1,138 @@
+"""repro.faults.serve + the E12 chaos-serve campaign (fast scenarios)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import chaos_serve
+from repro.faults import (
+    SERVE_FAULT_KINDS,
+    FaultyStore,
+    ServeFaultInjector,
+    ServeFaultPlan,
+)
+from repro.store.disk import ResultStore, StoreWriteError
+
+
+class TestServeFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServeFaultPlan(crash_prob=1.5)
+        with pytest.raises(ValueError):
+            ServeFaultPlan(eio_prob=-0.1)
+
+    def test_single_covers_every_kind(self):
+        for kind in SERVE_FAULT_KINDS:
+            plan = ServeFaultPlan.single(kind, seed=3, prob=0.25)
+            assert plan.active_kinds == (kind,)
+            assert plan.seed == 3
+
+    def test_single_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown serve fault"):
+            ServeFaultPlan.single("cosmic-ray")
+
+    def test_active_kinds_order(self):
+        plan = ServeFaultPlan(crash_prob=0.1, enospc_prob=0.1, eio_prob=0.1)
+        assert plan.active_kinds == SERVE_FAULT_KINDS
+
+
+class TestServeFaultInjector:
+    def test_same_plan_injects_identical_sequence(self):
+        plan = ServeFaultPlan(seed=7, enospc_prob=0.3, eio_prob=0.2)
+
+        def drive(inj):
+            hits = []
+            for i in range(50):
+                try:
+                    inj.check_write(f"key-{i:03d}")
+                except StoreWriteError:
+                    hits.append(i)
+            return hits
+
+        a = drive(ServeFaultInjector(plan))
+        b = drive(ServeFaultInjector(plan))
+        assert a == b and a  # deterministic and non-empty
+
+    def test_crash_fn_raises_broken_process_pool(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        inj = ServeFaultInjector(ServeFaultPlan(seed=0, crash_prob=1.0))
+        fn = inj.wrap_compute("k" * 64, lambda: "never")
+        with pytest.raises(BrokenProcessPool, match="injected"):
+            fn()
+        assert inj.summary()["compute-crash"] == 1
+
+    def test_prob_zero_never_injects(self):
+        inj = ServeFaultInjector(ServeFaultPlan(seed=0))
+        for i in range(100):
+            inj.check_write(f"k{i}")
+            assert inj.wrap_compute(f"k{i}", _sentinel) is _sentinel
+        assert inj.events == []
+
+    def test_errno_is_set(self):
+        import errno
+
+        inj = ServeFaultInjector(ServeFaultPlan(seed=0, enospc_prob=1.0))
+        with pytest.raises(StoreWriteError) as exc_info:
+            inj.check_write("k" * 64)
+        assert exc_info.value.errno == errno.ENOSPC
+
+
+def _sentinel():
+    return "ok"
+
+
+class TestFaultyStore:
+    def test_reads_pass_through_writes_inject(self, tmp_path):
+        store = ResultStore(tmp_path)
+        inj = ServeFaultInjector(ServeFaultPlan(seed=0, enospc_prob=1.0))
+        faulty = FaultyStore(store, inj)
+        assert faulty.root == store.root
+        assert faulty.get_run("ab" * 32) is None  # read path untouched
+        with pytest.raises(StoreWriteError):
+            faulty.put("ab" * 32, {"kind": "run"})
+        # the failed write left nothing behind
+        assert store.get("ab" * 32) is None
+
+    def test_put_seq_is_not_injected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        inj = ServeFaultInjector(ServeFaultPlan(seed=0, enospc_prob=1.0))
+        FaultyStore(store, inj).put_seq("cd" * 32, "sphot-1", 123.0)
+        assert store.get_seq("cd" * 32) == 123.0
+
+
+class TestCampaign:
+    def test_disk_full_scenario_holds_invariants(self, tmp_path):
+        res = chaos_serve.run(
+            seed=12, scenarios=("disk-full",), requests=6,
+            tmpdir=str(tmp_path),
+        )
+        assert res.ok, chaos_serve.format_result(res)
+        (scn,) = res.scenarios
+        assert scn.name == "disk-full"
+        assert scn.lost_acks == 0 and scn.duplicate_computes == 0
+        assert scn.unhandled == 0
+        # injected store faults surface only as structured store-errors
+        assert set(scn.errors) <= {"store-error"}
+
+    def test_net_chaos_scenario_holds_invariants(self, tmp_path):
+        res = chaos_serve.run(
+            seed=12, scenarios=("net-chaos",), requests=4,
+            tmpdir=str(tmp_path),
+        )
+        assert res.ok, chaos_serve.format_result(res)
+        (scn,) = res.scenarios
+        assert scn.unhandled == 0 and sum(scn.injected.values()) >= 1
+
+    def test_unknown_scenario_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            chaos_serve.run(scenarios=("quantum-flip",), tmpdir=str(tmp_path))
+
+    def test_format_result_smoke(self, tmp_path):
+        res = chaos_serve.run(
+            seed=12, scenarios=("disk-full",), requests=4,
+            tmpdir=str(tmp_path),
+        )
+        text = chaos_serve.format_result(res)
+        assert "E12" in text and "disk-full" in text
+        assert "ALL INVARIANTS HOLD" in text

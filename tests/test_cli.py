@@ -282,3 +282,83 @@ class TestServeCommands:
         assert main(["cache", "stats", "--dir", str(tmp_path / "c")]) == 0
         out = capsys.readouterr().out
         assert "cache tiers" in out and "l1_hit" in out
+
+
+class TestCrashSafetyCommands:
+    def test_serve_fault_kinds_in_sync(self):
+        from repro.cli import _SERVE_FAULT_KINDS
+        from repro.faults import SERVE_FAULT_KINDS
+
+        assert _SERVE_FAULT_KINDS == SERVE_FAULT_KINDS
+
+    def test_serve_resilience_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "--resume", "--no-journal", "--drain-deadline", "5",
+            "--max-restarts", "1", "--breaker-threshold", "2",
+            "--breaker-cooldown", "9",
+        ])
+        assert args.resume and args.no_journal
+        assert args.drain_deadline == 5.0 and args.max_restarts == 1
+        assert args.breaker_threshold == 2 and args.breaker_cooldown == 9.0
+
+    def test_chaos_serve_unknown_scenario(self, capsys):
+        assert main(["chaos-serve", "--scenarios", "quantum-flip"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_chaos_serve_smoke(self, capsys, tmp_path):
+        rc = main([
+            "chaos-serve", "--scenarios", "disk-full", "--requests", "4",
+            "--store-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "disk-full" in out and "ALL INVARIANTS HOLD" in out
+
+    def test_loadgen_chaos_rejects_tcp(self, capsys):
+        rc = main([
+            "loadgen", "--chaos", "store-enospc", "--host", "127.0.0.1",
+        ])
+        assert rc == 2
+        assert "--chaos" in capsys.readouterr().out
+
+    def test_loadgen_chaos_smoke(self, capsys):
+        from repro.experiments.common import clear_cache
+
+        clear_cache()
+        rc = main([
+            "loadgen", "--requests", "20", "--clients", "4", "--trip", "8",
+            "--kernels", "sphot-1", "--cores", "2", "--seed", "5",
+            "--chaos", "store-enospc", "--no-bench",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "chaos=store-enospc" in out
+
+    def test_sweep_resume_with_nothing_to_resume(self, capsys, monkeypatch,
+                                                 tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        assert main(["sweep", "--resume"]) == 0
+        assert "nothing to resume" in capsys.readouterr().out
+
+    def test_sweep_journal_then_resume_round_trip(self, capsys, monkeypatch,
+                                                  tmp_path):
+        from repro.experiments.common import clear_cache
+        from repro.store.journal import find_journals
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        clear_cache()
+        rc = main([
+            "sweep", "--kernels", "sphot-1", "--cores", "2", "--trip", "8",
+            "--journal",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "journal      :" in out
+        journals = find_journals(tmp_path / "store")
+        assert len(journals) == 1
+        # the journal completed with the sweep: an explicit resume of it
+        # re-dispatches nothing
+        rc = main(["sweep", "--resume", str(journals[0])])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 re-dispatched" in out

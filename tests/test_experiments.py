@@ -44,7 +44,7 @@ class TestHarness:
         assert geomean([]) == 0.0
 
     def test_registry_complete(self):
-        assert set(REGISTRY) == {f"E{k}" for k in range(1, 12)}
+        assert set(REGISTRY) == {f"E{k}" for k in range(1, 13)}
 
 
 class TestTable1:

@@ -621,3 +621,224 @@ class TestLoadgen:
         assert report["run_records"] == report["unique_cells_drawn"]
         assert report["unhandled"] == 0
         assert report["phases"]["warm"]["hit_rate"] > 0.9
+
+    def test_chaos_campaign_keeps_durability_invariants(self):
+        clear_cache()
+        cfg = LoadgenConfig(
+            requests=24, clients=4, seed=2, trip=8,
+            kernels=("sphot-1",), cores=(2,), chaos="store-enospc",
+        )
+        report = run_loadgen(cfg)
+        assert report["config"]["chaos"] == "store-enospc"
+        # every acked compute is durable; chaos may leave cells uncomputed
+        # but can never compute one twice or lose a durable write
+        assert report["computed"] == report["run_records"]
+        assert report["computed"] <= report["unique_cells_drawn"]
+        assert report["unhandled"] == 0
+
+    def test_chaos_requires_owned_service(self):
+        cfg = LoadgenConfig(requests=1, clients=1, chaos="compute-crash")
+        with pytest.raises(ValueError, match="chaos"):
+            run_loadgen(cfg, host="127.0.0.1", port=1)
+
+
+# -- crash safety / resilience wiring (PR 7) -------------------------------
+
+class TestServeResilience:
+    def _flaky_compute(self, svc, crashes: int):
+        """Patch the service's compute-fn factory: the first ``crashes``
+        dispatches raise BrokenProcessPool from inside the executor —
+        the exact failure shape of a SIGKILLed pool worker."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        orig = svc._compute_fn
+        state = {"n": 0}
+
+        def flaky(kind, kernel, cfg):
+            fn = orig(kind, kernel, cfg)
+            state["n"] += 1
+            if state["n"] <= crashes:
+                def boom():
+                    raise BrokenProcessPool("injected worker crash")
+                return boom
+            return fn
+
+        svc._compute_fn = flaky
+        return state
+
+    def test_broken_pool_lazy_rebuild(self, tmp_path):
+        """One crashed worker fails its request with a structured error,
+        charges the restart budget, and the next request computes fine
+        on a rebuilt executor."""
+        async def main():
+            svc = make_service(tmp_path, restart_backoff=0.0)
+            self._flaky_compute(svc, crashes=1)
+            cli = ServeClient(svc)
+            clear_cache()
+
+            r1 = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert not r1["ok"]
+            assert svc.supervisor.restarts == 1
+
+            r2 = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert r2["ok"] and r2["result"]["correct"]
+            assert svc.supervisor.restarts == 1  # no further rebuilds
+            h = await cli.request("health")
+            assert h["result"]["status"] == "ok"
+            await svc.aclose()
+
+        run(main())
+
+    def test_restart_budget_exhaustion_sheds_compute(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path, max_restarts=0, restart_backoff=0.0)
+            self._flaky_compute(svc, crashes=99)
+            cli = ServeClient(svc)
+            clear_cache()
+
+            r1 = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert not r1["ok"]
+            assert svc.supervisor.exhausted
+
+            # a *different* cell is shed up front: no compute is burned
+            r2 = await cli.request("run", kernel="sphot-1", cores=3, trip=8)
+            assert not r2["ok"] and r2["error"]["kind"] == "overloaded"
+            h = await cli.request("health")
+            assert h["result"]["status"] == "degraded"
+            await svc.aclose()
+
+        run(main())
+
+    def test_breaker_sheds_repeatedly_failing_key(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path, breaker_threshold=1,
+                               breaker_cooldown=3600.0)
+            calls = {"n": 0}
+
+            def always_bad(kind, kernel, cfg):
+                def boom():
+                    calls["n"] += 1
+                    raise ValueError("deterministically broken cell")
+                return boom
+
+            svc._compute_fn = always_bad
+            cli = ServeClient(svc)
+
+            r1 = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert not r1["ok"] and calls["n"] == 1
+            r2 = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert not r2["ok"] and r2["error"]["kind"] == "overloaded"
+            assert calls["n"] == 1  # shed before dispatch, not recomputed
+            assert svc.breaker.open_keys == 1
+            await svc.aclose()
+
+        run(main())
+
+    def test_draining_rejects_new_compute_serves_health(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            cli = ServeClient(svc)
+            svc.drain.begin()
+
+            r = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert not r["ok"] and r["error"]["kind"] == "draining"
+            h = await cli.request("health")
+            assert h["result"]["status"] == "draining"
+
+            rep = await svc.drain_and_close()
+            assert rep.clean and rep.abandoned == 0
+
+        run(main())
+
+
+class TestServeJournal:
+    def test_compute_is_journaled_and_closes_complete(self, tmp_path):
+        from repro.store.journal import load_journal
+
+        async def scenario():
+            svc = make_service(tmp_path)
+            cli = ServeClient(svc)
+            clear_cache()
+            r = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert r["ok"]
+            jpath = svc.journal.path
+            await svc.aclose()
+            return jpath
+
+        jpath = run(scenario())
+        state = load_journal(jpath)
+        assert state.complete
+        assert len(state.intents) == 1
+        assert set(state.done) == set(state.intents)
+        key = next(iter(state.intents))
+        assert ResultStore(tmp_path / "store").get_run(key) is not None
+
+    def test_failed_compute_is_acked_failed(self, tmp_path):
+        """A structured failure response is an ack: the journal closes
+        complete (status=failed), so resume owes nothing."""
+        from repro.store.journal import load_journal
+
+        async def scenario():
+            svc = make_service(tmp_path)
+
+            def bad(kind, kernel, cfg):
+                def boom():
+                    raise ValueError("broken")
+                return boom
+
+            svc._compute_fn = bad
+            cli = ServeClient(svc)
+            r = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert not r["ok"]
+            jpath = svc.journal.path
+            await svc.aclose()
+            return jpath
+
+        state = load_journal(run(scenario()))
+        assert state.complete
+        assert list(state.done.values()) == ["failed"]
+
+    def test_no_journal_config(self, tmp_path):
+        async def scenario():
+            svc = make_service(tmp_path, journal=False)
+            assert svc.journal is None
+            cli = ServeClient(svc)
+            clear_cache()
+            r = await cli.request("run", kernel="sphot-1", cores=2, trip=8)
+            assert r["ok"]
+            await svc.aclose()
+
+        run(scenario())
+        journals = tmp_path / "store" / "journals"
+        assert not journals.is_dir() or not list(journals.iterdir())
+
+    def test_resume_incomplete_recomputes_missing_cells(self, tmp_path):
+        from dataclasses import asdict
+
+        from repro.experiments.common import ExpConfig, store_key_for
+        from repro.kernels import get_kernel
+        from repro.store.journal import SweepJournal, new_journal_path
+
+        store = ResultStore(tmp_path / "store")
+        cfg = ExpConfig(n_cores=2, trip=8)
+        key = store_key_for(get_kernel("sphot-1"), cfg)
+        path = new_journal_path(store.root)
+        j = SweepJournal(path, fsync=False)
+        j.open_campaign({"mode": "serve"})
+        j.record_intent(key, "sphot-1", asdict(cfg))
+        j.close(complete=False)  # the crash breadcrumb
+
+        async def scenario():
+            clear_cache()
+            svc = make_service(tmp_path)
+            rep = await svc.resume_incomplete()
+            rep2 = await svc.resume_incomplete()
+            await svc.aclose()
+            return rep, rep2
+
+        rep, rep2 = run(scenario())
+        assert rep["journals"] == 1 and rep["recomputed"] == 1
+        assert rep["failed"] == 0
+        assert store.get_run(key) is not None
+        # idempotent: the journal was marked complete by the first pass
+        assert rep2["journals"] == 0 and rep2["recomputed"] == 0
