@@ -1,0 +1,36 @@
+"""Bisection root-finder inner loops (ingest corpus).
+
+A fixed-iteration bisection: each trip halves the bracket, and which
+half survives depends on a comparison against carried state — the
+archetypal serial conditional chain (§IV "read-after-write in the
+conditional expression").  The trip count plays the role of the
+tolerance loop's iteration bound.
+
+With the workload drawing ``c``/``a0`` from [0.5, 1.5), the roots lie
+strictly inside the initial bracket [0, 2].
+"""
+
+
+def bisect_sqrt(n, c):
+    lo = 0.0
+    hi = 2.0
+    for i in range(n):
+        mid = 0.5 * (lo + hi)
+        if mid * mid < c:
+            lo = mid
+        else:
+            hi = mid
+    return lo, hi
+
+
+def bisect_cubic(n, a0):
+    lo = 0.0
+    hi = 2.0
+    for i in range(n):
+        mid = 0.5 * (lo + hi)
+        f = mid * mid * mid + mid - a0
+        if f < 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return lo

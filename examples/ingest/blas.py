@@ -1,0 +1,48 @@
+"""Level-1 BLAS-style loops (ingest corpus).
+
+Streaming vector kernels and scalar reductions: the `dot`/`sumsq`/
+`asum` family carries a single accumulator across iterations
+(§IV "reduction-scalar"); `axpy`/`scale`/`triad` are pure streaming
+stores; `fill_value` has no arithmetic at all (§IV "init").
+"""
+
+
+def dot(n, x, y):
+    acc = 0.0
+    for i in range(n):
+        acc += x[i] * y[i]
+    return acc
+
+
+def axpy(n, a, x, y):
+    for i in range(n):
+        y[i] = a * x[i] + y[i]
+
+
+def scale(n, a, x, out):
+    for i in range(n):
+        out[i] = a * x[i]
+
+
+def sumsq(n, x):
+    acc = 0.0
+    for i in range(n):
+        acc += x[i] * x[i]
+    return acc
+
+
+def asum(n, x):
+    acc = 0.0
+    for i in range(n):
+        acc += abs(x[i])
+    return acc
+
+
+def triad(n, a, x, y, z):
+    for i in range(n):
+        z[i] = x[i] + a * y[i]
+
+
+def fill_value(n, out, v):
+    for i in range(n):
+        out[i] = v

@@ -1,0 +1,63 @@
+"""Conditional-heavy loops (ingest corpus).
+
+The §IV "many conditionals" shapes: per-element branching
+(`clamp01`, `select_blend`), conditionally-updated accumulators
+(`count_above`, `threshold_sum`), and carried state whose next value
+depends on a branch over its current value (`flip_state`) — the
+read-after-write pattern the paper singles out as hard to speculate.
+
+Thresholds sit inside the workload generator's data range
+(floats in [0.1, 2.0), scalar params in [0.5, 1.5)) so both branch
+directions are exercised.
+"""
+
+
+def clamp01(n, x, out):
+    for i in range(n):
+        v = x[i]
+        if v < 0.5:
+            out[i] = 0.5
+        elif v > 1.5:
+            out[i] = 1.5
+        else:
+            out[i] = v
+
+
+def count_above(n, x, t):
+    cnt = 0
+    for i in range(n):
+        if x[i] > t:
+            cnt += 1
+    return cnt
+
+
+def threshold_sum(n, x, t):
+    acc = 0.0
+    for i in range(n):
+        if x[i] > t:
+            acc += x[i] - t
+    return acc
+
+
+def running_extrema(n, x):
+    lo = 1.0e30
+    hi = -1.0e30
+    for i in range(n):
+        lo = min(lo, x[i])
+        hi = max(hi, x[i])
+    return lo, hi
+
+
+def flip_state(n, x, t):
+    state = 0.0
+    acc = 0.0
+    for i in range(n):
+        if x[i] > t:
+            state = 1.0 - state
+        acc += state * x[i]
+    return acc
+
+
+def select_blend(n, x, y, out, t):
+    for i in range(n):
+        out[i] = x[i] if x[i] > t else y[i]

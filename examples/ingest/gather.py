@@ -1,0 +1,25 @@
+"""Indirect-access loops (ingest corpus).
+
+Data-dependent (opaque) subscripts: the compiler cannot prove accesses
+disjoint, so memory disambiguation falls back to conservative ordering
+— the situation §III-I's restricted-scope argument targets.
+``scatter_add`` is the §IV "reduction-array" shape (cf. the amg
+``diag[rows[i]] += vals[i]`` loop of the synthetic corpus).
+"""
+
+
+def gather_sum(n, idx, vals):
+    acc = 0.0
+    for i in range(n):
+        acc += vals[idx[i]]
+    return acc
+
+
+def scatter_add(n, idx, w, hist):
+    for i in range(n):
+        hist[idx[i]] += w[i]
+
+
+def permute_copy(n, idx, a, out):
+    for i in range(n):
+        out[i] = a[idx[i]]

@@ -1,0 +1,49 @@
+"""Physics-flavoured loops (ingest corpus).
+
+Shapes borrowed from the paper's Table I applications: a Lennard-Jones
+force kernel with a cutoff branch (lammps), a tabulated-spline
+embedding-energy lookup with data-dependent indexing (EAM, cf.
+``examples/eam_force_loop.py``), a velocity-Verlet position update,
+a spring-chain energy reduction, and an ideal-gas EOS evaluation.
+"""
+
+import math
+
+
+def lj_force(n, dx, dy, dz, f, cutsq):
+    for i in range(n):
+        rsq = dx[i] * dx[i] + dy[i] * dy[i] + dz[i] * dz[i]
+        if rsq < cutsq:
+            inv = 1.0 / rsq
+            inv3 = inv * inv * inv
+            f[i] = inv3 * (inv3 - 0.5)
+        else:
+            f[i] = 0.0
+
+
+def eam_embed(n, rho, coef, emb):
+    for i in range(n):
+        r = rho[i] * 7.0
+        j = int(r)
+        frac = r - float(j)
+        a = coef[j]
+        b = coef[j + 1]
+        emb[i] = a + frac * (b - a)
+
+
+def verlet_pos(n, pos, vel, acc, dt):
+    for i in range(n):
+        pos[i] = pos[i] + vel[i] * dt + 0.5 * acc[i] * dt * dt
+
+
+def spring_energy(n, x, k):
+    e = 0.0
+    for i in range(n):
+        d = x[i + 1] - x[i]
+        e += 0.5 * k * d * d
+    return e
+
+
+def eos_pressure(n, rho, e, p, gamma):
+    for i in range(n):
+        p[i] = (gamma - 1.0) * rho[i] * e[i] + 0.01 * math.sqrt(rho[i])

@@ -1,0 +1,39 @@
+"""One-dimensional stencil loops (ingest corpus).
+
+Classic nearest-neighbour kernels: the loop reads a small window
+``a[i + k]`` and writes a disjoint output array.  These are the
+"amenable"/"traditional" shapes of the paper's §IV study — abundant
+ILP, no loop-carried scalar state.
+"""
+
+
+def stencil3(n, a, out, c):
+    for i in range(n):
+        out[i] = c * (a[i] + a[i + 1] + a[i + 2])
+
+
+def stencil5(n, a, out):
+    for i in range(n):
+        out[i] = (
+            0.0625 * a[i]
+            + 0.25 * a[i + 1]
+            + 0.375 * a[i + 2]
+            + 0.25 * a[i + 3]
+            + 0.0625 * a[i + 4]
+        )
+
+
+def diff_fwd(n, a, d):
+    for i in range(n):
+        d[i] = a[i + 1] - a[i]
+
+
+def smooth_clamped(n, a, out, lo, hi):
+    for i in range(n):
+        v = (a[i] + a[i + 1] + a[i + 2]) / 3.0
+        out[i] = min(max(v, lo), hi)
+
+
+def heat_step(n, u, un, alpha):
+    for i in range(n):
+        un[i] = u[i + 1] + alpha * (u[i] - 2.0 * u[i + 1] + u[i + 2])

@@ -5,6 +5,8 @@ from .classify import LoopProfile, classify_loop, profile_loop
 from .report import (
     CharacterizationReport,
     characterize_corpus,
+    characterize_frontend,
+    format_ingested_report,
     table1_rows,
 )
 
@@ -12,7 +14,9 @@ __all__ = [
     "CharacterizationReport",
     "LoopProfile",
     "characterize_corpus",
+    "characterize_frontend",
     "classify_loop",
+    "format_ingested_report",
     "profile_loop",
     "table1_rows",
 ]

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..kernels import KernelSpec, corpus_kernels
-from .classify import classify_loop
+from ..kernels import KernelSpec, corpus_kernels, frontend_kernels
+from .classify import classify_loop, profile_loop
 
 #: §IV quoted coverage of app time by the 18 amenable loops.
 PAPER_COVERAGE = {"lammps": 85.0, "irs": 65.0, "umt2k": 50.0, "sphot": 55.0}
@@ -128,4 +128,48 @@ def format_report(rep: CharacterizationReport) -> str:
         lines.append("  mismatches:")
         for name, want, got in rep.mismatches:
             lines.append(f"    {name}: expected {want}, classified {got}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Ingested (frontend/) corpus — the §IV table, extended
+# ----------------------------------------------------------------------
+
+def characterize_frontend() -> CharacterizationReport:
+    """Run the same classifier over the frontend-ingested kernels.
+
+    These loops sit outside the paper's 51-loop population, so the
+    report's paper-count comparisons do not apply to them; use
+    :func:`format_ingested_report` to render it.
+    """
+    return characterize_corpus(kernels=frontend_kernels())
+
+
+def format_ingested_report(rep: CharacterizationReport | None = None) -> str:
+    """Per-loop characterization rows for the ingested corpus."""
+    kernels = frontend_kernels()
+    if not kernels:
+        return ("no frontend-ingested kernels registered "
+                "(see `repro ingest` / examples/ingest/)")
+    rep = rep if rep is not None else characterize_corpus(kernels=kernels)
+    by_cat: dict[str, int] = {}
+    for cat in rep.predicted.values():
+        by_cat[cat] = by_cat.get(cat, 0) + 1
+    cats = ", ".join(f"{c} {n}" for c, n in sorted(by_cat.items()))
+    lines = [
+        "Ingested-corpus characterization (frontend/ namespace)",
+        f"  loops ingested: {len(kernels)}",
+        f"  by category: {cats}",
+        "",
+        f"  {'kernel':28s} {'category':17s} "
+        f"{'stmts':>5s} {'arith':>5s} {'loads':>5s} {'stores':>6s} "
+        f"{'conds':>5s}  source",
+    ]
+    for spec in kernels:
+        prof = profile_loop(spec.loop())
+        lines.append(
+            f"  {spec.name:28s} {rep.predicted[spec.name]:17s} "
+            f"{prof.n_stmts:5d} {prof.arith_ops:5d} {prof.n_loads:5d} "
+            f"{prof.n_stores:6d} {prof.n_conditionals:5d}  {spec.source}"
+        )
     return "\n".join(lines)

@@ -3,14 +3,19 @@
 Commands
 --------
 
-* ``list`` — list registered kernels (optionally by app/category);
+* ``list`` — list registered kernels (optionally by app/category/
+  origin); ``kernels list|show|run`` is the namespaced spelling of
+  the same commands;
 * ``run <kernel>`` — compile + simulate one kernel, print speedup,
   statistics and correctness;
+* ``ingest <file.py>`` — lower counted Python loops into the IR via
+  :mod:`repro.frontend`, register them under ``frontend/`` and prove
+  each against the differential python/interpreter/simulator oracle;
 * ``trace <kernel>`` — export a run as Chrome trace-event JSON
   (open in https://ui.perfetto.dev);
 * ``profile <kernel>`` — per-core stall attribution + queue pressure,
   and append the headline numbers to ``BENCH_obs.json``;
-* ``experiment <id>`` — run one paper artifact (E1..E11) or ``all``;
+* ``experiment <id>`` — run one paper artifact (E1..E12) or ``all``;
 * ``chaos`` — seeded fault-injection campaign over tier-1 kernels
   through the guarded runtime (resilience table, exit 1 on any
   silent corruption);
@@ -21,7 +26,9 @@ Commands
 * ``check`` — static queue-protocol verification of lowered kernels
   across a cores × depth × speculation matrix (exit 1 on rejection);
 * ``fuzz`` — seeded differential fuzzing campaign with shrinking and
-  replayable JSON artifacts (``--replay`` re-probes a saved finding);
+  replayable JSON artifacts (``--replay`` re-probes a saved finding;
+  ``--corpus frontend`` mutates ingested real-loop IR instead of
+  drawing from the grammar);
 * ``sweep`` — run a kernel × core-count grid through the parallel
   sweep engine and the persistent result store; ``--journal`` arms
   the write-ahead journal and ``--resume`` replays a crashed one,
@@ -38,7 +45,8 @@ Commands
 * ``cache {stats,clear,gc}`` — inspect / maintain the result store
   (stats includes the serve cache-tier counters);
 * ``show <kernel>`` — print the kernel IR and its flat normalized form;
-* ``characterize`` — run the §IV classifier over the corpus.
+* ``characterize`` — run the §IV classifier over the corpus
+  (``--namespace frontend`` characterizes the ingested loops instead).
 """
 
 from __future__ import annotations
@@ -69,9 +77,11 @@ def _cmd_list(args) -> int:
             continue
         if args.category and spec.category != args.category:
             continue
+        if args.origin and spec.origin != args.origin:
+            continue
         print(
-            f"{spec.name:12s} {spec.app:8s} {spec.category:17s} "
-            f"{spec.pct_time:5.1f}%  {spec.source}"
+            f"{spec.name:26s} {spec.app:8s} {spec.origin:10s} "
+            f"{spec.category:17s} {spec.pct_time:5.1f}%  {spec.source}"
         )
     return 0
 
@@ -459,15 +469,20 @@ def _cmd_fuzz(args) -> int:
         print("replay   : " + ("REPRODUCED" if same else "DID NOT REPRODUCE"))
         return 0 if same else 1
 
-    res = run_campaign(
-        args.seed,
-        trials=args.trials,
-        max_seconds=args.max_seconds,
-        trip=args.trip,
-        inject=args.inject,
-        out_dir=args.out,
-        log=print,
-    )
+    try:
+        res = run_campaign(
+            args.seed,
+            trials=args.trials,
+            max_seconds=args.max_seconds,
+            trip=args.trip,
+            inject=args.inject,
+            out_dir=args.out,
+            corpus=args.corpus,
+            log=print,
+        )
+    except ValueError as exc:
+        print(f"fuzz: {exc}")
+        return 2
     print(res.describe())
     return 0 if not res.findings else 1
 
@@ -611,32 +626,113 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_characterize(args) -> int:
-    from .characterize import characterize_corpus
+    from .characterize import characterize_corpus, format_ingested_report
     from .characterize.report import format_report
+    from .kernels import frontend_kernels
 
-    print(format_report(characterize_corpus()))
+    ns = args.namespace
+    if ns in ("paper", "all"):
+        print(format_report(characterize_corpus()))
+    if ns in ("frontend", "all"):
+        if ns == "all":
+            print()
+        if not frontend_kernels():
+            print("no frontend-ingested kernels registered "
+                  "(see `python -m repro ingest` / examples/ingest/)")
+            if ns == "frontend":
+                return 1
+        else:
+            print(format_ingested_report())
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    p = argparse.ArgumentParser(
-        prog="repro",
-        description="Fine-grained parallelization of sequential loops "
-        "over hardware queues (IPPS 2014 reproduction).",
+def _cmd_ingest(args) -> int:
+    from .frontend import (
+        FrontendError,
+        OracleMismatch,
+        check_ingested,
+        ingest_file,
+        register_ingested,
     )
-    sub = p.add_subparsers(dest="command", required=True)
 
-    lp = sub.add_parser("list", help="list registered kernels")
+    from .kernels import all_kernels
+
+    # force the registry autoload first: re-ingesting a file the
+    # examples/ingest autoload already registered is then idempotent
+    # instead of a duplicate-name skirmish
+    all_kernels()
+    try:
+        ingested = ingest_file(args.file, fn=args.function)
+    except FrontendError as exc:
+        print(exc.format())
+        return 1
+    if not ingested:
+        target = (f"function {args.function!r}" if args.function
+                  else "any function")
+        print(f"{args.file}: no ingestible loop found in {target}")
+        return 1
+
+    failures = 0
+    for ing in ingested:
+        try:
+            register_ingested(ing)
+        except FrontendError as exc:
+            print(exc.format())
+            failures += 1
+            continue
+        try:
+            rep = check_ingested(
+                ing, trip=args.trip, seed=args.seed, n_cores=args.cores
+            )
+        except OracleMismatch as exc:
+            print(f"{ing.name}: ORACLE MISMATCH: {exc}")
+            failures += 1
+            continue
+        print(
+            f"{ing.name:26s} {ing.category:17s} oracle ok "
+            f"(trip {rep.trip}, {rep.arrays_checked} array(s), "
+            f"{rep.scalars_checked} scalar(s), {rep.cycles:.0f} cycles "
+            f"@ {rep.n_cores} cores)"
+        )
+    if failures:
+        print(f"ingest: {failures} of {len(ingested)} loop(s) failed")
+        return 1
+
+    if args.run:
+        for ing in ingested:
+            run_args = argparse.Namespace(
+                kernel=ing.name, cores=args.cores, trip=128,
+                latency=5, depth=20, speculate=False, throughput=False,
+                max_queues=None, races=False,
+            )
+            print()
+            rc = _cmd_run(run_args)
+            if rc != 0:
+                return rc
+    if args.characterize:
+        print()
+        from .characterize import format_ingested_report
+
+        print(format_ingested_report())
+    return 0
+
+
+def _add_list_args(lp) -> None:
     lp.add_argument("--app", help="filter by application")
     lp.add_argument("--category", help="filter by §IV category")
+    lp.add_argument("--origin", default=None,
+                    choices=("hand-built", "synthetic", "frontend"),
+                    help="filter by kernel origin")
     lp.set_defaults(fn=_cmd_list)
 
-    sp = sub.add_parser("show", help="print a kernel's IR")
+
+def _add_show_args(sp) -> None:
     sp.add_argument("kernel")
     sp.add_argument("--height", type=int, default=2)
     sp.set_defaults(fn=_cmd_show)
 
-    rp = sub.add_parser("run", help="compile + simulate one kernel")
+
+def _add_run_args(rp) -> None:
     rp.add_argument("kernel")
     rp.add_argument("--cores", type=int, default=4)
     rp.add_argument("--trip", type=int, default=128)
@@ -648,6 +744,57 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--races", action="store_true",
                     help="enable the happens-before race detector")
     rp.set_defaults(fn=_cmd_run)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Fine-grained parallelization of sequential loops "
+        "over hardware queues (IPPS 2014 reproduction).",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    _add_list_args(sub.add_parser("list", help="list registered kernels"))
+    _add_show_args(sub.add_parser("show", help="print a kernel's IR"))
+    _add_run_args(sub.add_parser("run", help="compile + simulate one kernel"))
+
+    # `repro kernels list|show|run` — the namespaced spelling, so
+    # registry-facing commands read naturally next to `repro ingest`.
+    knp = sub.add_parser(
+        "kernels",
+        help="kernel registry commands (list | show | run)",
+    )
+    ksub = knp.add_subparsers(dest="kernels_command", required=True)
+    _add_list_args(ksub.add_parser(
+        "list", help="list registered kernels (hand-built, §IV, frontend)"))
+    _add_show_args(ksub.add_parser("show", help="print a kernel's IR"))
+    _add_run_args(ksub.add_parser(
+        "run", help="compile + simulate one kernel"))
+
+    ip = sub.add_parser(
+        "ingest",
+        help="lower counted Python loops into the IR and register them "
+        "under the frontend/ namespace (differential oracle enforced)",
+    )
+    ip.add_argument("file", help="Python source file to ingest")
+    # dest avoids colliding with the ``fn=`` dispatch attribute that
+    # every subparser sets via set_defaults
+    ip.add_argument("--fn", dest="function", default=None,
+                    help="ingest only this function (default: every "
+                    "ingestible function in the file)")
+    ip.add_argument("--trip", type=int, default=64,
+                    help="oracle trip count (default 64)")
+    ip.add_argument("--seed", type=int, default=11,
+                    help="oracle workload seed (default 11)")
+    ip.add_argument("--cores", type=int, default=2,
+                    help="cores for the simulated oracle leg (default 2)")
+    ip.add_argument("--run", action="store_true",
+                    help="also run each ingested kernel through "
+                    "`repro run` after the oracle passes")
+    ip.add_argument("--characterize", action="store_true",
+                    help="also print the §IV characterization of the "
+                    "ingested corpus")
+    ip.set_defaults(fn=_cmd_ingest)
 
     tp = sub.add_parser(
         "trace",
@@ -681,7 +828,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip updating the bench file")
     pp.set_defaults(fn=_cmd_profile)
 
-    ep = sub.add_parser("experiment", help="run a paper artifact (E1..E11|all)")
+    ep = sub.add_parser("experiment", help="run a paper artifact (E1..E12|all)")
     ep.add_argument("id")
     ep.add_argument("--trip", type=int, default=None,
                     help=f"evaluation trip count (default {_DEFAULT_TRIP}; "
@@ -781,6 +928,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="directory for replayable JSON repro artifacts")
     fp.add_argument("--replay", default=None,
                     help="re-probe a saved artifact instead of fuzzing")
+    fp.add_argument("--corpus", default="gen", choices=("gen", "frontend"),
+                    help="trial source: 'gen' draws from the loop grammar; "
+                    "'frontend' mutates frontend-ingested kernel IR")
     fp.set_defaults(fn=_cmd_fuzz)
 
     vp = sub.add_parser(
@@ -872,6 +1022,11 @@ def build_parser() -> argparse.ArgumentParser:
     cp2.set_defaults(fn=_cmd_cache)
 
     cp = sub.add_parser("characterize", help="run the §IV classifier")
+    cp.add_argument("--namespace", default="paper",
+                    choices=("paper", "frontend", "all"),
+                    help="which kernel population to classify: the "
+                    "paper's 51-loop corpus (default), the "
+                    "frontend-ingested loops, or both")
     cp.set_defaults(fn=_cmd_characterize)
     return p
 

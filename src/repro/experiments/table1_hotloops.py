@@ -15,13 +15,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..characterize import characterize_corpus, table1_rows
-from ..characterize.report import PAPER_COUNTS, CharacterizationReport, format_report
+from ..characterize.report import (
+    PAPER_COUNTS,
+    CharacterizationReport,
+    characterize_frontend,
+    format_ingested_report,
+    format_report,
+)
+from ..kernels import frontend_kernels
 
 
 @dataclass
 class Table1Result:
     report: CharacterizationReport
     rows: list[dict]
+    #: classification of the frontend-ingested loops (outside the
+    #: paper's 51-loop population; None when nothing is ingested)
+    frontend: CharacterizationReport | None = None
 
     @property
     def counts(self) -> dict[str, int]:
@@ -30,11 +40,14 @@ class Table1Result:
 
 def run() -> Table1Result:
     rep = characterize_corpus()
-    return Table1Result(report=rep, rows=table1_rows(rep))
+    fe = characterize_frontend() if frontend_kernels() else None
+    return Table1Result(report=rep, rows=table1_rows(rep), frontend=fe)
 
 
 def format_result(res: Table1Result) -> str:
     lines = [format_report(res.report), "", "Table I — kernel loops:"]
     for r in res.rows:
         lines.append(f"  {r['kernel']:10s} {r['location']:55s} {r['pct_time']:5.1f}%")
+    if res.frontend is not None:
+        lines += ["", format_ingested_report(res.frontend)]
     return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""repro.frontend: ingest real Python loop nests into the mini-IR.
+
+Pipeline (see DESIGN.md §10):
+
+    parse  — extract a counted for-loop skeleton from a function
+    infer  — classify names (index/array/scalar/carried), infer types
+    lower  — emit LoopBuilder IR that passes normalize + repro.check
+    oracle — execute the original Python and differentially compare
+             against the interpreter and the cycle-level simulator
+
+Entry points: :func:`ingest_file` / :func:`ingest_source` produce
+:class:`IngestedLoop` records; :func:`register_ingested` puts them in
+the kernel registry under ``frontend/``; :func:`check_ingested` is the
+bit-exact differential oracle; :func:`autoload` ingests the committed
+``examples/ingest/`` corpus (called lazily by the registry).
+"""
+
+from .errors import FrontendError, OracleMismatch
+from .infer import LoopInfo, infer
+from .ingest import (
+    IngestedLoop,
+    ingest_file,
+    ingest_source,
+    register_ingested,
+    to_kernel_spec,
+)
+from .lower import lower
+from .oracle import OracleReport, check_ingested, run_python_oracle
+from .parse import LoopNest, parse_source
+
+__all__ = [
+    "FrontendError",
+    "OracleMismatch",
+    "LoopInfo",
+    "LoopNest",
+    "IngestedLoop",
+    "OracleReport",
+    "infer",
+    "ingest_file",
+    "ingest_source",
+    "register_ingested",
+    "to_kernel_spec",
+    "lower",
+    "parse_source",
+    "check_ingested",
+    "run_python_oracle",
+]

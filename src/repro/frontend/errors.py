@@ -1,0 +1,65 @@
+"""Structured frontend diagnostics.
+
+Every unsupported construct the ingestion pipeline meets raises a
+:class:`FrontendError` carrying the source position (line/col in the
+*original* Python file) so the user can fix their loop instead of
+staring at a traceback.  A :class:`OracleMismatch` is the differential
+oracle's bit-exact-or-fail-loudly contract: the lowered IR produced a
+value the original Python function did not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+class FrontendError(Exception):
+    """An unsupported or ill-formed construct in a user loop.
+
+    ``line``/``col`` are 1-based line and 0-based column offsets into
+    the ingested file (matching :mod:`ast` conventions), or ``None``
+    when the problem is not tied to one node (e.g. a whole-function
+    property such as a duplicate definition).
+    """
+
+    def __init__(
+        self,
+        msg: str,
+        *,
+        filename: str = "<string>",
+        line: Optional[int] = None,
+        col: Optional[int] = None,
+        node: Optional[ast.AST] = None,
+    ) -> None:
+        if node is not None:
+            line = getattr(node, "lineno", line)
+            col = getattr(node, "col_offset", col)
+        self.msg = msg
+        self.filename = filename
+        self.line = line
+        self.col = col
+        super().__init__(self.format())
+
+    def format(self) -> str:
+        where = self.filename
+        if self.line is not None:
+            where += f":{self.line}"
+            if self.col is not None:
+                where += f":{self.col + 1}"
+        return f"{where}: {self.msg}"
+
+
+class OracleMismatch(Exception):
+    """The Python-exec oracle and the IR pipeline disagreed.
+
+    Raised (never swallowed) by :func:`repro.frontend.oracle.check_ingested`
+    when the original function, the reference interpreter and the
+    cycle-level simulator do not agree bit-exactly — the same contract
+    :mod:`repro.fuzz` enforces for generated programs.
+    """
+
+    def __init__(self, name: str, detail: str) -> None:
+        self.name = name
+        self.detail = detail
+        super().__init__(f"{name}: {detail}")

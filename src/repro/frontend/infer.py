@@ -1,0 +1,430 @@
+"""Infer stage: classify names and infer types for an extracted loop.
+
+From the raw AST body of a :class:`~repro.frontend.parse.LoopNest` this
+stage decides, for every name the loop touches:
+
+* **array** — subscripted somewhere (``x[i]``); must be a function
+  parameter (the subset has no array constructors).  Element type is
+  ``F64`` unless the array feeds subscript indices (``cols[j]`` used as
+  an index → ``I64``);
+* **loop index / trip** — always ``I64``;
+* **scalar parameter** — a function parameter read by the body but
+  never subscripted; ``F64`` unless it flows into an index position;
+* **local** — assigned inside the body (fresh every iteration);
+* **carried** — read before (re)definition within one iteration, i.e.
+  the value flows in from the previous iteration: reduction
+  accumulators and §IV's "read-after-write" conditional state.  Carried
+  names must have an initial value (a pre-loop initialiser or a
+  function parameter) and lower to IR accumulators.
+
+A definedness analysis (definitely-defined set, intersected across
+``if``/``else`` joins) rejects reads of conditionally-defined scalars —
+Python would raise ``NameError`` on some inputs and silently reuse a
+stale value on others, neither of which the IR can express.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..ir.types import F64, I64, DType
+from .errors import FrontendError
+from .parse import LoopNest, describe_stmt, iter_scalar_reads
+
+__all__ = ["LoopInfo", "infer"]
+
+
+@dataclass
+class LoopInfo:
+    """Name classification + dtype assignment for one loop nest."""
+
+    nest: LoopNest
+    arrays: dict[str, DType]          # array name -> element dtype
+    scalar_params: dict[str, DType]   # used scalar params (excl. trip)
+    unused_params: list[str]          # params the body never touches
+    locals: set[str]                  # names assigned in the body
+    carried: set[str]                 # accumulators / carried state
+    pre_init: dict[str, float | int]  # initial values incl. carried seeds
+    live_out: list[str]               # scalars returned after the loop
+    int_scalars: set[str] = field(default_factory=set)
+
+    def scalar_dtype(self, name: str) -> DType:
+        """Declared dtype of a non-array name, if predetermined."""
+        if name in (self.nest.index, self.nest.trip):
+            return I64
+        if name in self.int_scalars:
+            return I64
+        if name in self.pre_init:
+            return I64 if isinstance(self.pre_init[name], int) else F64
+        return F64
+
+
+def _err(msg: str, nest: LoopNest, node: ast.AST) -> FrontendError:
+    return FrontendError(msg, filename=nest.filename, node=node)
+
+
+# ----------------------------------------------------------------------
+# Syntactic collection
+# ----------------------------------------------------------------------
+
+def _walk_exprs(body: list[ast.stmt]):
+    """Yield every expression of the body with its role:
+    ("value", e) for computed expressions, ("index", e) for subscript
+    index expressions (wherever they appear)."""
+    def from_expr(e: ast.expr):
+        for node in ast.walk(e):
+            if isinstance(node, ast.Subscript):
+                yield ("index", node.slice)
+        yield ("value", e)
+
+    def from_stmt(s: ast.stmt):
+        if isinstance(s, ast.Assign):
+            yield from from_expr(s.value)
+            for t in s.targets:
+                if isinstance(t, ast.Subscript):
+                    # walk the whole target so its slice gets index role
+                    yield from from_expr(t)
+        elif isinstance(s, ast.AugAssign):
+            yield from from_expr(s.value)
+            if isinstance(s.target, ast.Subscript):
+                yield from from_expr(s.target)
+        elif isinstance(s, ast.If):
+            yield from from_expr(s.test)
+            for sub in s.body:
+                yield from from_stmt(sub)
+            for sub in s.orelse:
+                yield from from_stmt(sub)
+
+    for s in body:
+        yield from from_stmt(s)
+
+
+def _subscripted_names(body: list[ast.stmt], nest: LoopNest) -> dict[str, ast.AST]:
+    """Array candidates: every name used as ``name[...]`` anywhere."""
+    out: dict[str, ast.AST] = {}
+    for s in body:
+        for node in ast.walk(s):
+            if isinstance(node, ast.Subscript):
+                if not isinstance(node.value, ast.Name):
+                    raise _err(
+                        "only one-dimensional `name[index]` subscripts are "
+                        "supported", nest, node,
+                    )
+                out.setdefault(node.value.id, node)
+    return out
+
+
+def _assigned_names(body: list[ast.stmt], nest: LoopNest) -> dict[str, ast.AST]:
+    """Scalar assignment targets, with unsupported targets rejected."""
+    out: dict[str, ast.AST] = {}
+
+    def visit(stmts: list[ast.stmt]):
+        for s in stmts:
+            if isinstance(s, ast.Assign):
+                if len(s.targets) != 1:
+                    raise _err("chained assignment is not supported", nest, s)
+                t = s.targets[0]
+                if isinstance(t, ast.Name):
+                    out.setdefault(t.id, t)
+                elif isinstance(t, ast.Subscript):
+                    pass  # a store, handled by the lowerer
+                else:
+                    raise _err(
+                        "unsupported assignment target (no unpacking / "
+                        "attributes)", nest, t,
+                    )
+            elif isinstance(s, ast.AugAssign):
+                if isinstance(s.target, ast.Name):
+                    out.setdefault(s.target.id, s.target)
+                elif not isinstance(s.target, ast.Subscript):
+                    raise _err("unsupported augmented-assignment target", nest, s)
+            elif isinstance(s, ast.If):
+                visit(s.body)
+                visit(s.orelse)
+            elif isinstance(s, (ast.Pass,)):
+                pass
+            elif isinstance(s, ast.Expr):
+                raise _err(
+                    "expression statement has no effect in the loop subset",
+                    nest, s,
+                )
+            else:
+                raise _err(
+                    f"unsupported statement in loop body: {describe_stmt(s)}",
+                    nest, s,
+                )
+
+    visit(body)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Definedness / carried analysis
+# ----------------------------------------------------------------------
+
+def _definedness(
+    nest: LoopNest,
+    arrays: set[str],
+    assigned: set[str],
+    initial: set[str],
+) -> tuple[set[str], set[str]]:
+    """Walk the body in evaluation order; return ``(carried, defined_at_end)``.
+
+    ``carried`` are names read at a point where they are not definitely
+    defined *this* iteration but have an initial value — their value
+    flows across iterations.  Reads of names that are neither defined
+    nor initialised raise.
+    """
+    carried: set[str] = set()
+
+    def read(name_node: ast.Name, defined: set[str]) -> None:
+        name = name_node.id
+        if name in arrays or name == nest.index:
+            return
+        if name in defined:
+            return
+        if name in initial:
+            if name in assigned:
+                carried.add(name)
+            return
+        if name in assigned:
+            raise _err(
+                f"scalar {name!r} may be read before assignment (give it a "
+                "pre-loop initial value to make it a carried accumulator)",
+                nest, name_node,
+            )
+        raise _err(f"unknown name {name!r}", nest, name_node)
+
+    def reads_of(e: ast.expr, defined: set[str]) -> None:
+        for n in iter_scalar_reads(e):
+            read(n, defined)
+
+    def block(stmts: list[ast.stmt], defined: set[str]) -> set[str]:
+        defined = set(defined)
+        for s in stmts:
+            if isinstance(s, ast.Assign):
+                reads_of(s.value, defined)
+                t = s.targets[0]
+                if isinstance(t, ast.Name):
+                    defined.add(t.id)
+                elif isinstance(t, ast.Subscript):
+                    reads_of(t.slice, defined)
+            elif isinstance(s, ast.AugAssign):
+                # target is read, then written
+                if isinstance(s.target, ast.Name):
+                    read(ast.copy_location(
+                        ast.Name(id=s.target.id, ctx=ast.Load()), s.target,
+                    ), defined)
+                    reads_of(s.value, defined)
+                    defined.add(s.target.id)
+                else:
+                    assert isinstance(s.target, ast.Subscript)
+                    reads_of(s.target.slice, defined)
+                    reads_of(s.value, defined)
+            elif isinstance(s, ast.If):
+                reads_of(s.test, defined)
+                d_then = block(s.body, defined)
+                d_else = block(s.orelse, defined)
+                defined = d_then & d_else
+            # Pass: nothing
+        return defined
+
+    defined_end = block(nest.body, set())
+    return carried, defined_end
+
+
+# ----------------------------------------------------------------------
+# Integer-ness propagation
+# ----------------------------------------------------------------------
+
+def _int_closure(
+    nest: LoopNest, arrays: set[str],
+) -> tuple[set[str], set[str]]:
+    """Names and arrays that must be integer-typed because they feed
+    subscript index positions (directly or through one level of local
+    assignment).  Propagation stops at ``int(...)`` casts: the cast
+    result is I64 regardless of its argument's type."""
+    int_scalars: set[str] = {nest.index, nest.trip}
+    int_arrays: set[str] = set()
+
+    # seed: every name / array load appearing inside an index expression
+    for role, e in _walk_exprs(nest.body):
+        if role != "index":
+            continue
+        for node in ast.walk(e):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                int_scalars.add(node.id)
+            if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+                int_arrays.add(node.value.id)
+    int_scalars -= arrays
+
+    # propagate through scalar definitions: if the target is integer,
+    # names and array loads in its RHS (outside int() casts) are too.
+    def rhs_sources(e: ast.expr):
+        if isinstance(e, ast.Call) and isinstance(e.func, ast.Name) \
+                and e.func.id == "int":
+            return  # cast boundary
+        if isinstance(e, ast.Name) and isinstance(e.ctx, ast.Load):
+            yield ("scalar", e.id)
+            return
+        if isinstance(e, ast.Subscript) and isinstance(e.value, ast.Name):
+            yield ("array", e.value.id)
+            # the index sub-expression is already seeded above
+            return
+        for child in ast.iter_child_nodes(e):
+            if isinstance(child, ast.expr):
+                yield from rhs_sources(child)
+
+    defs: list[tuple[str, ast.expr]] = []
+    for s in ast.walk(nest.fn_node):
+        if isinstance(s, ast.Assign) and len(s.targets) == 1 \
+                and isinstance(s.targets[0], ast.Name):
+            defs.append((s.targets[0].id, s.value))
+        elif isinstance(s, ast.AugAssign) and isinstance(s.target, ast.Name):
+            defs.append((s.target.id, s.value))
+
+    changed = True
+    while changed:
+        changed = False
+        for target, value in defs:
+            if target not in int_scalars:
+                continue
+            for kind, name in rhs_sources(value):
+                if kind == "scalar" and name not in arrays \
+                        and name not in int_scalars:
+                    int_scalars.add(name)
+                    changed = True
+                elif kind == "array" and name not in int_arrays:
+                    int_arrays.add(name)
+                    changed = True
+    return int_scalars, int_arrays
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+def infer(nest: LoopNest) -> LoopInfo:
+    body = nest.body
+    array_uses = _subscripted_names(body, nest)
+    assigned = _assigned_names(body, nest)
+
+    for name, node in array_uses.items():
+        if name not in nest.params:
+            raise _err(
+                f"array {name!r} is not a function parameter (the subset "
+                "has no array constructors)", nest, node,
+            )
+        if name == nest.trip:
+            raise _err(f"trip count {name!r} used as an array", nest, node)
+        if name in assigned:
+            raise _err(
+                f"{name!r} is used both as an array and as a scalar "
+                "assignment target", nest, assigned[name],
+            )
+    arrays = set(array_uses)
+
+    if nest.index in assigned:
+        raise _err(
+            f"loop index {nest.index!r} must not be reassigned",
+            nest, assigned[nest.index],
+        )
+    if nest.trip in assigned:
+        raise _err(
+            f"trip count {nest.trip!r} must not be reassigned",
+            nest, assigned[nest.trip],
+        )
+
+    # bare (non-subscripted) reads of array names are rejected during
+    # lowering where the exact node is at hand; here we classify reads.
+    reads: set[str] = set()
+    for role, e in _walk_exprs(body):
+        if role == "value":
+            for n in iter_scalar_reads(e):
+                reads.add(n.id)
+    reads.discard(nest.index)
+
+    pre_names = {p.name for p in nest.pre}
+    initial = set(nest.params) | pre_names
+    carried, defined_end = _definedness(nest, arrays, set(assigned), initial)
+
+    int_scalars, int_arrays = _int_closure(nest, arrays)
+    bad_int_arrays = int_arrays - arrays
+    if bad_int_arrays:  # pragma: no cover - defensive (seeded from subscripts)
+        raise FrontendError(
+            f"internal: non-array names {sorted(bad_int_arrays)} in index "
+            "closure", filename=nest.filename, line=nest.line, col=0,
+        )
+
+    array_dtypes = {
+        name: (I64 if name in int_arrays else F64) for name in sorted(arrays)
+    }
+
+    scalar_params: dict[str, DType] = {}
+    unused: list[str] = []
+    for p in nest.params:
+        if p == nest.trip or p in arrays:
+            continue
+        if p in reads or p in assigned:
+            scalar_params[p] = I64 if p in int_scalars else F64
+        else:
+            unused.append(p)
+
+    # pre-loop initialisers that are never read before their first body
+    # definition and never read-only are dead seeds; drop them so the
+    # IR does not carry phantom parameters.
+    pre_init: dict[str, float | int] = {}
+    for p in nest.pre:
+        if p.name in carried or p.name not in assigned:
+            if p.name in reads or p.name in carried:
+                pre_init[p.name] = p.value
+        # else: dead initialiser, body fully redefines it
+
+    # returned names become live-outs; arrays are compared wholesale
+    live_out: list[str] = []
+    for name in nest.returns:
+        if name in arrays:
+            continue
+        if name == nest.index or name == nest.trip:
+            raise FrontendError(
+                f"returning {name!r} (index/trip) is not supported",
+                filename=nest.filename, line=nest.line, col=0,
+            )
+        if name not in assigned and name not in pre_init \
+                and name not in scalar_params:
+            raise FrontendError(
+                f"returned name {name!r} is never assigned",
+                filename=nest.filename, line=nest.line, col=0,
+            )
+        if name in assigned and name not in carried \
+                and name not in defined_end:
+            raise FrontendError(
+                f"returned scalar {name!r} is only conditionally assigned "
+                "in the loop body", filename=nest.filename, line=nest.line,
+                col=0,
+            )
+        if name not in live_out:
+            live_out.append(name)
+
+    # a carried name must have its seed available to the workload:
+    # either a pre-loop constant or a function parameter
+    for name in sorted(carried):
+        if name not in pre_init and name not in scalar_params:
+            raise FrontendError(
+                f"carried scalar {name!r} needs an initial value (pre-loop "
+                "constant or function parameter)",
+                filename=nest.filename, line=nest.line, col=0,
+            )
+
+    return LoopInfo(
+        nest=nest,
+        arrays=array_dtypes,
+        scalar_params=scalar_params,
+        unused_params=unused,
+        locals=set(assigned),
+        carried=carried,
+        pre_init=pre_init,
+        live_out=live_out,
+        int_scalars=int_scalars - arrays,
+    )

@@ -1,0 +1,330 @@
+"""Parse stage: extract a counted ``for`` loop nest from Python source.
+
+The supported shape is the paper's compilation unit — one innermost
+counted loop inside a plain function — written the way numeric Python
+actually writes it::
+
+    def stencil3(n, a, out, c):
+        for i in range(n):
+            out[i] = c * (a[i] + a[i + 1] + a[i + 2])
+
+    def dot(n, x, y):
+        acc = 0.0
+        for i in range(n):
+            acc = acc + x[i] * y[i]
+        return acc
+
+Structure enforced here (everything else raises
+:class:`~repro.frontend.errors.FrontendError` with the offending
+line/col):
+
+* a plain ``def`` with positional parameters only (no defaults,
+  ``*args``, keyword-only or ``**kwargs``);
+* optionally, constant scalar initialisations before the loop
+  (``acc = 0.0`` — reduction seeds and loop-invariant constants);
+* exactly one ``for <idx> in range(<n>)`` where ``<n>`` names a
+  function parameter — ``while`` loops, nested ``for`` loops,
+  multi-argument ``range`` and ``for``/``else`` are rejected;
+* after the loop, at most one ``return`` of a name or tuple of names.
+
+The *contents* of the loop body are validated by the infer and lower
+stages; this stage only fixes the skeleton and records it as a
+:class:`LoopNest`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .errors import FrontendError
+
+__all__ = ["LoopNest", "PreInit", "parse_source", "iter_scalar_reads"]
+
+
+@dataclass(frozen=True)
+class PreInit:
+    """A constant scalar initialisation preceding the loop."""
+
+    name: str
+    value: float | int
+    line: int
+    col: int
+
+
+@dataclass
+class LoopNest:
+    """The extracted skeleton of one ingestible function."""
+
+    fn_name: str
+    filename: str
+    params: list[str]            # function parameters, in order
+    index: str                   # loop induction variable
+    trip: str                    # parameter naming the trip count
+    pre: list[PreInit]           # pre-loop constant scalar inits
+    body: list[ast.stmt]         # the raw loop-body statements
+    returns: list[str]           # names returned after the loop
+    line: int                    # lineno of the ``def``
+    fn_node: ast.FunctionDef = field(repr=False)
+
+
+def _err(msg: str, filename: str, node: ast.AST) -> FrontendError:
+    return FrontendError(msg, filename=filename, node=node)
+
+
+def _const_value(node: ast.expr) -> Optional[float | int]:
+    """Evaluate a literal number, allowing a leading unary minus."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_value(node.operand)
+        if inner is not None:
+            return -inner
+    return None
+
+
+_STMT_NAMES = {
+    ast.While: "while-loop",
+    ast.With: "with-block",
+    ast.Try: "try-block",
+    ast.FunctionDef: "nested function definition",
+    ast.AsyncFunctionDef: "async function definition",
+    ast.ClassDef: "class definition",
+    ast.Import: "import statement",
+    ast.ImportFrom: "import statement",
+    ast.Raise: "raise statement",
+    ast.Assert: "assert statement",
+    ast.Delete: "del statement",
+    ast.Global: "global declaration",
+    ast.Nonlocal: "nonlocal declaration",
+    ast.Break: "break",
+    ast.Continue: "continue",
+}
+
+
+def describe_stmt(node: ast.stmt) -> str:
+    """Human name for an unsupported statement node."""
+    for typ, name in _STMT_NAMES.items():
+        if isinstance(node, typ):
+            return name
+    return type(node).__name__.lower()
+
+
+def parse_source(
+    source: str,
+    filename: str = "<string>",
+    fn: str | None = None,
+) -> list[LoopNest]:
+    """Extract every ingestible function from ``source``.
+
+    ``fn`` restricts extraction to one named function.  Top-level
+    functions whose names start with ``_`` are skipped unless named
+    explicitly.  Module-level code other than ``def``, ``import`` and
+    docstrings is ignored (it only matters to the exec oracle, which
+    runs the module verbatim).
+    """
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        raise FrontendError(
+            f"syntax error: {exc.msg}", filename=filename,
+            line=exc.lineno, col=(exc.offset or 1) - 1,
+        ) from None
+
+    fns = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if fn is not None:
+        fns = [n for n in fns if n.name == fn]
+        if not fns:
+            raise FrontendError(
+                f"no function named {fn!r} in {filename}", filename=filename
+            )
+    else:
+        fns = [n for n in fns if not n.name.startswith("_")]
+        if not fns:
+            raise FrontendError(
+                "no ingestible function definitions found", filename=filename
+            )
+    return [_extract(node, filename) for node in fns]
+
+
+def _extract(node: ast.FunctionDef, filename: str) -> LoopNest:
+    args = node.args
+    if args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs:
+        raise _err(
+            f"function {node.name!r}: only plain positional parameters are "
+            "supported", filename, node,
+        )
+    if args.defaults or args.kw_defaults:
+        raise _err(
+            f"function {node.name!r}: parameter defaults are not supported",
+            filename, node,
+        )
+    params = [a.arg for a in args.args]
+    if len(params) != len(set(params)):
+        raise _err(f"function {node.name!r}: duplicate parameter", filename, node)
+
+    stmts = list(node.body)
+    # strip a docstring
+    if stmts and isinstance(stmts[0], ast.Expr) \
+            and isinstance(stmts[0].value, ast.Constant) \
+            and isinstance(stmts[0].value.value, str):
+        stmts = stmts[1:]
+
+    pre: list[PreInit] = []
+    i = 0
+    while i < len(stmts) and not isinstance(stmts[i], ast.For):
+        s = stmts[i]
+        if isinstance(s, ast.Assign):
+            if len(s.targets) != 1 or not isinstance(s.targets[0], ast.Name):
+                raise _err(
+                    "pre-loop statements must be simple scalar "
+                    "initialisations (`name = <number>`)", filename, s,
+                )
+            value = _const_value(s.value)
+            if value is None:
+                raise _err(
+                    "pre-loop initialiser must be a literal number "
+                    "(reduction seeds like `acc = 0.0`)", filename, s.value,
+                )
+            name = s.targets[0].id
+            if name in params:
+                raise _err(
+                    f"pre-loop initialiser shadows parameter {name!r}",
+                    filename, s,
+                )
+            if any(p.name == name for p in pre):
+                raise _err(
+                    f"duplicate pre-loop initialiser for {name!r}", filename, s
+                )
+            pre.append(PreInit(name, value, s.lineno, s.col_offset))
+            i += 1
+            continue
+        raise _err(
+            f"unsupported statement before the loop: {describe_stmt(s)}",
+            filename, s,
+        )
+
+    if i == len(stmts):
+        raise _err(
+            f"function {node.name!r} contains no for-loop", filename, node
+        )
+    loop = stmts[i]
+    assert isinstance(loop, ast.For)
+    if loop.orelse:
+        raise _err("for/else is not supported", filename, loop.orelse[0])
+    if not isinstance(loop.target, ast.Name):
+        raise _err(
+            "loop target must be a single name (no unpacking)", filename,
+            loop.target,
+        )
+    index = loop.target.id
+    it = loop.iter
+    if not (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+            and it.func.id == "range"):
+        raise _err(
+            "loop must iterate `range(n)` (enumerate/zip/arbitrary "
+            "iterables are not supported)", filename, it,
+        )
+    if len(it.args) != 1 or it.keywords:
+        raise _err(
+            "only single-argument `range(n)` is supported "
+            "(rewrite `range(lo, hi)` loops to start at zero)", filename, it,
+        )
+    trip_arg = it.args[0]
+    if not isinstance(trip_arg, ast.Name):
+        raise _err(
+            "the range() bound must be a function parameter name",
+            filename, trip_arg,
+        )
+    trip = trip_arg.id
+    if trip not in params:
+        raise _err(
+            f"trip count {trip!r} is not a function parameter",
+            filename, trip_arg,
+        )
+    if index in params:
+        raise _err(
+            f"loop index {index!r} shadows a function parameter",
+            filename, loop.target,
+        )
+    if any(p.name == index for p in pre):
+        raise _err(
+            f"loop index {index!r} shadows a pre-loop initialiser",
+            filename, loop.target,
+        )
+    # any nested for inside the body is rejected here (innermost loops
+    # are the compilation unit; ingest the inner loop as its own fn)
+    for inner in ast.walk(loop):
+        if inner is not loop and isinstance(inner, (ast.For, ast.While)):
+            kind = "nested loops are" if isinstance(inner, ast.For) \
+                else "while-loops are"
+            raise _err(
+                f"{kind} not supported inside the loop body "
+                "(ingest the innermost counted loop as its own function)",
+                filename, inner,
+            )
+
+    returns: list[str] = []
+    rest = stmts[i + 1:]
+    if len(rest) > 1 or (rest and not isinstance(rest[0], ast.Return)):
+        bad = rest[1] if isinstance(rest[0], ast.Return) else rest[0]
+        raise _err(
+            f"unsupported statement after the loop: {describe_stmt(bad)} "
+            "(only a single return is allowed)", filename, bad,
+        )
+    if rest:
+        ret = rest[0]
+        assert isinstance(ret, ast.Return)
+        if ret.value is not None:
+            elts = (ret.value.elts
+                    if isinstance(ret.value, ast.Tuple) else [ret.value])
+            for e in elts:
+                if not isinstance(e, ast.Name):
+                    raise _err(
+                        "return value must be a name or tuple of names",
+                        filename, e,
+                    )
+                returns.append(e.id)
+
+    return LoopNest(
+        fn_name=node.name,
+        filename=filename,
+        params=params,
+        index=index,
+        trip=trip,
+        pre=pre,
+        body=list(loop.body),
+        returns=returns,
+        line=node.lineno,
+        fn_node=node,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared read-walker (used by the infer stage)
+# ----------------------------------------------------------------------
+
+def iter_scalar_reads(expr: ast.expr) -> Iterator[ast.Name]:
+    """Yield every ``Name`` read inside ``expr`` in evaluation order,
+    skipping callables (``sqrt`` in ``math.sqrt(x)`` / ``abs(x)``) and
+    attribute bases (the ``math`` module object).  Array names *are*
+    yielded (the caller filters them against its array set)."""
+    if isinstance(expr, ast.Name):
+        if isinstance(expr.ctx, ast.Load):
+            yield expr
+        return
+    if isinstance(expr, ast.Call):
+        # skip expr.func entirely: `math.sqrt` / `abs` are not data reads
+        for a in expr.args:
+            yield from iter_scalar_reads(a)
+        for kw in expr.keywords:
+            yield from iter_scalar_reads(kw.value)
+        return
+    if isinstance(expr, ast.Attribute):
+        # attribute chains (math.pi) are not scalar reads of `math`
+        return
+    for child in ast.iter_child_nodes(expr):
+        if isinstance(child, ast.expr):
+            yield from iter_scalar_reads(child)

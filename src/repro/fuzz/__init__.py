@@ -17,7 +17,7 @@ from .campaign import (
     replay_artifact,
     run_campaign,
 )
-from .gen import Draw, RandomDraw, build_loop
+from .gen import Draw, RandomDraw, build_loop, mutate_loop
 from .shrink import loop_size, shrink_loop
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "FuzzResult",
     "RandomDraw",
     "build_loop",
+    "mutate_loop",
     "decode_loop",
     "encode_loop",
     "load_artifact",

@@ -37,7 +37,7 @@ from ..sim import MachineFailure, MachineParams, MemoryFault, SimError
 from ..verify import verify_result
 from ..workload import random_workload
 from .artifact import save_artifact
-from .gen import RandomDraw, build_loop
+from .gen import RandomDraw, build_loop, mutate_loop
 from .shrink import loop_size, shrink_loop
 
 __all__ = [
@@ -188,6 +188,46 @@ def probe_loop(
     return f"dynamic-only:{dynamic}"
 
 
+def _probe_finite(loop: Loop, trip: int) -> bool:
+    """True when the reference interpreter stays finite on the probe
+    workload.  NaN never compares equal, so a loop that legitimately
+    computes NaN/inf would read as a verify mismatch — a false finding
+    — and must be filtered before probing."""
+    import math
+
+    import numpy as np
+
+    try:
+        ref = run_loop(loop, random_workload(loop, trip=trip, seed=1))
+    except Exception:
+        return False
+    for arr in ref.arrays.values():
+        if arr.dtype.kind == "f" and not np.isfinite(arr).all():
+            return False
+    for v in ref.scalars.values():
+        if isinstance(v, float) and not math.isfinite(v):
+            return False
+    return True
+
+
+def _corpus_bases(corpus: str) -> list[Loop]:
+    """Base loops for a mutation corpus (empty for pure generation)."""
+    if corpus == "gen":
+        return []
+    if corpus == "frontend":
+        from ..kernels import frontend_kernels
+
+        specs = frontend_kernels()
+        if not specs:
+            raise ValueError(
+                "fuzz corpus 'frontend' selected but no frontend kernels "
+                "are registered (add files under examples/ingest/ or run "
+                "`repro ingest`)"
+            )
+        return [spec.loop() for spec in specs]
+    raise ValueError(f"unknown fuzz corpus {corpus!r} (expected gen|frontend)")
+
+
 def run_campaign(
     seed: int = 0,
     *,
@@ -200,6 +240,7 @@ def run_campaign(
     metrics=None,
     shrink: bool = True,
     max_shrink_probes: int = 400,
+    corpus: str = "gen",
     log=None,
 ) -> FuzzResult:
     """Run the campaign until the trial or time budget is exhausted.
@@ -210,9 +251,16 @@ def run_campaign(
     function of ``seed``: trial ``t`` draws from
     ``random.Random(f"{seed}:{t}")``, so any finding replays from its
     ``(seed, trial)`` pair alone.
+
+    ``corpus`` selects where trial programs come from: ``"gen"`` draws
+    fresh loops from the shared grammar; ``"frontend"`` picks a
+    frontend-ingested kernel and applies small structure-preserving
+    mutations (:func:`repro.fuzz.mutate_loop`), so the campaign probes
+    real-loop-shaped programs rather than only grammar-shaped ones.
     """
     if trials is None and max_seconds is None:
         trials = 25
+    bases = _corpus_bases(corpus)
     start = time.monotonic()
     out = FuzzResult(seed=seed)
     t = 0
@@ -221,10 +269,18 @@ def run_campaign(
             break
         if max_seconds is not None and time.monotonic() - start >= max_seconds:
             break
-        loop = build_loop(
-            RandomDraw(random.Random(f"{seed}:{t}")),
-            name=f"fuzz{seed}_{t}",
-        )
+        draw = RandomDraw(random.Random(f"{seed}:{t}"))
+        if bases:
+            base = draw.sampled_from(bases)
+            loop = mutate_loop(draw, base, name=f"fuzz{seed}_{t}")
+            if not _probe_finite(loop, trip):
+                # a const mutation went non-finite: fall back to the
+                # value-preserving swap-only variant of the same base
+                loop = mutate_loop(
+                    draw, base, name=f"fuzz{seed}_{t}", allow_const=False
+                )
+        else:
+            loop = build_loop(draw, name=f"fuzz{seed}_{t}")
         out.trials += 1
         if metrics is not None:
             metrics.counter("fuzz.trials").inc()

@@ -17,10 +17,10 @@ from __future__ import annotations
 import random
 
 from ..ir import F64, LoopBuilder, as_expr, fabs, sqrt
-from ..ir.nodes import Expr, fmax, fmin
-from ..ir.stmts import Loop
+from ..ir.nodes import BinOp, Const, Expr, fmax, fmin, iter_nodes
+from ..ir.stmts import Assign, If, Loop, Store
 
-__all__ = ["Draw", "RandomDraw", "build_loop"]
+__all__ = ["Draw", "RandomDraw", "build_loop", "mutate_loop"]
 
 
 class Draw:
@@ -95,6 +95,91 @@ def _expr(draw: Draw, arrays, scalars, i, depth: int) -> Expr:
         return fmax(a, c)
     # safe division: denominator bounded away from zero
     return a / (fabs(c) + 0.5)
+
+
+#: BinOps whose operand order never changes the value (IEEE add/mul
+#: are commutative for non-NaN inputs; min/max likewise).
+_COMMUTATIVE = ("add", "mul", "min", "max")
+
+#: magnitude ceiling for mutated float constants: keeps index chains
+#: like ``j = int(a[i] * c)`` (array values < 2.0) inside the
+#: ``trip + 64`` slack that random_workload allocates.
+_CONST_CAP = 16.0
+
+
+def _walk_stmts(stmts):
+    for s in stmts:
+        yield s
+        if isinstance(s, If):
+            yield from _walk_stmts(s.then)
+            yield from _walk_stmts(s.orelse)
+
+
+def mutate_loop(
+    draw: Draw,
+    loop: Loop,
+    name: str | None = None,
+    *,
+    allow_const: bool = True,
+) -> Loop:
+    """A structure-preserving variant of ``loop`` for corpus fuzzing.
+
+    Applies 1-3 small mutations to a deep copy: swapping the operands
+    of a commutative BinOp, or rescaling a float constant.  The result
+    is a *new* program — the differential oracle compares interpreter
+    against simulator on it, so value changes are fine; what a mutation
+    must never do is manufacture a false finding, hence the guard
+    rails: float constants only (integer constants feed subscript
+    arithmetic, where a change could run an access out of bounds),
+    sign-preserving scale factors capped at ``|v| <= 16`` (index
+    chains stay inside the workload slack), and never zero or negation
+    (denominators stay bounded away from zero).  ``allow_const=False``
+    restricts to operand swaps, which are value-preserving — the
+    fallback when a const mutation pushed the program non-finite
+    (NaN never compares equal, so it would read as a miscompile).
+    """
+    from .artifact import decode_loop, encode_loop
+
+    out = decode_loop(encode_loop(loop))  # private deep copy
+    out.name = name if name is not None else f"{loop.name}-mut"
+    swaps: list[BinOp] = []
+    consts: list[Const] = []
+    for s in _walk_stmts(out.body):
+        if isinstance(s, If):
+            exprs = [s.cond]
+        elif isinstance(s, Store):
+            exprs = [s.expr]  # never the index: bounds are sacred
+        elif isinstance(s, Assign):
+            exprs = [s.expr]
+        else:  # pragma: no cover - no other stmt kinds today
+            continue
+        for e in exprs:
+            for node in iter_nodes(e):
+                if isinstance(node, BinOp) and node.op in _COMMUTATIVE:
+                    swaps.append(node)
+                elif (
+                    isinstance(node, Const)
+                    and node.dtype.is_float
+                    and node.value != 0.0
+                ):
+                    consts.append(node)
+    if not allow_const:
+        consts = []
+    sites: list[tuple[str, object]] = [("swap", n) for n in swaps]
+    sites += [("const", n) for n in consts]
+    if not sites:
+        return out  # renamed copy: still a valid (if dull) trial
+    for _ in range(draw.integers(1, 3)):
+        kind, node = draw.sampled_from(sites)
+        if kind == "swap":
+            node.lhs, node.rhs = node.rhs, node.lhs
+        else:
+            factor = draw.sampled_from([0.5, 1.5, 2.0])
+            v = node.value * factor
+            if abs(v) > _CONST_CAP:
+                v = node.value * 0.5
+            node.value = v
+    return out
 
 
 def build_loop(draw: Draw, name: str = "fuzz") -> Loop:

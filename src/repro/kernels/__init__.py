@@ -1,10 +1,14 @@
-"""Kernel suite: the 18 Table-I loops + the full 51-loop §IV corpus."""
+"""Kernel suite: the 18 Table-I loops + the full 51-loop §IV corpus,
+plus any loops ingested from real Python source (``frontend/`` names,
+see :mod:`repro.frontend`)."""
 
 from .base import (
     CATEGORIES,
+    ORIGINS,
     KernelSpec,
     all_kernels,
     corpus_kernels,
+    frontend_kernels,
     get_kernel,
     register,
     table1_kernels,
@@ -12,9 +16,11 @@ from .base import (
 
 __all__ = [
     "CATEGORIES",
+    "ORIGINS",
     "KernelSpec",
     "all_kernels",
     "corpus_kernels",
+    "frontend_kernels",
     "get_kernel",
     "register",
     "table1_kernels",

@@ -29,10 +29,17 @@ CATEGORIES = (
 )
 
 
+#: Where a kernel came from: reconstructed Table-I loops are
+#: ``hand-built``, the §IV taxonomy corpus is ``synthetic``, and loops
+#: ingested from real Python source by :mod:`repro.frontend` are
+#: ``frontend``.
+ORIGINS = ("hand-built", "synthetic", "frontend")
+
+
 @dataclass(frozen=True)
 class KernelSpec:
     name: str
-    app: str                       # lammps | irs | umt2k | sphot | amg
+    app: str                       # lammps | irs | umt2k | sphot | amg | frontend
     source: str                    # "file, function, line" as in Table I
     pct_time: float                # % of app dynamic time (Table I)
     category: str
@@ -42,10 +49,13 @@ class KernelSpec:
     scalars: Mapping[str, float | int] = field(default_factory=dict)
     specs: Mapping[str, ArraySpec] = field(default_factory=dict)
     notes: str = ""
+    origin: str = "hand-built"
 
     def __post_init__(self) -> None:
         if self.category not in CATEGORIES:
             raise ValueError(f"bad category {self.category!r}")
+        if self.origin not in ORIGINS:
+            raise ValueError(f"bad origin {self.origin!r}")
 
     def loop(self) -> Loop:
         return self.build()
@@ -94,9 +104,19 @@ def table1_kernels() -> list[KernelSpec]:
 
 
 def corpus_kernels() -> list[KernelSpec]:
-    """All 51 hot loops of the §IV characterization study."""
+    """All 51 hot loops of the §IV characterization study.
+
+    Frontend-ingested kernels are deliberately excluded: the paper's
+    taxonomy counts cover exactly the 51 Sequoia loops.
+    """
     _ensure_loaded()
-    return [k for k in _REGISTRY.values()]
+    return [k for k in _REGISTRY.values() if k.origin != "frontend"]
+
+
+def frontend_kernels() -> list[KernelSpec]:
+    """Kernels ingested from real Python source (``frontend/`` names)."""
+    _ensure_loaded()
+    return [k for k in _REGISTRY.values() if k.origin == "frontend"]
 
 
 _loaded = False
@@ -106,6 +126,10 @@ def _ensure_loaded() -> None:
     global _loaded
     if _loaded:
         return
-    from . import corpus, irs, lammps, sphot, umt2k  # noqa: F401 (registration side effects)
-
+    # mark loaded *before* the imports: the frontend autoload registers
+    # through this module, and must not recurse into loading.
     _loaded = True
+    from . import corpus, irs, lammps, sphot, umt2k  # noqa: F401 (registration side effects)
+    from ..frontend.corpus import autoload
+
+    autoload()

@@ -145,7 +145,7 @@ def _reg(name, app, source, pct, category, build, **kw):
     register(
         KernelSpec(
             name=name, app=app, source=source, pct_time=pct,
-            category=category, build=build, **kw,
+            category=category, build=build, origin="synthetic", **kw,
         )
     )
 

@@ -59,10 +59,14 @@ class TestCommands:
         assert main(["experiment", "E1"]) == 0
         assert "51" in capsys.readouterr().out
 
-    def test_experiment_help_covers_e11(self):
-        parser = build_parser()
-        text = parser.format_help()
-        assert "E1..E11|all" in text
+    def test_experiment_help_covers_registry(self):
+        """The help string must name the registry's full E-range, so it
+        cannot go stale when a new experiment lands."""
+        from repro.experiments import REGISTRY
+
+        last = max(int(eid[1:]) for eid in REGISTRY)
+        text = build_parser().format_help()
+        assert f"E1..E{last}|all" in text
 
     def test_experiment_e1_warns_on_trip(self, capsys):
         assert main(["experiment", "E1", "--trip", "10"]) == 0
@@ -173,6 +177,122 @@ class TestCommands:
     def test_characterize(self, capsys):
         assert main(["characterize"]) == 0
         assert "amenable" in capsys.readouterr().out
+
+
+class TestFrontendCommands:
+    """`repro ingest` / `repro kernels` / frontend-aware flags."""
+
+    def test_list_has_origin_column(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "hand-built" in out and "synthetic" in out
+
+    def test_list_origin_filter(self, capsys):
+        assert main(["list", "--origin", "hand-built"]) == 0
+        out = capsys.readouterr().out
+        assert "lammps-1" in out and "synthetic" not in out
+
+    def test_kernels_list_matches_list(self, capsys):
+        assert main(["list"]) == 0
+        flat = capsys.readouterr().out
+        assert main(["kernels", "list"]) == 0
+        assert capsys.readouterr().out == flat
+
+    def test_kernels_show(self, capsys):
+        assert main(["kernels", "show", "umt2k-5"]) == 0
+        out = capsys.readouterr().out
+        assert "loop umt2k-5" in out and "flat umt2k-5" in out
+
+    def test_kernels_run(self, capsys):
+        rc = main(["kernels", "run", "umt2k-1", "--cores", "2",
+                   "--trip", "24"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "speedup" in out and "bit-exact    : True" in out
+
+    def test_ingest_file(self, capsys, tmp_path):
+        src = tmp_path / "tri.py"
+        src.write_text(
+            "def tri_scale(n, a, b, c, s):\n"
+            "    for i in range(n):\n"
+            "        c[i] = a[i] * s + b[i]\n"
+        )
+        rc = main(["ingest", str(src)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "frontend/tri_scale" in out and "oracle ok" in out
+
+    def test_ingest_registers_kernel(self, capsys, tmp_path):
+        from repro.kernels import get_kernel
+
+        src = tmp_path / "reg.py"
+        src.write_text(
+            "def reg_probe(n, a, b):\n"
+            "    for i in range(n):\n"
+            "        b[i] = a[i] + 1.0\n"
+        )
+        assert main(["ingest", str(src)]) == 0
+        capsys.readouterr()
+        spec = get_kernel("frontend/reg_probe")
+        assert spec.origin == "frontend"
+        rc = main(["run", "frontend/reg_probe", "--cores", "2",
+                   "--trip", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "bit-exact    : True" in out
+
+    def test_ingest_reports_error_with_location(self, capsys, tmp_path):
+        src = tmp_path / "bad.py"
+        src.write_text(
+            "def nope(n, a):\n"
+            "    for i in range(n):\n"
+            "        while a[i] > 0.0:\n"
+            "            a[i] = a[i] - 1.0\n"
+        )
+        assert main(["ingest", str(src)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:3:" in out and "while" in out
+
+    def test_ingest_missing_file(self, capsys):
+        assert main(["ingest", "/no/such/file.py"]) == 1
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_ingest_unknown_function(self, capsys, tmp_path):
+        src = tmp_path / "one.py"
+        src.write_text(
+            "def present(n, a):\n"
+            "    for i in range(n):\n"
+            "        a[i] = a[i] * 2.0\n"
+        )
+        assert main(["ingest", str(src), "--fn", "absent"]) == 1
+        assert "absent" in capsys.readouterr().out
+
+    def test_fuzz_frontend_corpus(self, capsys):
+        from repro.kernels import all_kernels, frontend_kernels
+
+        all_kernels()  # trigger the examples/ingest autoload
+        if not frontend_kernels():
+            pytest.skip("no frontend corpus available")
+        rc = main(["fuzz", "--corpus", "frontend", "--trials", "2",
+                   "--trip", "12"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "0 finding(s)" in out
+
+    def test_characterize_frontend_namespace(self, capsys):
+        from repro.kernels import all_kernels, frontend_kernels
+
+        all_kernels()
+        if not frontend_kernels():
+            pytest.skip("no frontend corpus available")
+        assert main(["characterize", "--namespace", "frontend"]) == 0
+        out = capsys.readouterr().out
+        assert "Ingested-corpus characterization" in out
+        assert "frontend/" in out
+
+    def test_characterize_all_namespaces(self, capsys):
+        assert main(["characterize", "--namespace", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "paper §IV" in out or "Code characterization" in out
 
 
 class TestObservabilityCommands:
