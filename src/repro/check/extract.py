@@ -346,9 +346,18 @@ def summarize_program(program: Program, core: int,
     return CoreSummary(core=core, ops=seq.ops, problems=seq.problems)
 
 
-def summarize_all(programs: list[Program]) -> list[CoreSummary]:
+def summarize_all(
+    programs: list[Program],
+    dispatch: dict[int, int] | None = None,
+) -> list[CoreSummary]:
     """Summarize every core, resolving §III-G driver dispatch from the
-    main-style cores' enqueue streams."""
+    main-style cores' enqueue streams.
+
+    ``dispatch`` explicitly maps driver core id -> function-table index.
+    Stealing-mode kernels need it: their dispatch index travels in a
+    preloaded ``__fib<core>`` register, so it cannot be read off the
+    instruction stream the way the static lowering's ``Imm`` can.
+    """
     summaries: list[CoreSummary | None] = [None] * len(programs)
     drivers: list[int] = []
     for cid, prog in enumerate(programs):
@@ -357,7 +366,15 @@ def summarize_all(programs: list[Program]) -> list[CoreSummary]:
         else:
             summaries[cid] = summarize_program(prog, cid)
     for cid in drivers:
-        fn, problem = _find_dispatch_fn(summaries, cid, programs[cid])
+        if dispatch is not None and cid in dispatch:
+            fn, problem = dispatch[cid], None
+            if not (0 <= fn < len(programs[cid].functions)):
+                fn, problem = None, (
+                    f"core {cid}: dispatched function index "
+                    f"{dispatch[cid]} out of range"
+                )
+        else:
+            fn, problem = _find_dispatch_fn(summaries, cid, programs[cid])
         if fn is None:
             s = CoreSummary(core=cid, is_driver=True)
             s.problems.append(problem)

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..ir.types import VClass
 from ..isa.instructions import Imm, QueueId
 from ..isa.program import Program
 from .extract import REGIONS, CoreSummary, GInstr, summarize_all
@@ -194,6 +195,7 @@ def _pair_region(
     enqs: list[GInstr],
     deqs: list[GInstr],
     diags: list[Diagnostic],
+    check_tags: bool = True,
 ) -> list[tuple[GInstr, GInstr]]:
     key = _qkey(q)
     groups_e: dict[frozenset, list[GInstr]] = {}
@@ -261,8 +263,13 @@ def _pair_region(
             ),
         ))
 
-    # Check 1a: paired slots must name the same value.
+    # Check 1a: paired slots must name the same value.  Exempted for
+    # CTL dispatch channels (check_tags=False): the producer names the
+    # placement register (``__fib<s>``), the consumer its private
+    # ``__fn`` — differing by design, FIFO/count/deadlock still checked.
     for k, (e, d) in enumerate(pairs):
+        if not check_tags:
+            break
         if e.tag is not None and d.tag is not None and e.tag != d.tag:
             diags.append(Diagnostic(
                 category="fifo-mismatch",
@@ -301,13 +308,13 @@ def _deadlock_scan(
     summaries: list[CoreSummary],
     queues: list[QueueId],
     per_iter: dict[QueueId, int],
-    depth: int,
+    depths: dict[QueueId, int],
     max_unroll: int,
     diags: list[Diagnostic],
 ) -> int:
-    body_counts = [c for c in per_iter.values() if c > 0]
+    body_counts = [(depths[q], c) for q, c in per_iter.items() if c > 0]
     if body_counts:
-        need = max(depth // c + 2 for c in body_counts)
+        need = max(d // c + 2 for d, c in body_counts)
         k = max(2, min(max_unroll, need))
     else:
         k = 1
@@ -353,6 +360,7 @@ def _deadlock_scan(
 
     for q in queues:
         es, ds = enq_fifo[q], deq_fifo[q]
+        depth = depths[q]
         n = min(len(es), len(ds))  # equal when pairing verified
         for m in range(n):
             succ[es[m]].append(ds[m])          # dequeue waits on enqueue
@@ -373,11 +381,13 @@ def _deadlock_scan(
             "dynamically, but the schedule still violates the rank-order "
             "discipline)" if conflict else ""
         )
+        depth_by_key = {_qkey(q): d for q, d in depths.items()}
         diags.append(Diagnostic(
             category="deadlock-cycle",
             queue=node_queue[cycle[0]],
             message=(
-                f"cyclic blocking at queue depth {depth} over "
+                f"cyclic blocking at queue depth "
+                f"{depth_by_key[node_queue[cycle[0]]]} over "
                 f"{len(cycle)} transfer(s){note}"
             ),
             cycle=tuple(node_desc[n] for n in cycle),
@@ -507,6 +517,9 @@ def check_programs(
     preload: dict[int, set[str]] | None = None,
     plan=None,
     max_unroll: int = 64,
+    placement: dict[int, int] | None = None,
+    dispatch: dict[int, int] | None = None,
+    queue_depths: dict[tuple, int] | None = None,
 ) -> CheckReport:
     """Verify the queue protocol of a set of per-core programs.
 
@@ -514,16 +527,34 @@ def check_programs(
     initializes (the primary's scalar parameters); ``plan`` is an
     optional :class:`~repro.compiler.comm.CommPlan` cross-checked
     against the extracted body transfers.
+
+    Stealing-mode artifacts add three inputs: ``placement`` maps core id
+    -> fiber pid (data queues are *fiber*-keyed, so ownership and
+    pairing resolve through it; CTL dispatch queues stay core-keyed),
+    ``dispatch`` maps driver core -> function-table index (what the
+    preloaded ``__fib<core>`` register will hold), and ``queue_depths``
+    maps ``(src, dst, vclass)`` keys to per-queue capacity overrides —
+    the deadlock scan then models exactly the depths the adaptive
+    runtime configured.
     """
     report = CheckReport(n_cores=len(programs), queue_depth=queue_depth)
     diags = report.diagnostics
-    summaries = summarize_all(programs)
+    summaries = summarize_all(programs, dispatch=dispatch)
     for s in summaries:
         for p in s.problems:
             diags.append(Diagnostic(
                 category="malformed-program",
                 message=f"core {s.core}: {p}",
             ))
+
+    # fiber pid -> executing core (identity without a placement; the
+    # primary is pinned so pid 0 always resolves to core 0).
+    core_of = {fiber: core for core, fiber in (placement or {}).items()}
+
+    def _core_for(pid: int, vclass: VClass) -> int:
+        if vclass is VClass.CTL:
+            return pid  # CTL channels are keyed by core, not fiber
+        return core_of.get(pid, pid)
 
     # Queue inventory + single-producer/single-consumer ownership.
     queues: list[QueueId] = []
@@ -539,7 +570,8 @@ def check_programs(
                 continue
             if q not in queues:
                 queues.append(q)
-            owner = q.src if g.instr.op == "enq" else q.dst
+            pid = q.src if g.instr.op == "enq" else q.dst
+            owner = _core_for(pid, q.vclass)
             if owner != s.core:
                 diags.append(Diagnostic(
                     category="malformed-program",
@@ -555,7 +587,10 @@ def check_programs(
     pairing_clean = not diags
     per_iter: dict[QueueId, int] = {}
     for q in queues:
-        if not (0 <= q.src < len(summaries) and 0 <= q.dst < len(summaries)):
+        src_core = _core_for(q.src, q.vclass)
+        dst_core = _core_for(q.dst, q.vclass)
+        if not (0 <= src_core < len(summaries)
+                and 0 <= dst_core < len(summaries)):
             diags.append(Diagnostic(
                 category="malformed-program",
                 queue=_qkey(q),
@@ -563,8 +598,8 @@ def check_programs(
             ))
             pairing_clean = False
             continue
-        enqs = summaries[q.src].queue_ops_of(q, "enq")
-        deqs = summaries[q.dst].queue_ops_of(q, "deq")
+        enqs = summaries[src_core].queue_ops_of(q, "enq")
+        deqs = summaries[dst_core].queue_ops_of(q, "deq")
         before = len(diags)
         body_pairs = 0
         for region in REGIONS:
@@ -573,6 +608,7 @@ def check_programs(
                 [g for g in enqs if g.region == region],
                 [g for g in deqs if g.region == region],
                 diags,
+                check_tags=q.vclass is not VClass.CTL,
             )
             if region == "body":
                 body_pairs = len(pairs)
@@ -590,8 +626,10 @@ def check_programs(
     # The wait-for graph presumes a validated pairing; skip it when the
     # cheaper checks already rejected the artifact.
     if pairing_clean:
+        overrides = queue_depths or {}
+        depths = {q: overrides.get(_qkey(q), queue_depth) for q in queues}
         report.unrolled_iters = _deadlock_scan(
-            summaries, queues, per_iter, queue_depth, max_unroll, diags,
+            summaries, queues, per_iter, depths, max_unroll, diags,
         )
     return report
 
@@ -628,15 +666,43 @@ def _cross_check_plan(plan, summaries: list[CoreSummary],
             ))
 
 
-def check_kernel(kernel, *, queue_depth: int = 20,
-                 max_unroll: int = 64) -> CheckReport:
-    """Verify a :class:`~repro.isa.lower.LoweredKernel` end to end."""
+def check_kernel(kernel, *, queue_depth: int = 20, max_unroll: int = 64,
+                 placement: dict[int, int] | None = None,
+                 queue_depths: dict[tuple, int] | None = None) -> CheckReport:
+    """Verify a :class:`~repro.isa.lower.LoweredKernel` end to end.
+
+    For a stealing-mode kernel the checker models the exact dynamic
+    configuration: ``placement`` (core -> fiber, identity by default) is
+    validated for bijectivity and resolved into the dispatch indices the
+    loader will preload; ``queue_depths`` carries any self-tuned
+    per-queue capacities (same ``(src, dst, vclass)`` keys as
+    :class:`~repro.sim.machine.MachineParams.queue_depths`).
+    """
     loop = kernel.plan.loop
-    preload = {0: {p.name for p in loop.params}}
+    preload_regs = {p.name for p in loop.params}
+    dispatch = None
+    if kernel.dispatch_regs:
+        placement = placement or kernel.identity_placement()
+        kernel.dispatch_preload(placement)  # validates bijectivity, loudly
+        dispatch = {
+            s: kernel.fiber_table[placement.get(s, s)]
+            for s in kernel.dispatch_regs
+        }
+        preload_regs |= set(kernel.dispatch_regs.values())
+    elif placement is not None and any(
+        placement.get(s, s) != s for s in range(kernel.n_cores)
+    ):
+        raise ValueError(
+            "static-mode kernel cannot be checked under a non-identity "
+            "placement; compile with runtime_mode='stealing'"
+        )
     return check_programs(
         kernel.programs,
         queue_depth=queue_depth,
-        preload=preload,
+        preload={0: preload_regs},
         plan=kernel.plan.comm,
         max_unroll=max_unroll,
+        placement=placement if kernel.dispatch_regs else None,
+        dispatch=dispatch,
+        queue_depths=queue_depths,
     )

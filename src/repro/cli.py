@@ -15,10 +15,15 @@ Commands
   (open in https://ui.perfetto.dev);
 * ``profile <kernel>`` — per-core stall attribution + queue pressure,
   and append the headline numbers to ``BENCH_obs.json``;
-* ``experiment <id>`` — run one paper artifact (E1..E12) or ``all``;
+* ``experiment <id>`` — run one paper artifact (E1..E13) or ``all``;
 * ``chaos`` — seeded fault-injection campaign over tier-1 kernels
   through the guarded runtime (resilience table, exit 1 on any
   silent corruption);
+* ``chaos-adapt`` — imbalance chaos campaign (E13): skewed-core fault
+  plans run static vs. adaptive (work-stealing placement, self-tuned
+  queue depths, checker-verified reconfiguration); exit 1 unless
+  adaptation wins on imbalanced cells with zero silent corruption;
+  updates ``BENCH_adaptive.json``;
 * ``chaos-serve`` — crash-safety campaign against the serving stack
   (E12): worker kills, daemon SIGKILL mid-sweep + journal resume,
   torn/garbage NDJSON, disk-full store writes; exit 1 on any
@@ -67,6 +72,10 @@ _CHAOS_DEFAULT_KERNELS = ("lammps-1", "irs-1", "umt2k-1", "sphot-2")
 #: mirrors :data:`repro.faults.SERVE_FAULT_KINDS` (same lazy-import
 #: rationale; a test asserts the two stay in sync).
 _SERVE_FAULT_KINDS = ("compute-crash", "store-enospc", "store-eio")
+
+#: mirrors :data:`repro.experiments.imbalance.DEFAULT_KERNELS` (same
+#: lazy-import rationale; a test asserts the two stay in sync).
+_ADAPT_DEFAULT_KERNELS = ("umt2k-1", "lammps-1", "irs-1", "sphot-2")
 
 
 def _cmd_list(args) -> int:
@@ -376,6 +385,57 @@ def _cmd_chaos(args) -> int:
     )
     print(chaos.format_result(res))
     return 0 if res.silent == 0 else 1
+
+
+def _cmd_chaos_adapt(args) -> int:
+    import json as _json
+
+    from .experiments import imbalance
+    from .kernels import get_kernel
+    from .obs.report import BENCH_ADAPTIVE_PATH, adaptive_bench_row, update_bench
+
+    kernels = imbalance.DEFAULT_KERNELS
+    if args.kernels:
+        try:
+            kernels = tuple(
+                get_kernel(name.strip()).name for name in args.kernels.split(",")
+            )
+        except KeyError as exc:
+            print(f"unknown kernel {exc.args[0]!r}; see `python -m repro list`")
+            return 2
+    scenarios = imbalance.SKEW_SCENARIOS
+    if args.scenarios:
+        wanted = [tok.strip() for tok in args.scenarios.split(",") if tok.strip()]
+        known = {s[0]: s for s in imbalance.SKEW_SCENARIOS}
+        bad = [s for s in wanted if s not in known]
+        if bad:
+            print(f"unknown scenario(s) {bad}; known: {sorted(known)}")
+            return 2
+        scenarios = tuple(known[s] for s in wanted)
+    res = imbalance.run(
+        trip=args.trip, seed=args.seed, kernels=kernels,
+        scenarios=scenarios, n_cores=args.cores,
+    )
+    print(imbalance.format_result(res))
+    if args.json:
+        doc = {
+            "cells": [adaptive_bench_row(c, trip=args.trip, cores=args.cores)
+                      for c in res.cells],
+            "counts": res.counts,
+            "total_checks": res.total_checks,
+            "ok": res.ok,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"json         : wrote {args.json}")
+    if not args.no_bench:
+        bench = args.bench or BENCH_ADAPTIVE_PATH
+        for c in res.cells:
+            update_bench(bench, adaptive_bench_row(
+                c, trip=args.trip, cores=args.cores,
+            ))
+        print(f"bench        : updated {bench}")
+    return 0 if res.ok else 1
 
 
 def _cmd_chaos_serve(args) -> int:
@@ -828,7 +888,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip updating the bench file")
     pp.set_defaults(fn=_cmd_profile)
 
-    ep = sub.add_parser("experiment", help="run a paper artifact (E1..E12|all)")
+    ep = sub.add_parser("experiment", help="run a paper artifact (E1..E13|all)")
     ep.add_argument("id")
     ep.add_argument("--trip", type=int, default=None,
                     help=f"evaluation trip count (default {_DEFAULT_TRIP}; "
@@ -881,6 +941,28 @@ def build_parser() -> argparse.ArgumentParser:
     xp.add_argument("--intensity", type=float, default=1.0,
                     help="fault probability scale (see FaultPlan.single)")
     xp.set_defaults(fn=_cmd_chaos)
+
+    xa = sub.add_parser(
+        "chaos-adapt",
+        help="imbalance chaos campaign (E13): static vs adaptive runtime "
+        "under skewed cores; exit 1 unless adaptation wins safely",
+    )
+    xa.add_argument("--kernels", default=None,
+                    help="comma-separated kernel names (default: adapt set "
+                    f"{','.join(_ADAPT_DEFAULT_KERNELS)})")
+    xa.add_argument("--scenarios", default=None,
+                    help="comma-separated skew scenario names "
+                    "(default: all, including the balanced control)")
+    xa.add_argument("--trip", type=int, default=48)
+    xa.add_argument("--seed", type=int, default=13)
+    xa.add_argument("--cores", type=int, default=4)
+    xa.add_argument("--json", default=None,
+                    help="also dump the full cell matrix JSON here")
+    xa.add_argument("--bench", default=None,
+                    help="bench file to update (default BENCH_adaptive.json)")
+    xa.add_argument("--no-bench", action="store_true",
+                    help="skip updating the bench file")
+    xa.set_defaults(fn=_cmd_chaos_adapt)
 
     xs = sub.add_parser(
         "chaos-serve",

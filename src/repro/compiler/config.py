@@ -70,3 +70,12 @@ class CompilerConfig:
     cost: CostModel = field(default_factory=CostModel)
     #: deterministic tie-breaking seed for the merge ordering.
     seed: int = 0
+    #: §III-G runtime flavour of the lowered artifact.  ``"static"``
+    #: pins fiber ``p`` to core ``p`` at compile time (the paper's
+    #: dispatch: one ``Imm`` function index per secondary).  With
+    #: ``"stealing"`` every secondary core carries the *full* fiber
+    #: table and the primary dispatches a function index read from a
+    #: preloaded ``__fib<core>`` register, so the fiber→core placement
+    #: becomes an execute-time choice (the adaptive runtime migrates
+    #: fibers by re-preloading those registers — no recompile).
+    runtime_mode: str = "static"

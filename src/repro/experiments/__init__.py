@@ -14,6 +14,7 @@ from . import (
     fig12_speedup,
     fig13_latency,
     fig14_speculation,
+    imbalance,
     table1_hotloops,
     table2_apps,
     table3_stats,
@@ -42,6 +43,7 @@ REGISTRY = {
     "E10": (ablation_adaptive, "latency-adaptive compilation (extension)"),
     "E11": (chaos, "fault-injection campaign (robustness extension)"),
     "E12": (chaos_serve, "chaos-serve campaign (crash-safety extension)"),
+    "E13": (imbalance, "imbalance chaos campaign (adaptive extension)"),
 }
 
 

@@ -57,6 +57,12 @@ class ExpConfig:
     #: queue latency the compiler plans against (E10 varies this
     #: independently of the machine's true ``queue_latency``).
     assumed_queue_latency: int = 5
+    #: route the cell through the adaptive runtime (guarded_run with
+    #: the adapt rung enabled: work-stealing placement + self-tuned
+    #: queue depths, every dynamic config checker-verified).  The
+    #: compiler emits the stealing protocol, so the store digest of an
+    #: adaptive cell differs from its static twin by construction.
+    adaptive: bool = False
 
     def compiler(self, profile_workload=None) -> CompilerConfig:
         return CompilerConfig(
@@ -65,6 +71,7 @@ class ExpConfig:
             throughput_heuristic=self.throughput_heuristic,
             multi_pair_merge=self.multi_pair_merge,
             assumed_queue_latency=self.assumed_queue_latency,
+            runtime_mode="stealing" if self.adaptive else "static",
             profile_workload=profile_workload,
         )
 
@@ -92,6 +99,10 @@ class KernelRun:
     #: True when no verified parallel result exists and the cell's
     #: trustworthy data came from the sequential path only.
     fallback: bool = False
+    #: escalation rung that served the result on adaptive cells
+    #: ("first-try" | "static" | "adaptive" | ... | "fallback");
+    #: None on plain static cells that never entered the guard.
+    resolved_by: str | None = None
 
     @property
     def speedup(self) -> float:
@@ -220,28 +231,57 @@ def run_kernel(
     qstall = 0.0
     instrs = 0
     failure = None
-    try:
-        k = compile_loop(loop, config.n_cores,
-                         config.compiler(profile_workload=wl), obs=obs)
-        stats = k.plan.stats
-        res = execute_kernel(k, wl, config.machine(), obs=obs)
-        par_cycles = res.cycles
-        qstall = res.total_queue_stall
-        instrs = res.total_instrs
-        correct = verify_result(ref, res)
-        if not correct:
-            failure = FailureKind.VERIFY_MISMATCH.value
-    except DeadlockError:
-        deadlocked = True
-        correct = False
-        failure = FailureKind.DEADLOCK.value
-    except (BudgetExceeded, MemoryFault, SimError) as exc:
-        # keep the grid alive: classify and record instead of crashing
-        # the whole sweep; the sequential baseline above is still valid.
-        log.warning("%s: parallel run failed (%s: %s)",
-                    spec.name, type(exc).__name__, exc)
-        correct = False
-        failure = classify_failure(exc).value
+    resolved_by = None
+    if config.adaptive:
+        # Adaptive cell: the whole compile/execute/verify path runs
+        # under the guard's escalation ladder (adapt -> relax ->
+        # sequential), and the rung that served the result lands in
+        # the record as provenance.
+        from ..runtime.guard import GuardPolicy, guarded_run
+
+        g = guarded_run(
+            loop, wl, config.n_cores,
+            config=config.compiler(profile_workload=wl),
+            params=config.machine(),
+            policy=GuardPolicy(adapt=True),
+            obs=obs,
+        )
+        correct = g.source == "parallel"
+        resolved_by = g.resolved_by
+        if g.sim is not None:
+            par_cycles = g.sim.cycles
+            qstall = g.sim.total_queue_stall
+            instrs = g.sim.total_instrs
+        if g.degraded:
+            deadlocked = any(
+                k is FailureKind.DEADLOCK for k in g.failure_kinds
+            )
+            failure = (g.failure_kinds[-1].value
+                       if g.failure_kinds else None)
+    else:
+        try:
+            k = compile_loop(loop, config.n_cores,
+                             config.compiler(profile_workload=wl), obs=obs)
+            stats = k.plan.stats
+            res = execute_kernel(k, wl, config.machine(), obs=obs)
+            par_cycles = res.cycles
+            qstall = res.total_queue_stall
+            instrs = res.total_instrs
+            correct = verify_result(ref, res)
+            if not correct:
+                failure = FailureKind.VERIFY_MISMATCH.value
+        except DeadlockError:
+            deadlocked = True
+            correct = False
+            failure = FailureKind.DEADLOCK.value
+        except (BudgetExceeded, MemoryFault, SimError) as exc:
+            # keep the grid alive: classify and record instead of
+            # crashing the whole sweep; the sequential baseline above
+            # is still valid.
+            log.warning("%s: parallel run failed (%s: %s)",
+                        spec.name, type(exc).__name__, exc)
+            correct = False
+            failure = classify_failure(exc).value
 
     run = KernelRun(
         kernel=spec.name,
@@ -255,6 +295,7 @@ def run_kernel(
         instrs=instrs,
         failure=failure,
         fallback=failure is not None,
+        resolved_by=resolved_by,
     )
     _cache[key] = run
     if store is not None:

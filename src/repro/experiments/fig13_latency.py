@@ -9,6 +9,13 @@ discusses 100):
 * 100 cycles — no speedup on average, only irs-1 and irs-4 still gain.
 
 "The technique is inherently sensitive to communication latencies."
+
+Extension: an **adaptive** series runs the same latency sweep through
+the adaptive runtime (``ExpConfig.adaptive`` — guarded execution with
+work-stealing placement and self-tuned queue depths, every dynamic
+configuration checker-verified).  On a balanced machine most cells
+resolve first-try, so the series doubles as a regression check that
+the stealing protocol costs nothing when there is nothing to adapt to.
 """
 
 from __future__ import annotations
@@ -27,15 +34,24 @@ class Fig13Result:
     rows: list[dict]           # per kernel: speedup at each latency
     avg: dict[int, float]
     no_speedup: dict[int, int]
+    #: adaptive-runtime series (extension): average speedup per latency
+    avg_adaptive: dict[int, float] | None = None
 
 
-def run(trip: int = 64, latencies: tuple[int, ...] = LATENCIES) -> Fig13Result:
+def run(trip: int = 64, latencies: tuple[int, ...] = LATENCIES,
+        adaptive: bool = True) -> Fig13Result:
     cfgs = {
         lat: ExpConfig(n_cores=4, queue_latency=lat, trip=trip)
         for lat in latencies
     }
-    grid = run_table1_grid(list(cfgs.values()))
+    acfgs = {
+        lat: ExpConfig(n_cores=4, queue_latency=lat, trip=trip,
+                       adaptive=True)
+        for lat in latencies
+    } if adaptive else {}
+    grid = run_table1_grid(list(cfgs.values()) + list(acfgs.values()))
     by_lat = {lat: grid[cfg] for lat, cfg in cfgs.items()}
+    a_by_lat = {lat: grid[cfg] for lat, cfg in acfgs.items()}
     rows = []
     for idx, base in enumerate(by_lat[latencies[0]]):
         row = {"kernel": base.kernel}
@@ -43,16 +59,28 @@ def run(trip: int = 64, latencies: tuple[int, ...] = LATENCIES) -> Fig13Result:
             r = by_lat[lat][idx]
             assert r.correct, f"{r.kernel}@lat{lat}: wrong results"
             row[f"speedup_{lat}"] = round(r.speedup, 2)
+            if adaptive:
+                ra = a_by_lat[lat][idx]
+                assert ra.correct, (
+                    f"{ra.kernel}@lat{lat}: adaptive cell not verified "
+                    f"(resolved_by={ra.resolved_by})"
+                )
+                row[f"adaptive_{lat}"] = round(ra.speedup, 2)
         rows.append(row)
     avg = {
         lat: round(amean(r.speedup for r in by_lat[lat]), 2)
         for lat in latencies
     }
+    avg_adaptive = {
+        lat: round(amean(r.speedup for r in a_by_lat[lat]), 2)
+        for lat in latencies
+    } if adaptive else None
     no_speedup = {
         lat: sum(1 for r in by_lat[lat] if r.speedup <= 1.0)
         for lat in latencies
     }
-    return Fig13Result(rows=rows, avg=avg, no_speedup=no_speedup)
+    return Fig13Result(rows=rows, avg=avg, no_speedup=no_speedup,
+                       avg_adaptive=avg_adaptive)
 
 
 def format_result(res: Fig13Result) -> str:
@@ -73,6 +101,12 @@ def format_result(res: Fig13Result) -> str:
         "paper avg:  "
         + " ".join(f"{PAPER_AVG.get(l, float('nan')):7.2f}" for l in lats)
     )
+    if res.avg_adaptive is not None:
+        lines.append(
+            f"{'adaptive':10s} "
+            + " ".join(f"{res.avg_adaptive[l]:7.2f}" for l in lats)
+            + "   (extension: adaptive-runtime series)"
+        )
     lines.append(
         "kernels w/o speedup: "
         + ", ".join(f"{l}cyc={res.no_speedup[l]}" for l in lats)

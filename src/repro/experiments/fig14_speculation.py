@@ -8,6 +8,11 @@ In this reproduction, speculation is compiled as a code version and
 selected by profile feedback (§III-I limitation 1), so kernels where
 executing both arms costs more than the removed serialization keep the
 non-speculative code — improvements only, like the paper's figure.
+
+Extension: an **adaptive** column reruns the base configuration through
+the adaptive runtime (``ExpConfig.adaptive``), showing the stealing
+protocol is performance-neutral on a balanced machine while the
+speculation comparison stays untouched.
 """
 
 from __future__ import annotations
@@ -27,50 +32,77 @@ class Fig14Result:
     avg_base: float
     avg_spec: float
     n_improved: int
+    #: adaptive-runtime series (extension): average speedup, base config
+    avg_adaptive: float | None = None
 
 
-def run(trip: int = 64) -> Fig14Result:
+def run(trip: int = 64, adaptive: bool = True) -> Fig14Result:
     cb = ExpConfig(n_cores=4, trip=trip)
     cs = ExpConfig(n_cores=4, trip=trip, speculation=True)
-    grid = run_table1_grid([cb, cs])
+    cfgs = [cb, cs]
+    ca = ExpConfig(n_cores=4, trip=trip, adaptive=True)
+    if adaptive:
+        cfgs.append(ca)
+    grid = run_table1_grid(cfgs)
     base, spec = grid[cb], grid[cs]
+    adapt = grid[ca] if adaptive else None
     rows = []
     improved = 0
-    for a, b in zip(base, spec):
+    for idx, (a, b) in enumerate(zip(base, spec)):
         assert b.correct, f"{b.kernel}: speculation broke results"
         gain = b.speedup / a.speedup if a.speedup else 1.0
         if gain > 1.02:
             improved += 1
-        rows.append(
-            {
-                "kernel": a.kernel,
-                "base": round(a.speedup, 2),
-                "speculated": round(b.speedup, 2),
-                "gain": round(gain, 3),
-            }
-        )
+        row = {
+            "kernel": a.kernel,
+            "base": round(a.speedup, 2),
+            "speculated": round(b.speedup, 2),
+            "gain": round(gain, 3),
+        }
+        if adapt is not None:
+            r = adapt[idx]
+            assert r.correct, (
+                f"{r.kernel}: adaptive cell not verified "
+                f"(resolved_by={r.resolved_by})"
+            )
+            row["adaptive"] = round(r.speedup, 2)
+        rows.append(row)
     return Fig14Result(
         rows=rows,
         avg_base=round(amean(r.speedup for r in base), 2),
         avg_spec=round(amean(r.speedup for r in spec), 2),
         n_improved=improved,
+        avg_adaptive=(round(amean(r.speedup for r in adapt), 2)
+                      if adapt is not None else None),
     )
 
 
 def format_result(res: Fig14Result) -> str:
+    has_adaptive = res.avg_adaptive is not None
+    head = f"{'kernel':10s} {'base':>6s} {'spec':>6s} {'gain':>6s}"
+    if has_adaptive:
+        head += f" {'adapt':>6s}"
     lines = [
         "Fig 14 — control-flow speculation (4 cores)",
-        f"{'kernel':10s} {'base':>6s} {'spec':>6s} {'gain':>6s}",
+        head,
     ]
     for r in res.rows:
-        lines.append(
+        line = (
             f"{r['kernel']:10s} {r['base']:6.2f} {r['speculated']:6.2f}"
             f" {r['gain']:6.3f}"
         )
+        if has_adaptive:
+            line += f" {r['adaptive']:6.2f}"
+        lines.append(line)
     lines.append(
         f"average {res.avg_base:.2f} -> {res.avg_spec:.2f}, "
         f"{res.n_improved} kernels improved "
         f"(paper: {PAPER_AVG_BASE} -> {PAPER_AVG_SPEC}, "
         f"{PAPER_N_IMPROVED} kernels)"
     )
+    if has_adaptive:
+        lines.append(
+            f"adaptive-runtime series (extension): average "
+            f"{res.avg_adaptive:.2f} on the base configuration"
+        )
     return "\n".join(lines)

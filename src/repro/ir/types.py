@@ -14,10 +14,17 @@ import enum
 
 class VClass(enum.Enum):
     """Queue/register class of a value (paper §V: "separate queues for
-    floating point values and for general-purpose register values")."""
+    floating point values and for general-purpose register values").
+
+    ``CTL`` is a third class used only by the work-stealing runtime
+    mode: per-*core* dispatch/STOP channels must stay distinct from the
+    per-*fiber* GPR data channels so every queue keeps a single
+    producer and a single consumer under any fiber→core placement.
+    """
 
     GPR = "gpr"
     FPR = "fpr"
+    CTL = "ctl"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"VClass.{self.name}"

@@ -55,10 +55,52 @@ class LoweredKernel:
     secondary_params: dict[int, list[str]]
     #: live-out temp -> owning pid
     liveout_owner: dict[str, int]
+    #: §III-G flavour: "static" (fiber p pinned to core p) or
+    #: "stealing" (every secondary carries the full fiber table and the
+    #: primary dispatches from preloaded ``__fib<core>`` registers).
+    runtime_mode: str = "static"
+    #: stealing mode: secondary fiber pid -> function-table index in
+    #: every secondary core's program (empty in static mode).
+    fiber_table: dict[int, int] = field(default_factory=dict)
+    #: stealing mode: secondary core id -> dispatch register the loader
+    #: preloads on the primary (empty in static mode).
+    dispatch_regs: dict[int, str] = field(default_factory=dict)
 
     @property
     def n_cores(self) -> int:
         return len(self.programs)
+
+    def identity_placement(self) -> dict[int, int]:
+        """The compile-time placement: core ``s`` runs fiber ``s``."""
+        return {s: s for s in range(self.n_cores)}
+
+    def dispatch_preload(
+        self, placement: dict[int, int] | None = None
+    ) -> dict[str, int]:
+        """Primary-core register preload realizing ``placement``
+        (core -> fiber pid; secondary cores only; identity default).
+
+        Static-mode kernels have no dispatch registers and return ``{}``
+        — their placement is burned into the programs.
+        """
+        if not self.dispatch_regs:
+            return {}
+        placement = placement or self.identity_placement()
+        out: dict[str, int] = {}
+        seen: set[int] = set()
+        for s, reg in self.dispatch_regs.items():
+            fiber = placement.get(s, s)
+            if fiber not in self.fiber_table:
+                raise LowerError(
+                    f"placement assigns core {s} unknown fiber {fiber}"
+                )
+            if fiber in seen:
+                raise LowerError(
+                    f"placement assigns fiber {fiber} to two cores"
+                )
+            seen.add(fiber)
+            out[reg] = self.fiber_table[fiber]
+        return out
 
 
 class _FnEmitter:
@@ -299,8 +341,16 @@ def _partition_reads_incl_writes(sched: PartitionSchedule) -> set[str]:
 # Whole-kernel lowering
 # ----------------------------------------------------------------------
 
-def lower_plan(plan: ParallelPlan) -> LoweredKernel:
-    """Produce one :class:`Program` per partition/core."""
+def lower_plan(plan: ParallelPlan, runtime_mode: str | None = None) -> LoweredKernel:
+    """Produce one :class:`Program` per partition/core.
+
+    ``runtime_mode`` (default: the plan's compiler config) selects the
+    §III-G flavour — see :class:`LoweredKernel`.
+    """
+    if runtime_mode is None:
+        runtime_mode = getattr(plan.config, "runtime_mode", "static")
+    if runtime_mode not in ("static", "stealing"):
+        raise LowerError(f"unknown runtime mode {runtime_mode!r}")
     loop = plan.loop
     param_dtype = {p.name: p.dtype for p in loop.params}
     n_parts = len(plan.partitions)
@@ -322,6 +372,11 @@ def lower_plan(plan: ParallelPlan) -> LoweredKernel:
     for sched in plan.schedules:
         if sched.pid != plan.primary_pid:
             secondary_params[sched.pid] = _needed_params(plan, sched)
+
+    if runtime_mode == "stealing":
+        return _lower_stealing(
+            plan, loop, param_dtype, n_parts, liveout_owner, secondary_params,
+        )
 
     programs: list[Program] = []
     for sched in plan.schedules:
@@ -391,6 +446,111 @@ def lower_plan(plan: ParallelPlan) -> LoweredKernel:
         primary_params=primary_params,
         secondary_params=secondary_params,
         liveout_owner=liveout_owner,
+    )
+
+
+def _lower_stealing(
+    plan: ParallelPlan,
+    loop,
+    param_dtype,
+    n_parts: int,
+    liveout_owner: dict[str, int],
+    secondary_params: dict[int, list[str]],
+) -> LoweredKernel:
+    """Work-stealing §III-G variant (adaptive-runtime extension).
+
+    Placement becomes an execute-time choice, under two invariants that
+    keep every queue single-producer/single-consumer for *any*
+    bijective secondary placement:
+
+    * dispatch and STOP travel on per-**core** ``CTL`` channels
+      ``(0 -> s, ctl)`` — whichever fiber core ``s`` runs, exactly one
+      core consumes that channel;
+    * all data stays on per-**fiber** GPR/FPR channels keyed by fiber
+      pids (``0 -> p`` arguments, body transfers, ``p -> 0`` copy-out
+      and done token) — fiber ``p`` runs on exactly one core, so each
+      fiber-keyed queue has exactly one consumer and one producer.
+
+    Every secondary core carries the full fiber table ``[driver, F_1,
+    .., F_k]``; the primary enqueues the function-table index held in
+    its preloaded ``__fib<s>`` register (identity placement unless the
+    loader overrides it — see :meth:`LoweredKernel.dispatch_preload`).
+    """
+    primary = plan.primary_pid
+    secondaries = sorted(
+        sched.pid for sched in plan.schedules if sched.pid != primary
+    )
+    fiber_table = {p: 1 + rank for rank, p in enumerate(secondaries)}
+    dispatch_regs = {s: f"__fib{s}" for s in secondaries}
+    sched_by_pid = {sched.pid: sched for sched in plan.schedules}
+
+    programs: list[Program] = [None] * n_parts  # type: ignore[list-item]
+
+    fe = _FnEmitter("main", primary)
+    for s in secondaries:
+        cq = QueueId(primary, s, VClass.CTL)
+        fe.emit(op="enq", queue=cq, a=dispatch_regs[s])
+    for p in secondaries:
+        gq = QueueId(primary, p, VClass.GPR)
+        fe.emit(op="enq", queue=gq, a=loop.trip)
+        for pname in secondary_params[p]:
+            vc = param_dtype[pname].vclass
+            fe.emit(op="enq", queue=QueueId(primary, p, vc), a=pname)
+    _emit_loop(fe, plan, sched_by_pid[primary])
+    for p in secondaries:
+        for name in sorted(loop.live_out):
+            if liveout_owner[name] == p:
+                vc = _liveout_vclass(plan, name, param_dtype)
+                fe.emit(op="deq", queue=QueueId(p, primary, vc), dst=name)
+        fe.emit(op="deq", queue=QueueId(p, primary, VClass.GPR),
+                dst=f"__done{p}")
+    for s in secondaries:
+        fe.emit(op="enq", queue=QueueId(primary, s, VClass.CTL), a=Imm(STOP))
+    fe.emit(op="halt")
+    programs[primary] = Program(f"core{primary}", [fe.build()], entry=0)
+
+    for s in secondaries:
+        drv = _FnEmitter("driver", s)
+        top = drv.fresh_label("Ldrv")
+        done = drv.fresh_label("Ldone")
+        cq_in = QueueId(primary, s, VClass.CTL)
+        drv.emit(op="lab", label=top)
+        drv.emit(op="deq", queue=cq_in, dst="__fn")
+        drv.emit(op="bin", fn="eq", dst="__stop", a="__fn", b=Imm(STOP))
+        drv.emit(op="tjp", a="__stop", label=done)
+        drv.emit(op="callr", a="__fn")
+        drv.emit(op="jp", label=top)
+        drv.emit(op="lab", label=done)
+        drv.emit(op="halt")
+
+        fns = [drv.build()]
+        for p in secondaries:
+            fn = _FnEmitter(f"F{p}", p)
+            fn.emit(op="deq", queue=QueueId(primary, p, VClass.GPR),
+                    dst=loop.trip)
+            for pname in secondary_params[p]:
+                vc = param_dtype[pname].vclass
+                fn.emit(op="deq", queue=QueueId(primary, p, vc), dst=pname)
+            _emit_loop(fn, plan, sched_by_pid[p])
+            for name in sorted(loop.live_out):
+                if liveout_owner[name] == p:
+                    vc = _liveout_vclass(plan, name, param_dtype)
+                    fn.emit(op="enq", queue=QueueId(p, primary, vc), a=name)
+            fn.emit(op="enq", queue=QueueId(p, primary, VClass.GPR), a=Imm(1))
+            fn.emit(op="ret")
+            fns.append(fn.build())
+        programs[s] = Program(f"core{s}", fns, entry=0)
+
+    primary_params = sorted({p.name for p in loop.params})
+    return LoweredKernel(
+        plan=plan,
+        programs=programs,
+        primary_params=primary_params,
+        secondary_params=secondary_params,
+        liveout_owner=liveout_owner,
+        runtime_mode="stealing",
+        fiber_table=fiber_table,
+        dispatch_regs=dispatch_regs,
     )
 
 

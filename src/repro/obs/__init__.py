@@ -39,6 +39,7 @@ from .report import (
     CoreRow,
     KernelProfile,
     QueueRow,
+    adaptive_bench_row,
     bench_row,
     format_profile,
     profile_result,
@@ -58,6 +59,7 @@ __all__ = [
     "MetricsCollector",
     "MetricsRegistry",
     "QueueRow",
+    "adaptive_bench_row",
     "bench_row",
     "chrome_trace",
     "format_profile",

@@ -28,6 +28,9 @@ from .events import STALL_QUEUE_EMPTY, STALL_QUEUE_FULL, STALL_TRANSFER
 BENCH_SCHEMA = 1
 #: default bench trajectory file (repo root / current directory).
 BENCH_PATH = "BENCH_obs.json"
+#: adaptive-runtime bench trajectory (static vs adaptive cycles on
+#: skewed workloads; written by ``repro chaos-adapt --bench``).
+BENCH_ADAPTIVE_PATH = "BENCH_adaptive.json"
 
 
 @dataclass(frozen=True)
@@ -67,6 +70,14 @@ class CoreRow:
     def stall(self) -> float:
         return self.stall_full + self.stall_empty + self.stall_transfer
 
+    @property
+    def idle_frac(self) -> float:
+        """Fraction of this core's time spent stalled on queues — the
+        per-core signal the adaptive runtime's imbalance detector uses
+        (straggler cores show a *low* idle fraction while the rest of
+        the gang waits on them)."""
+        return self.stall / self.time if self.time > 0 else 0.0
+
     def breakdown(self) -> dict[str, float]:
         return {
             "busy": self.pct_busy,
@@ -82,6 +93,11 @@ class QueueRow:
     transfers: int
     max_outstanding: int
     depth: int | None = None
+    #: time-weighted occupancy histogram (level -> simulated cycles).
+    occupancy_hist: dict = field(default_factory=dict)
+    #: simulated cycles the producer / consumer stalled on this queue.
+    stall_full: float = 0.0
+    stall_empty: float = 0.0
 
     @property
     def pressure(self) -> float:
@@ -89,6 +105,37 @@ class QueueRow:
         if not self.depth:
             return 0.0
         return self.max_outstanding / self.depth
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Time-weighted mean occupancy across the run."""
+        total = sum(self.occupancy_hist.values())
+        if total <= 0:
+            return 0.0
+        return sum(k * v for k, v in self.occupancy_hist.items()) / total
+
+    def occupancy_sparkline(self, width: int = 8) -> str:
+        """Coarse text histogram of occupancy over time.
+
+        Buckets the occupancy levels 0..depth into ``width`` bins and
+        renders the time share of each as a bar glyph — enough to see
+        "mostly empty", "pegged at capacity", or "bimodal" at a glance.
+        """
+        if not self.occupancy_hist or not self.depth:
+            return "-" * width
+        bins = [0.0] * width
+        for level, cycles in self.occupancy_hist.items():
+            b = min(width - 1, int(level * width / (self.depth + 1)))
+            bins[b] += cycles
+        total = sum(bins)
+        if total <= 0:
+            return "-" * width
+        glyphs = " .:-=+*#@"
+        out = []
+        for share in (b / total for b in bins):
+            g = min(len(glyphs) - 1, int(share * (len(glyphs) - 1) + 0.5))
+            out.append(glyphs[g] if share > 0 else " ")
+        return "".join(out)
 
 
 @dataclass
@@ -120,6 +167,14 @@ class KernelProfile:
         if self.seq_cycles is None or self.cycles <= 0:
             return None
         return self.seq_cycles / self.cycles
+
+    @property
+    def imbalance(self) -> float:
+        """Idle-fraction spread across cores (the IMBALANCE trigger)."""
+        fracs = [r.idle_frac for r in self.rows]
+        if len(fracs) < 2:
+            return 0.0
+        return max(fracs) - min(fracs)
 
 
 def profile_result(
@@ -153,7 +208,12 @@ def profile_result(
             qid=repr(qs.qid),
             transfers=qs.n_transfers,
             max_outstanding=qs.max_outstanding,
-            depth=queue_depth,
+            # prefer the queue's actual run-time capacity (it may have
+            # been retuned per queue); fall back to the machine default.
+            depth=getattr(qs, "depth", 0) or queue_depth,
+            occupancy_hist=dict(getattr(qs, "occupancy_hist", {}) or {}),
+            stall_full=getattr(qs, "stall_full", 0.0),
+            stall_empty=getattr(qs, "stall_empty", 0.0),
         )
         for qs in result.queue_stats
     ]
@@ -183,25 +243,35 @@ def format_profile(p: KernelProfile) -> str:
         )
     lines += [
         f"stall share  : {p.stall_pct:.1f}% of spent core-cycles",
+        f"imbalance    : {p.imbalance:.2f} idle-fraction spread across cores",
         "",
         "stall attribution (% of each core's time; rows sum to 100):",
-        "  core     cycles    instrs    busy%   q-full%  q-empty%   xfer%",
+        "  core     cycles    instrs    busy%   q-full%  q-empty%   xfer%"
+        "   idle",
     ]
     for r in p.rows:
         lines.append(
             f"  {r.cid:<4d} {r.time:10.0f} {r.instrs:9d} "
             f"{r.pct_busy:8.1f} {r.pct_full:9.1f} {r.pct_empty:9.1f} "
-            f"{r.pct_transfer:7.1f}"
+            f"{r.pct_transfer:7.1f} {r.idle_frac:6.2f}"
         )
     lines.append("")
     if p.queues:
-        lines.append("queue pressure (peak occupancy vs depth):")
-        lines.append("  queue            transfers   peak   pressure")
+        lines.append(
+            "queue pressure (peak/mean occupancy vs depth; histogram is"
+            " time share per occupancy bin, empty->full):"
+        )
+        lines.append(
+            "  queue            transfers   peak  depth   mean  press"
+            "  p-stall  c-stall  occupancy"
+        )
         for q in p.queues:
             pressure = f"{100 * q.pressure:.0f}%" if q.depth else "n/a"
             lines.append(
                 f"  {q.qid:<16s} {q.transfers:9d} {q.max_outstanding:6d}"
-                f"   {pressure:>8s}"
+                f" {q.depth or 0:6d} {q.mean_occupancy:6.2f}"
+                f" {pressure:>6s} {q.stall_full:8.0f} {q.stall_empty:8.0f}"
+                f"  |{q.occupancy_sparkline()}|"
             )
     else:
         lines.append("queue pressure: no queues used (single partition)")
@@ -236,8 +306,34 @@ def bench_row(p: KernelProfile, **extra) -> dict:
     return row
 
 
+def adaptive_bench_row(cell, *, trip: int, cores: int = 4) -> dict:
+    """Headline numbers for one E13 cell (static vs adaptive cycles).
+
+    ``cell`` is an :class:`repro.experiments.imbalance.ImbalanceCell`;
+    duck-typed so the emitter has no import-time dependency on the
+    experiments package.
+    """
+    return {
+        "kernel": cell.kernel,
+        "scenario": cell.scenario,
+        "cores": cores,
+        "trip": trip,
+        "static_cycles": cell.static_cycles,
+        "adaptive_cycles": cell.adaptive_cycles,
+        "gain": round(cell.gain, 4),
+        "imbalance": round(cell.imbalance, 4),
+        "resolved_by": cell.resolved_by,
+        "migrated": cell.migrated,
+        "depth_actions": cell.depth_actions,
+        "checks": cell.checks,
+        "checks_ok": cell.checks_ok,
+        "outcome": cell.outcome,
+    }
+
+
 def _row_key(row: dict) -> tuple:
-    return (row.get("kernel"), row.get("cores"), row.get("trip"))
+    return (row.get("kernel"), row.get("cores"), row.get("trip"),
+            row.get("scenario"))
 
 
 def update_bench(path: str | os.PathLike, row: dict) -> dict:

@@ -14,6 +14,14 @@ policy, and degrades to the sequential reference interpreter so callers
 always receive a correct result plus its provenance.
 """
 
+from .adaptive import (
+    AdaptAction,
+    AdaptivePolicy,
+    AdaptiveRun,
+    AdaptiveSignals,
+    QueueController,
+    adaptive_run,
+)
 from .exec import compile_loop, execute_kernel
 from .guard import (
     FailureKind,
@@ -25,10 +33,16 @@ from .guard import (
 )
 
 __all__ = [
+    "AdaptAction",
+    "AdaptivePolicy",
+    "AdaptiveRun",
+    "AdaptiveSignals",
     "FailureKind",
     "FailureReport",
     "GuardPolicy",
     "GuardedRun",
+    "QueueController",
+    "adaptive_run",
     "classify_failure",
     "compile_loop",
     "execute_kernel",

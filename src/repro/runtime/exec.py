@@ -52,6 +52,8 @@ def execute_kernel(
     trace: bool = False,
     faults=None,
     obs=None,
+    placement: dict[int, int] | None = None,
+    controller=None,
 ) -> SimResult:
     """Run a lowered kernel on (a copy of) ``workload``.
 
@@ -59,18 +61,33 @@ def execute_kernel(
     parameters — it plays the role of the original function's context;
     secondary cores receive what they need through the §III-G argument
     transfer encoded in their programs.
+
+    ``placement`` (stealing-mode kernels only) maps secondary core ->
+    fiber pid; it is realized purely through the primary's preloaded
+    ``__fib<core>`` dispatch registers — no recompilation.  Static-mode
+    kernels reject a non-identity placement loudly.  ``controller`` is
+    the optional live-reconfiguration hook forwarded to the
+    :class:`~repro.sim.machine.Machine`.
     """
     loop = kernel.plan.loop
     workload.validate_for(loop)
+    if placement is not None and not kernel.dispatch_regs:
+        if any(placement.get(s, s) != s for s in range(kernel.n_cores)):
+            raise ValueError(
+                "static-mode kernel cannot be re-placed at execute time; "
+                "compile with runtime_mode='stealing'"
+            )
+        placement = None
     memory = SharedMemory({k: v.copy() for k, v in workload.arrays.items()})
     preload: dict[int, dict[str, float | int]] = {0: {}}
     for p in loop.params:
         v = workload.scalars[p.name]
         preload[0][p.name] = float(v) if p.dtype.is_float else int(v)
+    preload[0].update(kernel.dispatch_preload(placement))
     machine = Machine(
         kernel.programs, memory, params,
         preload_regs=preload, detect_races=detect_races, trace=trace,
-        faults=faults, obs=obs,
+        faults=faults, obs=obs, controller=controller,
     )
     result = machine.run(live_out=loop.live_out, primary=0)
     result.trace = machine.trace_recorder

@@ -12,17 +12,27 @@ instead of propagating:
 1. classify the failure into the :class:`FailureKind` taxonomy and
    record a :class:`FailureReport` (with the machine's partial
    statistics when available);
-2. retry with *relaxed* parameters where that can plausibly help — a
+2. with ``GuardPolicy.adapt`` enabled, *adapt* first: hand the kernel
+   to :func:`repro.runtime.adaptive.adaptive_run` (work-stealing
+   placement, self-tuned queue depths, every dynamic configuration
+   re-verified by :mod:`repro.check` before it runs) — this also
+   fires on a run that *succeeded* but left the gang imbalanced
+   (:class:`FailureKind.IMBALANCE`), recovering throughput before
+   anything is lost;
+3. retry with *relaxed* parameters where that can plausibly help — a
    deadlock retries with deeper queues (undersized queues are a real
    deadlock cause, §II), a budget trip retries with a larger budget;
    deterministic failures without an active fault plan are not
    retried (a byte-identical rerun cannot succeed);
-3. after bounded retries, fall back to the sequential reference
+4. after bounded retries, fall back to the sequential reference
    interpreter — the result the transformation was required to
    preserve in the first place — and say so in the provenance.
 
-The return value therefore always carries a correct ``arrays`` /
-``scalars`` state, plus the full record of *how* it was obtained.
+The escalation ladder is therefore ``adapt -> relax -> sequential``,
+and the return value always carries a correct ``arrays``/``scalars``
+state plus the full record of *how* it was obtained — including
+*which* rung resolved the failure (``resolved_by`` /
+``FailureReport.resolution``).
 """
 
 from __future__ import annotations
@@ -61,6 +71,7 @@ class FailureKind(enum.Enum):
     COMPILE_ERROR = "compile-error"  # the compiler pipeline itself raised
     PROTOCOL = "protocol"            # static checker rejected the artifact
     STORE = "store-error"            # durable store write failed (ENOSPC/EIO)
+    IMBALANCE = "imbalance"          # ran correctly but the gang convoyed
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -103,14 +114,19 @@ class FailureReport:
     queue_depth: int                 # machine params of the failed attempt
     max_instrs: int
     partial: PartialStats | None = None
+    #: which escalation rung resolved this failure, once known:
+    #: "adaptive" | "deeper-queues" | "larger-budget" | "retry" | None
+    #: (None = unresolved, or resolved only by the sequential fallback).
+    resolution: str | None = None
 
     def describe(self) -> str:
         extra = f"; progress: {self.partial.format()}" if self.partial else ""
         head = self.message.splitlines()[0] if self.message else ""
+        fixed = f" [resolved by {self.resolution}]" if self.resolution else ""
         return (
             f"attempt {self.attempt}: {self.kind.value} "
             f"(depth={self.queue_depth}, budget={self.max_instrs}) "
-            f"{head}{extra}"
+            f"{head}{extra}{fixed}"
         )
 
 
@@ -126,6 +142,13 @@ class GuardPolicy:
     budget_scale: int = 8
     #: cap so relaxation cannot grow without bound.
     max_queue_depth: int = 4096
+    #: enable the adaptive rung of the ladder (work-stealing placement
+    #: + self-tuned queue depths, each configuration checker-verified
+    #: before it runs) ahead of parameter relaxation.
+    adapt: bool = False
+    #: per-core idle-fraction spread past which a *successful* run is
+    #: still reported as IMBALANCE and handed to the adaptive runtime.
+    imbalance_threshold: float = 0.4
 
 
 @dataclass
@@ -141,6 +164,12 @@ class GuardedRun:
     cycles: float | None = None      # simulated cycles (parallel only)
     sim: SimResult | None = None     # the verified parallel result
     injected: list = field(default_factory=list)  # FaultEvents, all attempts
+    #: escalation rung that produced the served result: "first-try" |
+    #: "static" | "adaptive" | "deeper-queues" | "larger-budget" |
+    #: "retry" | "fallback".
+    resolved_by: str | None = None
+    #: AdaptiveRun provenance when the adaptive rung ran (win or lose).
+    adaptive: object | None = None
 
     @property
     def degraded(self) -> bool:
@@ -151,8 +180,10 @@ class GuardedRun:
         return [f.kind for f in self.failures]
 
     def describe(self) -> str:
+        via = f" via {self.resolved_by}" if self.resolved_by else ""
         lines = [
-            f"source: {self.source} after {self.attempts} parallel attempt(s)"
+            f"source: {self.source}{via} after {self.attempts} "
+            "parallel attempt(s)"
         ]
         lines += ["  " + f.describe() for f in self.failures]
         if self.injected:
@@ -211,7 +242,7 @@ def guarded_run(
             obs.emit_guard("fallback", 0)
         return GuardedRun(
             arrays=ref.arrays, scalars=dict(ref.scalars), source="fallback",
-            attempts=0, failures=failures,
+            attempts=0, failures=failures, resolved_by="fallback",
         )
 
     # Static protocol pre-flight (repro.check): a rejected artifact is
@@ -237,9 +268,46 @@ def guarded_run(
             obs.emit_guard("fallback", 0)
         return GuardedRun(
             arrays=ref.arrays, scalars=dict(ref.scalars), source="fallback",
-            attempts=0, failures=failures,
+            attempts=0, failures=failures, resolved_by="fallback",
         )
 
+    def _try_adaptive(attempt: int):
+        """Adaptive rung: returns a verified AdaptiveRun or None, and
+        appends a FailureReport when the rung itself failed."""
+        from .adaptive import AdaptivePolicy, adaptive_run
+
+        try:
+            ar = adaptive_run(
+                loop, workload, n_cores, config=config, params=base,
+                policy=AdaptivePolicy(
+                    imbalance_threshold=policy.imbalance_threshold,
+                ),
+                fault_plan=fault_plan, obs=obs,
+            )
+        except Exception as exc:
+            failures.append(FailureReport(
+                kind=classify_failure(exc),
+                message=f"adaptive rung: {type(exc).__name__}: {exc}",
+                attempt=attempt, queue_depth=base.queue_depth,
+                max_instrs=base.max_instrs,
+                partial=getattr(exc, "partial", None),
+            ))
+            return None
+        injected.extend(ar.injected)
+        if verify_result(ref, ar.result):
+            return ar
+        failures.append(FailureReport(
+            kind=FailureKind.VERIFY_MISMATCH,
+            message="adaptive result differs from the reference interpreter",
+            attempt=attempt, queue_depth=base.queue_depth,
+            max_instrs=base.max_instrs,
+        ))
+        return None
+
+    #: relaxation rung applied before the upcoming attempt; becomes the
+    #: failure's ``resolution`` when that attempt succeeds.
+    pending_rung = "first-try"
+    adapt_tried = False
     cur = base
     attempt = 0
     while attempt < policy.max_attempts:
@@ -265,12 +333,52 @@ def guarded_run(
             if injector is not None:
                 injected.extend(injector.events)
             if verify_result(ref, res):
+                resolved = pending_rung
+                adaptive_prov = None
+                if failures and resolved != "first-try":
+                    failures[-1].resolution = resolved
+                # IMBALANCE rung: correct but convoyed — adapt before
+                # serving, keep the static answer if adaptation loses.
+                imb = _imbalance(res)
+                if (policy.adapt and not adapt_tried
+                        and imb >= policy.imbalance_threshold):
+                    adapt_tried = True
+                    imb_report = FailureReport(
+                        kind=FailureKind.IMBALANCE,
+                        message=(
+                            f"run verified but idle-fraction spread "
+                            f"{imb:.2f} >= {policy.imbalance_threshold:.2f}"
+                        ),
+                        attempt=attempt, queue_depth=cur.queue_depth,
+                        max_instrs=cur.max_instrs,
+                    )
+                    failures.append(imb_report)
+                    if obs is not None:
+                        obs.emit_guard(FailureKind.IMBALANCE.value, attempt,
+                                       note=f"spread {imb:.2f}")
+                    ar = _try_adaptive(attempt)
+                    if ar is not None and ar.result.cycles < res.cycles:
+                        imb_report.resolution = "adaptive"
+                        if obs is not None:
+                            obs.emit_guard("parallel", attempt,
+                                           note="adaptive")
+                        return GuardedRun(
+                            arrays=ar.result.arrays,
+                            scalars=dict(ar.result.scalars),
+                            source="parallel", attempts=attempt,
+                            failures=failures, cycles=ar.result.cycles,
+                            sim=ar.result, injected=injected,
+                            resolved_by="adaptive", adaptive=ar,
+                        )
+                    resolved = "static"
+                    adaptive_prov = ar  # provenance even when it lost
                 if obs is not None:
                     obs.emit_guard("parallel", attempt)
                 return GuardedRun(
                     arrays=res.arrays, scalars=dict(res.scalars),
                     source="parallel", attempts=attempt, failures=failures,
                     cycles=res.cycles, sim=res, injected=injected,
+                    resolved_by=resolved, adaptive=adaptive_prov,
                 )
             relax_kind = FailureKind.VERIFY_MISMATCH
             failures.append(FailureReport(
@@ -285,6 +393,26 @@ def guarded_run(
             obs.emit_guard(relax_kind.value, attempt,
                            note=failures[-1].message.splitlines()[0]
                            if failures[-1].message else None)
+        # Adaptive rung first: self-tuned depths can clear a capacity
+        # deadlock and stealing placement a straggler-driven budget trip
+        # — and each dynamic configuration is checker-verified before
+        # it runs, unlike a blind parameter bump.
+        if (policy.adapt and not adapt_tried and relax_kind in _RELAXABLE):
+            adapt_tried = True
+            failed_report = failures[-1]
+            ar = _try_adaptive(attempt)
+            if ar is not None:
+                failed_report.resolution = "adaptive"
+                if obs is not None:
+                    obs.emit_guard("parallel", attempt, note="adaptive")
+                return GuardedRun(
+                    arrays=ar.result.arrays,
+                    scalars=dict(ar.result.scalars),
+                    source="parallel", attempts=attempt,
+                    failures=failures, cycles=ar.result.cycles,
+                    sim=ar.result, injected=injected,
+                    resolved_by="adaptive", adaptive=ar,
+                )
         if relax_kind is FailureKind.DEADLOCK:
             if cur.queue_depth >= policy.max_queue_depth:
                 break
@@ -295,11 +423,15 @@ def guarded_run(
                     cur.queue_depth * policy.depth_scale,
                 ),
             )
+            pending_rung = "deeper-queues"
         elif relax_kind is FailureKind.BUDGET:
             cur = replace(cur, max_instrs=cur.max_instrs * policy.budget_scale)
+            pending_rung = "larger-budget"
         elif fault_plan is None:
             # deterministic failure, identical rerun cannot succeed
             break
+        else:
+            pending_rung = "retry"
 
     log.warning(
         "guard: %d parallel attempt(s) failed; serving sequential fallback",
@@ -310,4 +442,16 @@ def guarded_run(
     return GuardedRun(
         arrays=ref.arrays, scalars=dict(ref.scalars), source="fallback",
         attempts=attempt, failures=failures, injected=injected,
+        resolved_by="fallback",
     )
+
+
+def _imbalance(res: SimResult) -> float:
+    """Per-core idle-fraction spread (see AdaptiveSignals.imbalance)."""
+    idle = [
+        (s.queue_stall / t) if t > 0 else 0.0
+        for t, s in zip(res.core_times, res.core_stats)
+    ]
+    if len(idle) < 2:
+        return 0.0
+    return max(idle) - min(idle)

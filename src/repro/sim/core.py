@@ -101,7 +101,9 @@ class Core:
             return True
         if b.kind == "entry":
             return b.queue.n_enq > b.index
-        return b.queue.n_deq > b.index
+        # slot waits also clear when the queue *grew* under the blocked
+        # producer (live reconfiguration): re-check current capacity.
+        return b.queue.n_deq > b.index or b.queue.slot_blocker() is None
 
     # -- main slice ----------------------------------------------------
     def run_slice(self, budget: int) -> int:
@@ -191,6 +193,7 @@ class Core:
                 completion = start + wait + lat.enqueue
                 self.stats.queue_stall += wait
                 self.stats.stall_full += wait
+                q.stall_full += wait
                 if self.race is not None:
                     self.race.on_enq(self.cid, ins.queue, q.n_enq)
                 sent = self._val(ins.a)
@@ -219,6 +222,7 @@ class Core:
                     wait = 0.0
                 completion = start + wait + lat.dequeue
                 self.stats.queue_stall += wait
+                q.stall_empty += wait
                 if wait > 0.0:
                     # Split the wait at the producer's enqueue-completion
                     # point (ready - transfer_latency): before it the

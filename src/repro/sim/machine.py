@@ -119,6 +119,11 @@ class MachineParams:
     max_instrs: int = 500_000_000
     #: instructions per scheduling slice.
     slice_budget: int = 100_000
+    #: per-queue depth overrides: ``(((src, dst, vclass), depth), ...)``
+    #: keyed like the checker/deadlock diagnostics.  A tuple (not a
+    #: dict) so the params stay frozen/hashable and store-keyable; the
+    #: adaptive runtime bakes self-tuned depths in here per epoch.
+    queue_depths: tuple = ()
 
 
 @dataclass
@@ -126,6 +131,23 @@ class QueueStat:
     qid: QueueId
     n_transfers: int
     max_outstanding: int
+    #: queue capacity at run end (0 when unknown, e.g. partial stats).
+    depth: int = 0
+    #: exact time-weighted occupancy histogram (occupancy level ->
+    #: simulated cycles spent at that level); empty for partial stats.
+    occupancy_hist: dict = field(default_factory=dict)
+    #: simulated cycles stalled on this queue (producer side / consumer
+    #: side); zero for partial stats.
+    stall_full: float = 0.0
+    stall_empty: float = 0.0
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Time-weighted mean occupancy while the queue was non-empty."""
+        total = sum(self.occupancy_hist.values())
+        if total <= 0:
+            return 0.0
+        return sum(k * v for k, v in self.occupancy_hist.items()) / total
 
 
 @dataclass
@@ -160,10 +182,20 @@ class Machine:
         trace: bool = False,
         faults=None,
         obs=None,
+        controller=None,
     ) -> None:
         self.params = params or MachineParams()
         self.memory = memory
         self.queues: dict[QueueId, HwQueue] = {}
+        #: optional runtime controller (repro.runtime.adaptive): an
+        #: object with ``on_round(machine)`` called once per scheduling
+        #: round and ``on_stuck(machine) -> bool`` consulted before a
+        #: deadlock is declared — returning True (it changed something,
+        #: e.g. grew a queue) counts as progress and the run continues.
+        self.controller = controller
+        self._depth_overrides = {
+            key: depth for key, depth in self.params.queue_depths
+        }
         #: optional FaultInjector (see :mod:`repro.faults`): wired into
         #: every queue and consulted for per-core latency scaling.
         self.faults = faults
@@ -214,9 +246,12 @@ class Machine:
     def _queue(self, qid: QueueId) -> HwQueue:
         q = self.queues.get(qid)
         if q is None:
+            depth = self._depth_overrides.get(
+                (qid.src, qid.dst, qid.vclass.value), self.params.queue_depth
+            )
             q = HwQueue(
                 qid=qid,
-                depth=self.params.queue_depth,
+                depth=depth,
                 transfer_latency=self.params.queue_latency,
                 injector=self.faults,
             )
@@ -241,11 +276,21 @@ class Machine:
             if all(c.halted for c in self.cores):
                 break
             if not progressed:
+                # Last chance: the runtime controller may rescue a
+                # capacity deadlock by *growing* a blocked queue (grows
+                # are monotone-safe — capacity wait-for edges can only
+                # relax).  A controller that changed nothing leaves the
+                # deadlock to stand.
+                if (self.controller is not None
+                        and self.controller.on_stuck(self)):
+                    continue
                 raise DeadlockError(
                     self._deadlock_report(),
                     partial=self._partial_stats(total),
                     blocked=self._blocked_transfers(),
                 )
+            if self.controller is not None:
+                self.controller.on_round(self)
 
         self._check_drained(total)
         scalars = {}
@@ -259,7 +304,11 @@ class Machine:
             arrays=self.memory.arrays,
             scalars=scalars,
             queue_stats=[
-                QueueStat(q.qid, q.n_deq, q.max_outstanding)
+                QueueStat(q.qid, q.n_deq, q.max_outstanding,
+                          depth=q.depth,
+                          occupancy_hist=q.occupancy_histogram(),
+                          stall_full=q.stall_full,
+                          stall_empty=q.stall_empty)
                 for q in sorted(
                     self.queues.values(),
                     key=lambda q: (q.qid.src, q.qid.dst, q.qid.vclass.value),

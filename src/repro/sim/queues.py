@@ -36,6 +36,11 @@ class HwQueue:
     n_enq: int = 0
     n_deq: int = 0
     max_outstanding: int = 0
+    #: simulated cycles producers stalled on a full queue / consumers
+    #: stalled on an empty or in-flight one (accumulated by the cores;
+    #: the adaptive runtime's per-queue pressure/starvation signal).
+    stall_full: float = 0.0
+    stall_empty: float = 0.0
     #: optional FaultInjector (see :mod:`repro.faults`) consulted on
     #: every admitted transfer; None in normal operation.
     injector: object | None = None
@@ -91,6 +96,45 @@ class HwQueue:
         self.deq_times.append(deq_completion)
         self.n_deq += 1
         return v
+
+    # -- runtime reconfiguration ------------------------------------------
+    def grow(self, new_depth: int) -> bool:
+        """Raise the capacity to ``new_depth`` (monotone: never shrinks).
+
+        Value-safe by construction — FIFO contents are depth-independent
+        — and deadlock-safe: capacity wait-for edges can only relax.
+        The new capacity applies to every not-yet-admitted enqueue; in
+        simulated time the grow takes effect at the blocked producer's
+        retry.  Shrinking mid-run is forbidden (it could strand an
+        admitted transfer); the adaptive runtime shrinks only at epoch
+        boundaries, behind a full static re-check.
+        """
+        if new_depth <= self.depth:
+            return False
+        self.depth = new_depth
+        return True
+
+    def occupancy_histogram(self) -> dict[int, float]:
+        """Exact time-weighted occupancy distribution.
+
+        Maps occupancy level -> simulated cycles the queue spent at
+        that level (empty intervals excluded), from the full
+        enqueue-visibility / dequeue-completion history the replay
+        already records.  This is the controller's starvation/pressure
+        signal and feeds the ``repro profile`` histograms.
+        """
+        events = [(t, 1) for t in self.ready_times]
+        events += [(t, -1) for t in self.deq_times]
+        events.sort()
+        hist: dict[int, float] = {}
+        occ = 0
+        last: float | None = None
+        for t, d in events:
+            if last is not None and t > last and occ > 0:
+                hist[occ] = hist.get(occ, 0.0) + (t - last)
+            occ += d
+            last = t
+        return hist
 
     # -- end-of-run checks ------------------------------------------------
     @property

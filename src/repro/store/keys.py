@@ -33,7 +33,10 @@ from ..ir.stmts import Loop
 from ..sim.machine import MachineParams
 
 #: bump to invalidate every existing key and record.
-SCHEMA_VERSION = 1
+#: v2: adaptive runtime — CompilerConfig.runtime_mode,
+#: MachineParams.queue_depths, ExpConfig.adaptive and KernelRun
+#: resolution provenance all enter the digests/payloads.
+SCHEMA_VERSION = 2
 
 #: CompilerConfig fields that never influence results content-wise.
 _EXCLUDED_FIELDS = frozenset({"profile_workload"})

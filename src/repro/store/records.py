@@ -45,6 +45,9 @@ def encode_run(key: str, run: Any) -> dict:
             # defaults them, keeping the read path back-compatible.
             "failure": getattr(run, "failure", None),
             "fallback": getattr(run, "fallback", False),
+            # escalation-ladder provenance: which rung served the
+            # result ("first-try", "adaptive", "deeper-queues", ...).
+            "resolved_by": getattr(run, "resolved_by", None),
         },
     }
 
@@ -72,6 +75,10 @@ def decode_run(envelope: dict) -> Any | None:
             instrs=int(p["instrs"]),
             failure=str(failure) if failure is not None else None,
             fallback=bool(p.get("fallback", False)),
+            resolved_by=(
+                str(p["resolved_by"])
+                if p.get("resolved_by") is not None else None
+            ),
         )
     except (KeyError, TypeError, ValueError, AttributeError):
         return None

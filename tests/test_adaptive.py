@@ -1,0 +1,284 @@
+"""Tests for the adaptive runtime (repro.runtime.adaptive).
+
+Three obligations:
+
+* **signal fidelity** — imbalance comes from idle-fraction spread and
+  queue pressure from simulated-time full-stall, never from
+  replay-order artifacts;
+* **verified reconfiguration** — every dynamically chosen configuration
+  (placement x per-queue depths, live grows included) passes the static
+  checker before it runs, and a rejected candidate is never applied;
+* **safety under reconfiguration** — mid-run growth never strands an
+  in-flight transfer, and the controller's captured BlockedTransfer set
+  cross-checks against the static capacity-deadlock cycle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check import build_capacity_cycle_programs, check_programs
+from repro.faults import FaultPlan
+from repro.interp import run_loop
+from repro.ir.types import VClass
+from repro.isa.instructions import QueueId
+from repro.kernels import get_kernel
+from repro.runtime.adaptive import (
+    AdaptivePolicy,
+    AdaptiveSignals,
+    QueueController,
+    adaptive_run,
+    plan_placement,
+    tune_depths,
+)
+from repro.sim import DeadlockError, Machine, MachineParams
+from repro.sim.memory import SharedMemory
+from repro.sim.queues import HwQueue
+
+TRIP = 16
+
+
+def _case(name="umt2k-1", trip=TRIP):
+    spec = get_kernel(name)
+    loop = spec.loop()
+    return loop, spec.workload(trip=trip)
+
+
+def _signals(busy, idle_frac, extent=None, full_stall=None):
+    n = len(busy)
+    return AdaptiveSignals(
+        cycles=1000.0, core_times=[1000.0] * n, core_instrs=[100] * n,
+        core_busy=list(busy), core_idle_frac=list(idle_frac),
+        core_cpi=[1.0] * n, queue_full_stall=dict(full_stall or {}),
+        queue_extent=dict(extent or {}),
+    )
+
+
+class TestSignals:
+    def test_imbalance_is_idle_fraction_spread(self):
+        sig = _signals([900, 100, 500, 500], [0.1, 0.9, 0.5, 0.5])
+        assert sig.imbalance == pytest.approx(0.8)
+        assert _signals([500], [0.5]).imbalance == 0.0
+
+    def test_from_result_on_skewed_run(self):
+        # a slowed core must show up as the *low-idle* straggler
+        from repro.runtime.exec import compile_loop, execute_kernel
+        from repro.faults import FaultInjector
+
+        loop, wl = _case()
+        kern = compile_loop(loop, 4)
+        inj = FaultInjector(FaultPlan(seed=5, slow_cores=(2,),
+                                      slow_factor=4.0))
+        res = execute_kernel(kern, wl, MachineParams(), faults=inj)
+        sig = AdaptiveSignals.from_result(res)
+        assert len(sig.core_idle_frac) == 4
+        assert min(sig.core_idle_frac, default=1) >= 0.0
+        assert sig.imbalance > 0.25
+        assert sig.core_idle_frac[2] == min(sig.core_idle_frac)
+        # extent carries (peak, depth) per queue key
+        assert all(len(v) == 2 for v in sig.queue_extent.values())
+
+
+class TestPlanPlacement:
+    def test_swaps_straggler_with_lightest(self):
+        sig = _signals([100, 900, 100, 300], [0.9, 0.05, 0.9, 0.6])
+        new = plan_placement(sig, {0: 0, 1: 1, 2: 2, 3: 3})
+        assert new == {0: 0, 1: 2, 2: 1, 3: 3}
+
+    def test_primary_stays_pinned(self):
+        # core 0 is the busiest of all, but never participates
+        sig = _signals([999, 200, 100, 150], [0.0, 0.7, 0.9, 0.8])
+        new = plan_placement(sig, {0: 0, 1: 1, 2: 2, 3: 3})
+        assert new[0] == 0
+
+    def test_two_core_noop(self):
+        sig = _signals([100, 900], [0.9, 0.05])
+        assert plan_placement(sig, {0: 0, 1: 1}) == {0: 0, 1: 1}
+
+
+class TestTuneDepths:
+    KEY = (0, 1, "fpr")
+    POLICY = AdaptivePolicy()
+
+    def test_grows_only_on_simulated_time_stall(self):
+        # peak at capacity but zero stall_full is replay run-ahead, not
+        # pressure: must not grow
+        sig = _signals([1, 1], [0, 0],
+                       extent={self.KEY: (8, 8)},
+                       full_stall={self.KEY: 0.0})
+        out, actions = tune_depths(sig, {}, 8, self.POLICY)
+        assert not actions and self.KEY not in out
+
+        sig = _signals([1, 1], [0, 0],
+                       extent={self.KEY: (8, 8)},
+                       full_stall={self.KEY: 120.0})
+        out, actions = tune_depths(sig, {}, 8, self.POLICY)
+        assert out[self.KEY] == 16
+        assert [a.kind for a in actions] == ["grow"]
+
+    def test_shrinks_starved_queue_to_floor(self):
+        sig = _signals([1, 1], [0, 0], extent={self.KEY: (1, 64)})
+        out, actions = tune_depths(sig, {self.KEY: 64}, 64, self.POLICY)
+        assert out[self.KEY] == 2
+        assert [a.kind for a in actions] == ["shrink"]
+        # shrink never below the policy floor
+        assert out[self.KEY] >= self.POLICY.min_queue_depth
+
+    def test_growth_capped(self):
+        pol = AdaptivePolicy(max_queue_depth=10)
+        sig = _signals([1, 1], [0, 0],
+                       extent={self.KEY: (10, 10)},
+                       full_stall={self.KEY: 50.0})
+        out, actions = tune_depths(sig, {self.KEY: 10}, 10, pol)
+        assert not actions and out.get(self.KEY, 10) == 10
+
+    def test_converged_returns_no_actions(self):
+        sig = _signals([1, 1], [0, 0], extent={self.KEY: (4, 8)})
+        out, actions = tune_depths(sig, {}, 8, self.POLICY)
+        assert actions == [] and out == {}
+
+
+def _fake_machine(queues):
+    class M:
+        pass
+
+    m = M()
+    m.queues = {q.qid: q for q in queues}
+    m.cores = []
+    return m
+
+
+class TestQueueController:
+    def _q(self, depth=4):
+        return HwQueue(QueueId(0, 1, VClass.FPR), depth=depth,
+                       transfer_latency=5)
+
+    def test_grows_after_sustained_stall_rounds(self):
+        q = self._q()
+        m = _fake_machine([q])
+        ctl = QueueController(AdaptivePolicy(sustained_rounds=3))
+        for r in range(3):
+            q.stall_full += 10.0   # stall clock advances every round
+            ctl.on_round(m)
+        assert q.depth == 8
+        assert [a.kind for a in ctl.actions] == ["grow"]
+
+    def test_streak_resets_when_stall_stops(self):
+        q = self._q()
+        m = _fake_machine([q])
+        ctl = QueueController(AdaptivePolicy(sustained_rounds=3))
+        q.stall_full += 10.0
+        ctl.on_round(m)
+        q.stall_full += 10.0
+        ctl.on_round(m)
+        ctl.on_round(m)          # quiet round: streak dies
+        q.stall_full += 10.0
+        ctl.on_round(m)
+        assert q.depth == 4 and not ctl.actions
+
+    def test_rejected_candidate_is_never_applied(self):
+        q = self._q()
+        m = _fake_machine([q])
+        vetoed = []
+        ctl = QueueController(
+            AdaptivePolicy(sustained_rounds=1),
+            verify=lambda dm: vetoed.append(dm) or False,
+        )
+        q.stall_full += 10.0
+        ctl.on_round(m)
+        assert q.depth == 4 and not ctl.actions
+        # the checker saw exactly the candidate map it rejected
+        assert vetoed == [{(0, 1, "fpr"): 8}]
+
+
+class TestMidRunReconfiguration:
+    """Satellite: DeadlockError.BlockedTransfer under live growth.
+
+    The hand-built capacity-cycle pair deadlocks at depth 4; the live
+    controller's rescue grow must clear it without orphaning a single
+    in-flight transfer, and the BlockedTransfer set it captured must
+    name the same queues as the static capacity-cycle diagnostic.
+    """
+
+    DEPTH = 4
+
+    def _machine(self, controller=None):
+        return Machine(
+            build_capacity_cycle_programs(self.DEPTH),
+            SharedMemory({}),
+            MachineParams(queue_depth=self.DEPTH),
+            controller=controller,
+        )
+
+    def test_rescue_clears_deadlock_without_orphans(self):
+        ctl = QueueController(AdaptivePolicy())
+        machine = self._machine(ctl)
+        machine.run()  # completes: rescue grew the wedged queue(s)
+        assert any(a.kind == "rescue-grow" for a in ctl.actions)
+        # no orphaned in-flight transfers after reconfiguration: every
+        # admitted enqueue was dequeued (the drain check also enforces
+        # this, but assert it directly at the queue level)
+        for q in machine.queues.values():
+            assert q.n_enq == q.n_deq, q.qid
+
+    def test_blocked_set_matches_static_capacity_cycle(self):
+        progs = build_capacity_cycle_programs(self.DEPTH)
+        report = check_programs(progs, queue_depth=self.DEPTH)
+        assert not report.ok
+        diag = next(d for d in report.diagnostics
+                    if d.category == "deadlock-cycle")
+
+        ctl = QueueController(AdaptivePolicy())
+        self._machine(ctl).run()
+        assert ctl.last_blocked, "rescue must capture the blocked set"
+        dynamic = {b.queue for b in ctl.last_blocked}
+        assert dynamic <= set(diag.cycle_queues), (
+            f"dynamic {dynamic} vs static {set(diag.cycle_queues)}"
+        )
+
+    def test_vetoed_rescue_still_fails_loudly(self):
+        # checker veto means the deadlock stands: no silent half-grown
+        # machine, the DeadlockError carries the blocked transfers
+        ctl = QueueController(AdaptivePolicy(), verify=lambda dm: False)
+        machine = self._machine(ctl)
+        with pytest.raises(DeadlockError) as exc:
+            machine.run()
+        assert exc.value.blocked
+        assert all(q.depth == self.DEPTH for q in machine.queues.values())
+        assert not ctl.actions
+
+    def test_grow_is_monotone(self):
+        q = HwQueue(QueueId(0, 1, VClass.GPR), depth=4, transfer_latency=5)
+        assert q.grow(8) and q.depth == 8
+        assert not q.grow(8) and not q.grow(2)
+        assert q.depth == 8
+
+
+class TestAdaptiveRun:
+    def test_bit_exact_on_skewed_machine(self):
+        loop, wl = _case()
+        plan = FaultPlan(seed=7, slow_cores=(1,), slow_factor=3.0)
+        ar = adaptive_run(loop, wl, 4, fault_plan=plan)
+        ref = run_loop(loop, wl)
+        for a, buf in ref.arrays.items():
+            assert np.array_equal(buf, ar.result.arrays[a]), a
+        # every configuration that ran was statically verified first
+        assert ar.checks and ar.all_checks_ok
+        assert ar.checks[0].what == "initial identity configuration"
+        # placement stays a bijection over the cores, primary pinned
+        assert ar.placement[0] == 0
+        assert sorted(ar.placement) == sorted(ar.placement.values())
+
+    def test_forces_stealing_mode(self):
+        from repro.compiler import CompilerConfig
+
+        loop, wl = _case(trip=8)
+        ar = adaptive_run(loop, wl, 2,
+                          config=CompilerConfig(runtime_mode="static"))
+        assert ar.kernel.dispatch_regs  # stealing artifact
+        assert ar.all_checks_ok
+
+    def test_balanced_machine_converges_without_migration(self):
+        loop, wl = _case(trip=8)
+        ar = adaptive_run(loop, wl, 4)
+        assert not ar.migrated
+        assert ar.epochs and ar.describe()

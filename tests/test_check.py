@@ -179,6 +179,69 @@ class TestCapacityCycle:
         assert report.ok, report.describe()
 
 
+class TestDynamicConfigurations:
+    """Placement-aware verification: the checker models the exact
+    configuration the adaptive runtime chose (fiber placement +
+    per-queue depth overrides), not just the compile-time default."""
+
+    def _steal(self, name="umt2k-1", n_cores=4):
+        return compile_loop(
+            get_kernel(name).loop(), n_cores,
+            CompilerConfig(runtime_mode="stealing"),
+        )
+
+    def _rolled(self, kern):
+        fibers = sorted(kern.dispatch_regs)
+        return {0: 0, **dict(zip(fibers, fibers[1:] + fibers[:1]))}
+
+    @pytest.mark.parametrize("name", ("umt2k-1", "irs-1", "sphot-2"))
+    def test_stealing_kernels_verify_under_any_placement(self, name):
+        kern = self._steal(name)
+        for placement in (None, self._rolled(kern)):
+            rep = check_kernel(kern, placement=placement)
+            assert rep.ok, rep.describe()
+
+    def test_per_queue_depth_overrides_accepted(self):
+        kern = self._steal()
+        fibers = sorted(kern.dispatch_regs)
+        depths = {(0, f, "fpr"): 2 for f in fibers}
+        rep = check_kernel(kern, placement=self._rolled(kern),
+                           queue_depths=depths)
+        assert rep.ok, rep.describe()
+
+    def test_static_kernel_rejects_nonidentity_placement(self):
+        kern = compile_loop(get_kernel("umt2k-1").loop(), 4)
+        with pytest.raises(ValueError, match="stealing"):
+            check_kernel(kern, placement={0: 0, 1: 2, 2: 1, 3: 3})
+        # identity placement on a static kernel is fine
+        assert check_kernel(kern, placement={c: c for c in range(4)}).ok
+
+    def test_stealing_placement_bijectivity_enforced(self):
+        from repro.isa.lower import LowerError
+
+        kern = self._steal()
+        fibers = sorted(kern.dispatch_regs)
+        with pytest.raises(LowerError):
+            check_kernel(kern, placement={f: fibers[0] for f in fibers})
+
+    def test_execution_matches_checked_configuration(self):
+        # the configuration the checker blessed is the one the machine
+        # actually runs: rolled placement executes bit-exact
+        from repro.interp import run_loop
+        from repro.runtime.exec import execute_kernel
+
+        spec = get_kernel("umt2k-1")
+        loop = spec.loop()
+        wl = spec.workload(trip=12)
+        kern = compile_loop(loop, 4, CompilerConfig(runtime_mode="stealing"))
+        placement = self._rolled(kern)
+        assert check_kernel(kern, placement=placement).ok
+        res = execute_kernel(kern, wl, placement=placement)
+        ref = run_loop(loop, wl)
+        for a, buf in ref.arrays.items():
+            assert np.array_equal(buf, res.arrays[a]), a
+
+
 class TestProtocolError:
     def test_carries_report(self):
         report = check_kernel(mutate_kernel(_kern("umt2k-1"), "drop-enq"))

@@ -120,6 +120,46 @@ class TestCommands:
         assert main(["chaos", "--kernels", "nosuch-kernel"]) == 2
         assert "unknown kernel" in capsys.readouterr().out
 
+    def test_chaos_adapt_defaults(self):
+        args = build_parser().parse_args(["chaos-adapt"])
+        assert args.trip == 48 and args.seed == 13 and args.cores == 4
+        assert args.kernels is None and args.scenarios is None
+        assert args.bench is None and not args.no_bench
+
+    def test_chaos_adapt_default_kernels_in_sync(self):
+        from repro.cli import _ADAPT_DEFAULT_KERNELS
+        from repro.experiments.imbalance import DEFAULT_KERNELS
+
+        assert _ADAPT_DEFAULT_KERNELS == DEFAULT_KERNELS
+
+    def test_chaos_adapt_smoke(self, capsys, tmp_path):
+        import json
+
+        cells = tmp_path / "cells.json"
+        bench = tmp_path / "bench.json"
+        rc = main([
+            "chaos-adapt", "--kernels", "umt2k-1",
+            "--scenarios", "balanced,slow1x3", "--trip", "16",
+            "--json", str(cells), "--bench", str(bench),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "campaign gate: PASS" in out
+        assert "silent corruption: 0" in out
+        doc = json.loads(cells.read_text())
+        assert doc["ok"] and doc["total_checks"] > 0
+        assert all(c["checks_ok"] for c in doc["cells"])
+        rows = json.loads(bench.read_text())["rows"]
+        assert {r["scenario"] for r in rows} == {"balanced", "slow1x3"}
+
+    def test_chaos_adapt_unknown_kernel(self, capsys):
+        assert main(["chaos-adapt", "--kernels", "nosuch-kernel"]) == 2
+        assert "unknown kernel" in capsys.readouterr().out
+
+    def test_chaos_adapt_unknown_scenario(self, capsys):
+        assert main(["chaos-adapt", "--scenarios", "slow99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
     def test_chaos_unknown_fault(self, capsys):
         assert main(["chaos", "--kernels", "umt2k-1", "--faults", "gamma-ray"]) == 2
         assert "unknown fault" in capsys.readouterr().out

@@ -44,7 +44,7 @@ class TestHarness:
         assert geomean([]) == 0.0
 
     def test_registry_complete(self):
-        assert set(REGISTRY) == {f"E{k}" for k in range(1, 13)}
+        assert set(REGISTRY) == {f"E{k}" for k in range(1, 14)}
 
 
 class TestTable1:
@@ -120,6 +120,20 @@ class TestFig13:
         assert res.no_speedup[50] >= res.no_speedup[5]
         assert fig13_latency.format_result(res)
 
+    def test_adaptive_series_performance_neutral_when_balanced(self):
+        # on the (fault-free) uniform machine the adaptive runtime must
+        # not cost anything: its series tracks static within noise
+        res = fig13_latency.run(trip=TRIP, latencies=(5, 50))
+        assert res.avg_adaptive is not None
+        for lat in (5, 50):
+            assert res.avg_adaptive[lat] >= res.avg[lat] - 0.05
+        assert "adaptive" in fig13_latency.format_result(res)
+
+    def test_adaptive_series_optional(self):
+        res = fig13_latency.run(trip=TRIP, latencies=(5,), adaptive=False)
+        assert res.avg_adaptive is None
+        assert all("adaptive_5" not in r for r in res.rows)
+
 
 class TestFig14:
     def test_no_regressions_and_umt2k6_gains(self):
@@ -129,6 +143,48 @@ class TestFig14:
         assert by["umt2k-6"]["gain"] > 1.1
         assert res.n_improved >= 1
         assert fig14_speculation.format_result(res)
+
+    def test_adaptive_column_tracks_static(self):
+        res = fig14_speculation.run(trip=TRIP)
+        assert res.avg_adaptive is not None
+        assert res.avg_adaptive >= res.avg_base - 0.05
+
+
+class TestImbalanceE13:
+    """E13 slice: the adaptive campaign's gates on a reduced matrix
+    (full matrix runs under `repro chaos-adapt` and the CI smoke)."""
+
+    def _slice(self):
+        from repro.experiments import imbalance
+
+        scenarios = tuple(
+            s for s in imbalance.SKEW_SCENARIOS if s[0] != "slow13x2"
+        )
+        return imbalance, imbalance.run(
+            trip=16, kernels=("umt2k-1", "irs-1"), scenarios=scenarios,
+        )
+
+    def test_campaign_gates_hold(self):
+        imbalance, res = self._slice()
+        assert res.silent == 0
+        assert res.all_checks_ok and res.total_checks > 0
+        assert res.never_worse
+        assert all(n >= 1 for n in res.wins_per_kernel.values())
+        assert res.mean_skewed_gain > 0
+        assert res.ok
+        text = imbalance.format_result(res)
+        assert "campaign gate: PASS" in text
+        assert "SAFETY INVARIANT HOLDS" in text
+
+    def test_cells_are_independently_verified(self):
+        imbalance, res = self._slice()
+        assert all(c.correct for c in res.cells)
+        assert all(c.outcome in imbalance.OUTCOMES for c in res.cells)
+        # the balanced control never escalates
+        for c in res.cells:
+            if c.scenario == "balanced":
+                assert c.outcome == "balanced"
+                assert c.resolved_by == "first-try"
 
 
 class TestAdaptive:

@@ -219,6 +219,36 @@ class TestRelaxation:
         assert back is not None
         assert back.failure == "protocol" and back.fallback
 
+    def test_first_try_resolution_recorded(self):
+        loop, wl = _case()
+        g = guarded_run(loop, wl, 2)
+        assert g.resolved_by == "first-try"
+        assert "via first-try" in g.describe()
+
+    def test_deeper_queues_resolution_recorded(self, monkeypatch):
+        # fail once with a deadlock, then let the real machine run: the
+        # retry that succeeds must stamp the failure it resolved
+        from repro.runtime.exec import execute_kernel as real_execute
+
+        loop, wl = _case()
+        calls = []
+
+        def _flaky(kernel, workload, params, faults=None, obs=None):
+            calls.append(params.queue_depth)
+            if len(calls) == 1:
+                raise DeadlockError("synthetic transient deadlock")
+            return real_execute(kernel, workload, params, faults=faults,
+                                obs=obs)
+
+        monkeypatch.setattr(G, "execute_kernel", _flaky)
+        g = guarded_run(loop, wl, 2, params=MachineParams(queue_depth=20),
+                        fault_plan=FaultPlan(seed=0))
+        assert g.source == "parallel" and g.resolved_by == "deeper-queues"
+        assert calls == [20, 80]
+        assert g.failures[0].resolution == "deeper-queues"
+        assert "[resolved by deeper-queues]" in g.failures[0].describe()
+        _assert_matches_reference(loop, wl, g)
+
     def test_failure_report_carries_partial_stats(self):
         loop, wl = _case()
         # a guaranteed-drop plan deadlocks the machine mid-flight, so the
@@ -229,3 +259,114 @@ class TestRelaxation:
         rep = g.failures[0]
         assert rep.partial is not None
         assert "progress:" in rep.describe()
+
+
+class TestAdaptiveLadder:
+    """The adapt rung of the adapt -> relax -> sequential ladder."""
+
+    PLAN = FaultPlan(seed=7, slow_cores=(1,), slow_factor=3.0)
+
+    def test_imbalance_rung_fires_and_wins(self):
+        # a 3x-slowed core convoys the gang: the run verifies but is
+        # reported as IMBALANCE, and the adaptive rung beats static
+        loop, wl = _case(trip=16)
+        g = guarded_run(loop, wl, 4, policy=GuardPolicy(adapt=True),
+                        fault_plan=self.PLAN)
+        assert g.source == "parallel" and not g.degraded
+        assert g.failure_kinds == [FailureKind.IMBALANCE]
+        assert g.resolved_by == "adaptive"
+        assert g.failures[0].resolution == "adaptive"
+        assert g.adaptive is not None and g.adaptive.all_checks_ok
+        gs = guarded_run(loop, wl, 4, fault_plan=self.PLAN)
+        assert g.cycles < gs.cycles
+        _assert_matches_reference(loop, wl, g)
+
+    def test_imbalance_not_reported_without_adapt(self):
+        loop, wl = _case(trip=16)
+        g = guarded_run(loop, wl, 4, fault_plan=self.PLAN)
+        assert FailureKind.IMBALANCE not in g.failure_kinds
+        assert g.resolved_by == "first-try" and g.adaptive is None
+
+    def test_balanced_run_does_not_escalate(self):
+        loop, wl = _case(trip=16)
+        g = guarded_run(loop, wl, 4, policy=GuardPolicy(adapt=True))
+        assert g.failure_kinds == [] and g.resolved_by == "first-try"
+        assert g.adaptive is None
+
+    def test_losing_adaptation_keeps_static_with_provenance(self, monkeypatch):
+        # force the adaptive result to always lose on cycles: the guard
+        # must serve the static answer but keep the AdaptiveRun record
+        import repro.runtime.adaptive as A
+
+        loop, wl = _case(trip=16)
+        real = A.adaptive_run
+
+        def _slow_adaptive(*a, **kw):
+            ar = real(*a, **kw)
+            ar.result.cycles = float("inf")
+            return ar
+
+        monkeypatch.setattr(A, "adaptive_run", _slow_adaptive)
+        g = guarded_run(loop, wl, 4, policy=GuardPolicy(adapt=True),
+                        fault_plan=self.PLAN)
+        assert g.source == "parallel" and g.resolved_by == "static"
+        assert g.failure_kinds == [FailureKind.IMBALANCE]
+        assert g.failures[0].resolution is None  # nothing resolved it
+        assert g.adaptive is not None  # provenance even when it lost
+        _assert_matches_reference(loop, wl, g)
+
+    def test_adaptive_resolves_deadlock_rung(self, monkeypatch):
+        # static execution deadlocks deterministically; the adaptive
+        # rung (fired before parameter relaxation) returns a verified
+        # answer, so the failure is resolved by "adaptive"
+        import repro.runtime.adaptive as A
+
+        loop, wl = _case()
+        ref = run_loop(loop, wl)
+
+        def _always_deadlock(kernel, workload, params, faults=None, obs=None):
+            raise DeadlockError("synthetic deadlock")
+
+        class _FakeResult:
+            arrays = ref.arrays
+            scalars = dict(ref.scalars)
+            cycles = 123.0
+
+        class _FakeAdaptiveRun:
+            result = _FakeResult()
+            injected = []
+
+        monkeypatch.setattr(G, "execute_kernel", _always_deadlock)
+        monkeypatch.setattr(A, "adaptive_run",
+                            lambda *a, **kw: _FakeAdaptiveRun())
+        g = guarded_run(loop, wl, 4, policy=GuardPolicy(adapt=True))
+        assert g.source == "parallel" and g.resolved_by == "adaptive"
+        assert g.attempts == 1  # no relaxation retries were needed
+        assert g.failure_kinds == [FailureKind.DEADLOCK]
+        assert g.failures[0].resolution == "adaptive"
+        _assert_matches_reference(loop, wl, g)
+
+    def test_adaptive_rung_failure_falls_through_to_relaxation(
+            self, monkeypatch):
+        # if the adaptive rung itself dies, the ladder continues to
+        # parameter relaxation and ultimately the sequential fallback
+        import repro.runtime.adaptive as A
+
+        loop, wl = _case()
+        depths = []
+
+        def _always_deadlock(kernel, workload, params, faults=None, obs=None):
+            depths.append(params.queue_depth)
+            raise DeadlockError("synthetic deadlock")
+
+        def _broken_adaptive(*a, **kw):
+            raise SimError("adaptive rung exploded")
+
+        monkeypatch.setattr(G, "execute_kernel", _always_deadlock)
+        monkeypatch.setattr(A, "adaptive_run", _broken_adaptive)
+        g = guarded_run(loop, wl, 2, params=MachineParams(queue_depth=20),
+                        policy=GuardPolicy(adapt=True))
+        assert g.source == "fallback" and g.resolved_by == "fallback"
+        assert depths == [20, 80, 320]  # relaxation still happened
+        assert FailureKind.SIM_ERROR in g.failure_kinds  # rung's failure
+        _assert_matches_reference(loop, wl, g)

@@ -118,6 +118,54 @@ class TestGuards:
             assert len(incs) == 1
 
 
+class TestStealingMode:
+    """Work-stealing lowering: fiber table + dispatch registers make
+    fiber -> core placement an execute-time register preload."""
+
+    def _steal(self, loop, n=4):
+        return _lowered(loop, n, CompilerConfig(runtime_mode="stealing"))
+
+    def test_static_mode_has_no_dispatch_surface(self, demo_loop):
+        k = _lowered(demo_loop, 4)
+        assert not k.dispatch_regs and not k.fiber_table
+        assert k.dispatch_preload() == {}
+
+    def test_fiber_table_and_dispatch_regs_shape(self, demo_loop):
+        k = self._steal(demo_loop, 4)
+        secondaries = [p for p in range(len(k.programs)) if p != 0]
+        assert set(k.dispatch_regs) == set(secondaries)
+        assert all(reg == f"__fib{s}" for s, reg in k.dispatch_regs.items())
+        # every secondary fiber resolvable through the table
+        assert set(k.fiber_table) == set(secondaries)
+
+    def test_identity_placement_covers_all_cores(self, demo_loop):
+        k = self._steal(demo_loop, 4)
+        pl = k.identity_placement()
+        assert pl == {c: c for c in range(k.n_cores)}
+
+    def test_dispatch_preload_realizes_placement(self, demo_loop):
+        k = self._steal(demo_loop, 4)
+        secondaries = sorted(k.dispatch_regs)
+        rolled = {0: 0, **dict(zip(
+            secondaries, secondaries[1:] + secondaries[:1]))}
+        pre = k.dispatch_preload(rolled)
+        for s in secondaries:
+            assert pre[k.dispatch_regs[s]] == k.fiber_table[rolled[s]]
+
+    def test_dispatch_preload_rejects_duplicate_fiber(self, demo_loop):
+        k = self._steal(demo_loop, 4)
+        s = sorted(k.dispatch_regs)
+        bad = {c: s[0] for c in s}  # every core runs the same fiber
+        with pytest.raises(LowerError, match="two cores"):
+            k.dispatch_preload(bad)
+
+    def test_dispatch_preload_rejects_unknown_fiber(self, demo_loop):
+        k = self._steal(demo_loop, 4)
+        s = sorted(k.dispatch_regs)
+        with pytest.raises(LowerError, match="unknown fiber"):
+            k.dispatch_preload({s[0]: 99})
+
+
 class TestErrors:
     def test_unknown_read_caught(self):
         # construct a plan whose partition reads an undeclared name by

@@ -289,6 +289,69 @@ class TestReport:
         assert json.loads(path.read_text())["schema"] == 1
 
 
+class TestAdaptiveProfileSignals:
+    """The adaptive runtime's signals surfaced through `repro profile`:
+    per-core idle fractions, imbalance, and occupancy histograms."""
+
+    def _profile(self, trip=16, faults=None):
+        spec = get_kernel("umt2k-1")
+        kern = compile_loop(spec.loop(), 4)
+        res = execute_kernel(kern, spec.workload(trip=trip), faults=faults)
+        return profile_result(res, kernel="umt2k-1", trip=trip,
+                              queue_depth=20, stats=kern.plan.stats)
+
+    def test_idle_fractions_and_imbalance(self):
+        prof = self._profile()
+        for row in prof.rows:
+            assert 0.0 <= row.idle_frac <= 1.0
+        assert prof.imbalance == pytest.approx(
+            max(r.idle_frac for r in prof.rows)
+            - min(r.idle_frac for r in prof.rows)
+        )
+
+    def test_skew_raises_reported_imbalance(self):
+        from repro.faults import FaultInjector, FaultPlan
+
+        balanced = self._profile()
+        skewed = self._profile(faults=FaultInjector(
+            FaultPlan(seed=3, slow_cores=(1,), slow_factor=4.0)))
+        assert skewed.imbalance > balanced.imbalance
+
+    def test_queue_rows_carry_occupancy(self):
+        prof = self._profile()
+        assert prof.queues
+        for q in prof.queues:
+            assert q.depth > 0
+            assert q.mean_occupancy >= 0.0
+            spark = q.occupancy_sparkline()
+            assert len(spark) == 8
+        text = format_profile(prof)
+        assert "imbalance" in text and "idle" in text
+
+    def test_bench_key_includes_scenario(self, tmp_path):
+        from repro.obs.report import _row_key
+
+        a = {"kernel": "k", "cores": 4, "trip": 8, "scenario": "balanced"}
+        b = dict(a, scenario="slow1x3")
+        assert _row_key(a) != _row_key(b)
+        path = tmp_path / "BENCH_adaptive.json"
+        update_bench(path, a)
+        doc = update_bench(path, b)
+        assert len(doc["rows"]) == 2
+
+    def test_adaptive_bench_row_shape(self):
+        from repro.experiments import imbalance
+        from repro.obs.report import adaptive_bench_row
+
+        res = imbalance.run(trip=8, kernels=("umt2k-1",),
+                            scenarios=(("balanced", (), 1.0),))
+        row = adaptive_bench_row(res.cells[0], trip=8, cores=4)
+        assert row["kernel"] == "umt2k-1" and row["scenario"] == "balanced"
+        assert {"static_cycles", "adaptive_cycles", "gain", "imbalance",
+                "resolved_by", "checks", "checks_ok",
+                "outcome"} <= set(row)
+
+
 class TestGuardAndHarnessEvents:
     def test_guard_emits_failure_then_fallback(self):
         from repro.runtime.guard import GuardPolicy, guarded_run

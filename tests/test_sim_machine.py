@@ -256,6 +256,71 @@ class TestTwoCoreQueues:
         assert m.cores[1].regs["ran"] == 1
 
 
+class TestPerQueueDepths:
+    """MachineParams.queue_depths: per-queue capacity overrides keyed
+    like the checker diagnostics ((src, dst, vclass) -> depth)."""
+
+    def _pair_progs(self, n_sends=6):
+        q = QueueId(0, 1, VClass.GPR)
+        p0 = _prog("core0", [
+            Instr(op="mov", dst="v", a=Imm(3)),
+            *[Instr(op="enq", queue=q, a="v") for _ in range(n_sends)],
+            Instr(op="halt"),
+        ])
+        p1 = _prog("core1", [
+            *[Instr(op="deq", queue=q, dst=f"w{i}") for i in range(n_sends)],
+            Instr(op="halt"),
+        ])
+        return [p0, p1]
+
+    def test_override_applied_to_named_queue(self):
+        m = Machine(
+            self._pair_progs(), _mem(),
+            MachineParams(queue_depth=20,
+                          queue_depths=(((0, 1, "gpr"), 3),)),
+        )
+        res = m.run()
+        qs = res.queue_stats[0]
+        assert qs.depth == 3
+        assert qs.max_outstanding <= 3  # capacity actually enforced
+
+    def test_unnamed_queues_keep_base_depth(self):
+        m = Machine(
+            self._pair_progs(), _mem(),
+            MachineParams(queue_depth=7,
+                          queue_depths=(((5, 6, "fpr"), 3),)),
+        )
+        res = m.run()
+        assert res.queue_stats[0].depth == 7
+
+    def test_controller_round_hook_called(self):
+        # consumer first in program order, so round 1 leaves it
+        # replay-blocked and the scheduler takes a second round
+        rounds = []
+
+        class Probe:
+            def on_round(self, machine):
+                rounds.append(len(machine.queues))
+
+            def on_stuck(self, machine):
+                return False
+
+        q = QueueId(1, 0, VClass.GPR)
+        consumer = _prog("core0", [
+            Instr(op="deq", queue=q, dst="w"),
+            Instr(op="halt"),
+        ])
+        producer = _prog("core1", [
+            Instr(op="mov", dst="v", a=Imm(3)),
+            Instr(op="enq", queue=q, a="v"),
+            Instr(op="halt"),
+        ])
+        m = Machine([consumer, producer], _mem(), MachineParams(),
+                    controller=Probe())
+        m.run()
+        assert rounds and all(n == 1 for n in rounds)
+
+
 class TestWatchdog:
     def test_instruction_budget(self):
         instrs = [

@@ -81,3 +81,59 @@ class TestFifo:
     def test_pop_empty_asserts(self):
         with pytest.raises(AssertionError):
             _q().pop(0)
+
+
+class TestReconfiguration:
+    """Runtime depth growth (adaptive runtime's live rescue path)."""
+
+    def test_grow_frees_blocked_slot(self):
+        q = _q(depth=2)
+        q.push(1, 0)
+        q.push(2, 1)
+        assert q.slot_blocker() == 0  # full: waiting on the 0th dequeue
+        assert q.grow(4)
+        assert q.slot_blocker() is None
+        q.push(3, 2)  # admitted under the new capacity
+
+    def test_grow_never_shrinks(self):
+        q = _q(depth=4)
+        assert not q.grow(4) and not q.grow(2)
+        assert q.depth == 4
+
+
+class TestOccupancyHistogram:
+    def test_time_weighted_levels(self):
+        # two entries visible at t=0 and t=10, drained at t=20 and t=30:
+        # occupancy 1 over [0,10) and [20,30), occupancy 2 over [10,20)
+        q = _q(depth=8)
+        q.push("a", 0.0)
+        q.push("b", 10.0)
+        q.pop(20.0)
+        q.pop(30.0)
+        hist = q.occupancy_histogram()
+        assert hist == {1: 20.0, 2: 10.0}
+
+    def test_empty_intervals_excluded(self):
+        q = _q(depth=8)
+        q.push("a", 0.0)
+        q.pop(5.0)
+        q.push("b", 100.0)
+        q.pop(105.0)
+        assert q.occupancy_histogram() == {1: 10.0}
+
+    def test_replay_runahead_is_not_occupancy(self):
+        # producer processed far ahead in replay order (peak outstanding
+        # at capacity) while simulated-time occupancy never exceeds 1:
+        # the honest pressure signal is the histogram, not the peak
+        q = _q(depth=4)
+        for k in range(4):
+            q.push(k, float(10 * k))          # visible at 0,10,20,30
+        for k in range(4):
+            q.pop(float(10 * k + 5))          # drained at 5,15,25,35
+        assert q.max_outstanding == 4
+        hist = q.occupancy_histogram()
+        assert set(hist) == {1}
+
+    def test_stall_clocks_start_at_zero(self):
+        q = _q()
+        assert q.stall_full == 0.0 and q.stall_empty == 0.0

@@ -95,6 +95,7 @@ class TestKeys:
             {"n_cores": 4},
             {"trip": TRIP + 1},
             {"seed": 1},
+            {"adaptive": True},
         ],
     )
     def test_key_changes_with_config(self, change):
@@ -119,6 +120,11 @@ class TestKeys:
     def test_stable_digest_handles_collections(self):
         assert stable_digest({"b": 1, "a": 2}) == stable_digest({"a": 2, "b": 1})
         assert stable_digest([1, 2]) != stable_digest([2, 1])
+
+    def test_schema_is_v2_for_adaptive_fields(self):
+        # runtime_mode / queue_depths / adaptive / resolved_by all enter
+        # the digests and payloads, so v1 records must read as misses
+        assert SCHEMA_VERSION == 2
 
 
 class TestRoundTrip:
@@ -145,6 +151,16 @@ class TestRoundTrip:
         back = store.get_run("cd" + "0" * 62)
         assert back.par_cycles == float("inf") and back.deadlocked
         assert back.speedup == 0.0
+
+    def test_resolved_by_round_trips(self, store):
+        run = _synthetic_run(resolved_by="adaptive")
+        store.put_run("ef" + "0" * 62, run)
+        back = store.get_run("ef" + "0" * 62)
+        _assert_runs_equal(run, back)
+        assert back.resolved_by == "adaptive"
+        # absent provenance stays None, not ""
+        store.put_run("f0" + "0" * 62, _synthetic_run())
+        assert store.get_run("f0" + "0" * 62).resolved_by is None
 
     def test_warm_hit_skips_all_computation(self, store, monkeypatch):
         spec = get_kernel("umt2k-1")
