@@ -79,3 +79,11 @@ class CompilerConfig:
     #: becomes an execute-time choice (the adaptive runtime migrates
     #: fibers by re-preloading those registers — no recompile).
     runtime_mode: str = "static"
+    #: simulator back end used when executing the compiled kernel.
+    #: ``"reference"`` is the per-instruction interpreter
+    #: (:class:`repro.sim.core.Core`); ``"specialized"`` pre-compiles
+    #: each program into a generator closure (:mod:`repro.sim.fast`);
+    #: ``"batched"`` advances many sweep cells in numpy lockstep.  All
+    #: three are bit-identical by contract, so this field is excluded
+    #: from store keys (see :mod:`repro.store.keys`).
+    sim_mode: str = "reference"

@@ -15,6 +15,7 @@ from .campaign import (
     FuzzResult,
     probe_loop,
     replay_artifact,
+    results_equal,
     run_campaign,
 )
 from .gen import Draw, RandomDraw, build_loop, mutate_loop
@@ -35,6 +36,7 @@ __all__ = [
     "loop_size",
     "probe_loop",
     "replay_artifact",
+    "results_equal",
     "run_campaign",
     "save_artifact",
     "shrink_loop",

@@ -46,6 +46,7 @@ __all__ = [
     "Finding",
     "FuzzResult",
     "probe_loop",
+    "results_equal",
     "run_campaign",
     "replay_artifact",
 ]
@@ -120,6 +121,75 @@ class FuzzResult:
         return "\n".join(lines)
 
 
+def results_equal(a, b) -> bool:
+    """Full :class:`~repro.sim.machine.SimResult` equality for the
+    differential legs — bit-exact arrays/scalars, identical cycle
+    counts and stall attribution.  ``QueueStat.max_outstanding`` is the
+    one processing-order-dependent statistic and is excluded (it is
+    slice-granularity-dependent in the reference simulator already)."""
+    if (a.cycles != b.cycles or a.core_times != b.core_times
+            or a.total_instrs != b.total_instrs):
+        return False
+    for sa, sb in zip(a.core_stats, b.core_stats):
+        for f in ("instrs", "enq_ops", "deq_ops", "queue_stall", "mem",
+                  "stall_full", "stall_empty", "stall_transfer"):
+            if getattr(sa, f) != getattr(sb, f):
+                return False
+    if sorted(a.arrays) != sorted(b.arrays):
+        return False
+    for k, arr in a.arrays.items():
+        if arr.tobytes() != b.arrays[k].tobytes():
+            return False
+    if a.scalars.keys() != b.scalars.keys():
+        return False
+    for k, va in a.scalars.items():
+        vb = b.scalars[k]
+        if va != vb and not (va != va and vb != vb):  # NaN-aware
+            return False
+    if len(a.queue_stats) != len(b.queue_stats):
+        return False
+    for qa, qb in zip(a.queue_stats, b.queue_stats):
+        if (qa.qid != qb.qid or qa.n_transfers != qb.n_transfers
+                or qa.depth != qb.depth
+                or qa.occupancy_hist != qb.occupancy_hist
+                or qa.stall_full != qb.stall_full
+                or qa.stall_empty != qb.stall_empty):
+            return False
+    return True
+
+
+def _probe_fast_leg(kernel, workload, params, mode, ref_exc, ref_result):
+    """Compare one fast-simulator leg against the reference leg.
+
+    Returns ``None`` when the leg agrees (same failure kind on
+    failures, :func:`results_equal` on successes) and a signature
+    fragment otherwise.  A batched :class:`Divergence` is the machine
+    *declining* the lane — the scalar fallback covers it — not a
+    disagreement.
+    """
+    from ..runtime.exec import execute_kernel
+    from ..runtime.guard import classify_failure
+    from ..sim.fast.batch import Divergence, run_batch
+
+    try:
+        if mode == "batched":
+            try:
+                fast = run_batch(kernel, [workload], params)[0]
+            except Divergence:
+                return None
+        else:
+            fast = execute_kernel(kernel, workload, params, sim_mode=mode)
+    except (MachineFailure, SimError, MemoryFault) as exc:
+        if ref_exc is None:
+            return f"unexpected-{classify_failure(exc).value}"
+        a = classify_failure(ref_exc).value
+        b = classify_failure(exc).value
+        return None if a == b else f"kind-mismatch:{a}:{b}"
+    if ref_exc is not None:
+        return f"unexpected-success:{classify_failure(ref_exc).value}"
+    return None if results_equal(ref_result, fast) else "result-mismatch"
+
+
 def probe_loop(
     loop: Loop,
     cell: FuzzCell,
@@ -127,8 +197,17 @@ def probe_loop(
     trip: int = 16,
     inject: str | None = None,
     workload_seed: int = 1,
+    sim_modes: tuple[str, ...] = (),
 ) -> str:
-    """Differential probe of one loop in one cell; returns a signature."""
+    """Differential probe of one loop in one cell; returns a signature.
+
+    ``sim_modes`` adds fast-simulator legs (``"specialized"`` /
+    ``"batched"``): each re-runs the same kernel on the same workload
+    through that back end and must match the reference leg exactly —
+    same failure kind on failures, bit-identical results and cycle
+    counts on success.  A deviation returns a ``"<mode>:..."``
+    signature, extending the static/dynamic taxonomy.
+    """
     from ..runtime.exec import compile_loop, execute_kernel
     from ..runtime.guard import classify_failure
     from .artifact import decode_loop, encode_loop
@@ -156,18 +235,24 @@ def probe_loop(
 
     report = check_kernel(kernel, queue_depth=cell.queue_depth)
 
+    params = MachineParams(
+        queue_depth=cell.queue_depth,
+        max_instrs=PROBE_MAX_INSTRS,
+    )
     sim_exc: BaseException | None = None
     result = None
     try:
-        result = execute_kernel(
-            kernel, workload,
-            MachineParams(
-                queue_depth=cell.queue_depth,
-                max_instrs=PROBE_MAX_INSTRS,
-            ),
-        )
+        result = execute_kernel(kernel, workload, params)
     except (MachineFailure, SimError, MemoryFault) as exc:
         sim_exc = exc
+
+    # Fast-simulator legs: a simulator/simulator disagreement is a
+    # finding in its own right, reported ahead of the checker taxonomy.
+    for mode in sim_modes:
+        frag = _probe_fast_leg(kernel, workload, params, mode,
+                               sim_exc, result)
+        if frag is not None:
+            return f"{mode}:{frag}"
 
     if sim_exc is not None:
         dynamic = classify_failure(sim_exc).value
@@ -241,6 +326,7 @@ def run_campaign(
     shrink: bool = True,
     max_shrink_probes: int = 400,
     corpus: str = "gen",
+    sim_modes: tuple[str, ...] = (),
     log=None,
 ) -> FuzzResult:
     """Run the campaign until the trial or time budget is exhausted.
@@ -257,6 +343,10 @@ def run_campaign(
     frontend-ingested kernel and applies small structure-preserving
     mutations (:func:`repro.fuzz.mutate_loop`), so the campaign probes
     real-loop-shaped programs rather than only grammar-shaped ones.
+
+    ``sim_modes`` arms the fast-simulator legs of every probe (see
+    :func:`probe_loop`), making the campaign a four-way differential:
+    checker × reference sim × interpreter × fast back ends.
     """
     if trials is None and max_seconds is None:
         trials = 25
@@ -285,7 +375,8 @@ def run_campaign(
         if metrics is not None:
             metrics.counter("fuzz.trials").inc()
         for cell in cells:
-            sig = probe_loop(loop, cell, trip=trip, inject=inject)
+            sig = probe_loop(loop, cell, trip=trip, inject=inject,
+                             sim_modes=sim_modes)
             out.probes += 1
             if metrics is not None:
                 metrics.counter("fuzz.probes").inc()
@@ -298,7 +389,8 @@ def run_campaign(
                 shrunk, spent = shrink_loop(
                     loop,
                     lambda cand: probe_loop(
-                        cand, cell, trip=trip, inject=inject
+                        cand, cell, trip=trip, inject=inject,
+                        sim_modes=sim_modes,
                     ),
                     max_probes=max_shrink_probes,
                 )
@@ -320,6 +412,7 @@ def run_campaign(
                     queue_depth=cell.queue_depth,
                     speculation=cell.speculation,
                     inject=inject,
+                    sim_modes=list(sim_modes),
                 )
             out.findings.append(finding)
             if log is not None:
@@ -345,5 +438,6 @@ def replay_artifact(path: str | Path, *, trip: int | None = None) -> tuple[str, 
         payload["loop"], cell,
         trip=trip if trip is not None else payload["trip"],
         inject=cfg.get("inject"),
+        sim_modes=tuple(cfg.get("sim_modes") or ()),
     )
     return payload["signature"], observed

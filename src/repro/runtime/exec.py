@@ -54,6 +54,7 @@ def execute_kernel(
     obs=None,
     placement: dict[int, int] | None = None,
     controller=None,
+    sim_mode: str | None = None,
 ) -> SimResult:
     """Run a lowered kernel on (a copy of) ``workload``.
 
@@ -68,9 +69,29 @@ def execute_kernel(
     kernels reject a non-identity placement loudly.  ``controller`` is
     the optional live-reconfiguration hook forwarded to the
     :class:`~repro.sim.machine.Machine`.
+
+    ``sim_mode`` overrides the compiled config's
+    :attr:`~repro.compiler.config.CompilerConfig.sim_mode` (back-end
+    choice only; results are bit-identical by contract).  ``"batched"``
+    here means a single-lane batch run; it degrades to the specialized
+    scalar path when any hook that the batch machine cannot carry is
+    attached, or when the lane diverges.
     """
     loop = kernel.plan.loop
     workload.validate_for(loop)
+    mode = sim_mode if sim_mode is not None else kernel.plan.config.sim_mode
+    if mode == "batched":
+        hooked = (detect_races or trace or faults is not None
+                  or controller is not None or placement is not None
+                  or (obs is not None and getattr(obs, "enabled", True)))
+        if not hooked:
+            from ..sim.fast.batch import Divergence, run_batch
+
+            try:
+                return run_batch(kernel, [workload], params)[0]
+            except Divergence:
+                pass  # lane not batchable — fall through to scalar
+        mode = "specialized"
     if placement is not None and not kernel.dispatch_regs:
         if any(placement.get(s, s) != s for s in range(kernel.n_cores)):
             raise ValueError(
@@ -87,7 +108,7 @@ def execute_kernel(
     machine = Machine(
         kernel.programs, memory, params,
         preload_regs=preload, detect_races=detect_races, trace=trace,
-        faults=faults, obs=obs, controller=controller,
+        faults=faults, obs=obs, controller=controller, sim_mode=mode,
     )
     result = machine.run(live_out=loop.live_out, primary=0)
     result.trace = machine.trace_recorder

@@ -50,6 +50,7 @@ from ..sim import (
     MachineParams,
     MemoryFault,
     PartialStats,
+    SimDivergence,
     SimError,
     SimResult,
 )
@@ -68,6 +69,7 @@ class FailureKind(enum.Enum):
     SIM_ERROR = "sim-error"          # SimError: drain imbalance, bad dispatch...
     MEMORY_FAULT = "memory-fault"    # MemoryFault: out-of-bounds access
     VERIFY_MISMATCH = "verify-mismatch"  # ran to completion, wrong answer
+    SIM_DIVERGENCE = "sim-divergence"  # fast sim path contradicts reference
     COMPILE_ERROR = "compile-error"  # the compiler pipeline itself raised
     PROTOCOL = "protocol"            # static checker rejected the artifact
     STORE = "store-error"            # durable store write failed (ENOSPC/EIO)
@@ -99,6 +101,11 @@ def classify_failure(exc: BaseException) -> FailureKind:
         return FailureKind.BUDGET
     if isinstance(exc, MemoryFault):
         return FailureKind.MEMORY_FAULT
+    if isinstance(exc, SimDivergence):
+        # the fast simulator paths broke their bit-exactness contract:
+        # never retryable, never silent — the differential battery in
+        # tests/test_sim_fast.py exists to keep this unreachable.
+        return FailureKind.SIM_DIVERGENCE
     if isinstance(exc, SimError):
         return FailureKind.SIM_ERROR
     return FailureKind.COMPILE_ERROR

@@ -63,13 +63,17 @@ class Request:
     depth: int = 20
     latency: int = 5
     speculation: bool = False
+    #: simulator back end ("reference" | "specialized" | "batched");
+    #: bit-exact by contract, so it never perturbs the cell cache key.
+    sim_mode: str = "reference"
     client: str = "anon"
     priority: int = 10
     timeout: float | None = None
 
     def exp_config_kwargs(self, n_cores: int | None = None) -> dict:
         """The :class:`~repro.experiments.common.ExpConfig` fields this
-        request pins down (content-hash inputs)."""
+        request pins down (content-hash inputs, plus the back-end
+        choice — which is excluded from the hash)."""
         return {
             "n_cores": n_cores if n_cores is not None else self.cores,
             "trip": self.trip,
@@ -77,6 +81,7 @@ class Request:
             "queue_depth": self.depth,
             "queue_latency": self.latency,
             "speculation": self.speculation,
+            "sim_mode": self.sim_mode,
         }
 
 
@@ -123,6 +128,13 @@ def parse_request(obj: Any, default_client: str = "anon") -> Request:
     if not isinstance(client, str) or not client:
         raise BadRequest(f"'client' must be a non-empty string, got {client!r}")
 
+    sim_mode = obj.get("sim_mode", "reference")
+    if sim_mode not in ("reference", "specialized", "batched"):
+        raise BadRequest(
+            f"'sim_mode' must be one of reference|specialized|batched, "
+            f"got {sim_mode!r}"
+        )
+
     return Request(
         op=op,
         id=obj.get("id"),
@@ -135,6 +147,7 @@ def parse_request(obj: Any, default_client: str = "anon") -> Request:
         depth=_int_field(obj, "depth", 20, 1, 4096),
         latency=_int_field(obj, "latency", 5, 0, 1024),
         speculation=bool(obj.get("speculation", False)),
+        sim_mode=sim_mode,
         client=client,
         priority=_int_field(obj, "priority", 10, 0, 1000),
         timeout=float(timeout) if timeout is not None else None,

@@ -28,6 +28,14 @@ class SimError(RuntimeError):
     pass
 
 
+class SimDivergence(SimError):
+    """A fast simulation path (specialized/batched) produced a result
+    the reference simulator contradicts.  This must never happen — the
+    guard raises it loudly (``FailureKind.SIM_DIVERGENCE``) instead of
+    serving the fast answer, and the differential battery exists to
+    keep this class unreachable."""
+
+
 @dataclass
 class CoreStats:
     instrs: int = 0

@@ -1,0 +1,414 @@
+"""Lockstep numpy batching: advance many workload lanes in one machine.
+
+A sweep grid re-simulates the *same compiled kernel* under many seeds:
+identical programs, identical machine parameters, different input
+data.  Control flow and timing in this ISA depend only on integer
+values (trip counts, indices, conditions), so as long as every integer
+stays **lane-uniform**, all lanes execute the same instruction sequence
+with the same timestamps — one interpretation pass can carry the whole
+batch, with only the float data plane vectorized across lanes.
+
+That is the invariant this module enforces rather than assumes:
+
+* lane-varying values are always ``np.float64`` arrays of shape
+  ``(L,)``; integers (and lane-uniform floats) are plain Python
+  scalars;
+* any operation that would make an integer, a condition, a memory
+  index or a call target lane-varying raises :class:`Divergence`;
+* float arithmetic is vectorized only where NumPy is bit-identical to
+  the scalar reference (``+ - *``, IEEE division, ``sqrt``, ``neg``,
+  ``abs``); everything with diverging corner semantics (``min``/
+  ``max`` NaN ordering, ``fmod``, ``pow`` overflow, libm-backed
+  ``exp``/``log``/``sin``/``cos``) is evaluated per lane through
+  :mod:`repro.ops`, so every lane's result is *computed by* the
+  reference semantics, not an approximation of them.
+
+:class:`Divergence` is control flow, not failure: the caller
+(:func:`repro.runtime.exec.execute_kernel`,
+:func:`repro.experiments.common.run_kernel_batch`) catches it and
+re-runs the affected cells on the scalar path.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from ... import ops as _ops
+from ...ir.types import F64, I64
+from ...isa.instructions import Instr
+from ..core import Core, SimError, _Blocked
+from ..machine import Machine, MachineParams, SimResult
+from ..memory import MemoryFault, SharedMemory
+from ..queues import HwQueue
+
+
+class Divergence(Exception):
+    """The batch can no longer run in lockstep (lane-varying integer,
+    condition, index or call target).  Deliberately *not* a
+    :class:`~repro.sim.core.SimError`: it means "split the batch", not
+    "the simulation failed"."""
+
+
+# -- vector-aware operator semantics ------------------------------------
+
+#: float ops where the NumPy ufunc is IEEE-bit-identical to the scalar
+#: reference (see module docstring for why the rest are excluded).
+_NP_FLOAT_BIN = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+}
+
+
+def _lanes(x, n: int) -> list:
+    return x.tolist() if isinstance(x, np.ndarray) else [x] * n
+
+
+def _pack(vals: list, is_float: bool, what: str):
+    """List of per-lane reference results -> invariant-typed value."""
+    if is_float:
+        return np.array(vals, dtype=np.float64)
+    v0 = vals[0]
+    for v in vals[1:]:
+        if v != v0:
+            raise Divergence(f"lane-divergent int result in {what}")
+    return v0
+
+
+def _vec_binop(op: str, a, b, is_float: bool):
+    av = isinstance(a, np.ndarray)
+    bv = isinstance(b, np.ndarray)
+    if not av and not bv:
+        return _ops.eval_binop(op, a, b, F64 if is_float else I64)
+    if is_float:
+        fast = _NP_FLOAT_BIN.get(op)
+        if fast is not None:
+            return fast(a, b)
+        if op == "div":
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return np.divide(a, b)
+    n = len(a) if av else len(b)
+    la, lb = _lanes(a, n), _lanes(b, n)
+    dt = F64 if is_float else I64
+    vals = [_ops.eval_binop(op, la[i], lb[i], dt) for i in range(n)]
+    return _pack(vals, is_float, op)
+
+
+def _vec_unop(op: str, a, is_float: bool):
+    if not isinstance(a, np.ndarray):
+        return _ops.eval_unop(op, a, F64 if is_float else I64)
+    if op == "neg" and is_float:
+        return np.negative(a)
+    vals = [_ops.eval_unop(op, v, F64 if is_float else I64)
+            for v in a.tolist()]
+    return _pack(vals, is_float, op)
+
+
+def _vec_call(fn: str, args: list):
+    n = 0
+    for x in args:
+        if isinstance(x, np.ndarray):
+            n = len(x)
+            break
+    if n == 0:
+        return _ops.eval_call(fn, args)
+    if fn == "sqrt":
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(args[0])
+    if fn == "abs":
+        return np.abs(args[0])
+    lanes = [_lanes(x, n) for x in args]
+    vals = [_ops.eval_call(fn, [la[i] for la in lanes]) for i in range(n)]
+    return _pack(vals, isinstance(vals[0], float), fn)
+
+
+def _as_index(v, what: str) -> int:
+    if isinstance(v, np.ndarray):
+        raise Divergence(f"lane-divergent {what}")
+    return int(v)
+
+
+# -- batched memory ------------------------------------------------------
+
+
+class BatchMemory(SharedMemory):
+    """Shared memory with a leading lane axis: ``name -> (L, n)``.
+
+    Bounds and dtype semantics match :class:`SharedMemory` per lane
+    (all lanes share shapes by construction); float loads return the
+    whole ``(L,)`` column, integer loads must be lane-uniform.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray], lanes: int) -> None:
+        super().__init__(arrays)
+        self.lanes = lanes
+
+    def load(self, name: str, idx: int):
+        buf = self.arrays[name]
+        n = buf.shape[1]
+        if not 0 <= idx < n:
+            raise MemoryFault(f"load {name}[{idx}] out of bounds (len {n})")
+        col = buf[:, idx]
+        if self.is_float[name]:
+            return col.copy()
+        v0 = col[0]
+        if not (col == v0).all():
+            raise Divergence(f"lane-divergent int load {name}[{idx}]")
+        return int(v0)
+
+    def store(self, name: str, idx: int, value) -> None:
+        buf = self.arrays[name]
+        n = buf.shape[1]
+        if not 0 <= idx < n:
+            raise MemoryFault(f"store {name}[{idx}] out of bounds (len {n})")
+        buf[:, idx] = value
+
+
+# -- batched core --------------------------------------------------------
+
+
+class BatchCore(Core):
+    """Reference core with lane-aware value semantics.
+
+    ``run_slice`` is a faithful transcription of
+    :meth:`repro.sim.core.Core.run_slice` — identical processing order,
+    timing arithmetic and stat bookkeeping (so even the processing-
+    order-dependent ``max_outstanding`` matches the reference) — with
+    every value operation routed through the ``_vec_*`` helpers above.
+    Observation, race-detection and fault hooks are deliberately
+    absent: the machine refuses to build batched cores when any of
+    those are attached.
+    """
+
+    def run_slice(self, budget: int) -> int:
+        self.blocked = None
+        executed = 0
+        regs = self.regs
+        lat = self.lat
+        functions = self.program.functions
+        fn_obj = functions[self.fn]
+        code = fn_obj.instrs
+        labels = fn_obj.labels
+
+        while executed < budget:
+            if self.pc >= len(code):
+                raise SimError(
+                    f"core {self.cid}: fell off end of {fn_obj.name}"
+                )
+            ins: Instr = code[self.pc]
+            op = ins.op
+
+            if op == "bin":
+                regs[ins.dst] = _vec_binop(
+                    ins.fn, self._val(ins.a), self._val(ins.b), ins.is_float
+                )
+                self.time += lat.binop(ins.fn, ins.is_float)
+                self.pc += 1
+            elif op == "load":
+                idx = _as_index(self._val(ins.a), f"load index {ins.array}")
+                regs[ins.dst] = self.memory.load(ins.array, idx)
+                self.time += self.cache.access(ins.array, idx, lat)
+                self.stats.mem += 1
+                self.pc += 1
+            elif op == "store":
+                idx = _as_index(self._val(ins.a), f"store index {ins.array}")
+                self.memory.store(ins.array, idx, self._val(ins.b))
+                self.cache.touch(ins.array, idx)
+                self.time += lat.store
+                self.stats.mem += 1
+                self.pc += 1
+            elif op == "call":
+                args = [
+                    self._val(x)
+                    for x in (ins.a, ins.b, ins.c)
+                    if x is not None
+                ]
+                regs[ins.dst] = _vec_call(ins.fn, args)
+                self.time += lat.call[ins.fn]
+                self.pc += 1
+            elif op == "un":
+                regs[ins.dst] = _vec_unop(
+                    ins.fn, self._val(ins.a), ins.is_float
+                )
+                self.time += lat.unop
+                self.pc += 1
+            elif op == "select":
+                c = self._val(ins.c)
+                if isinstance(c, np.ndarray):
+                    raise Divergence("lane-divergent select condition")
+                v = self._val(ins.a) if c else self._val(ins.b)
+                if ins.is_float:
+                    v = v if isinstance(v, np.ndarray) else float(v)
+                regs[ins.dst] = v
+                self.time += lat.select
+                self.pc += 1
+            elif op == "mov":
+                regs[ins.dst] = self._val(ins.a)
+                self.time += lat.mov
+                self.pc += 1
+            elif op == "enq":
+                q: HwQueue = self.queues(ins.queue)
+                blocker = q.slot_blocker()
+                if blocker is not None:
+                    self.blocked = _Blocked("slot", q, blocker, self.time)
+                    self.stats.instrs += executed
+                    return executed
+                start = self.time
+                wait = q.slot_free_time() - start
+                if wait < 0.0:
+                    wait = 0.0
+                completion = start + wait + lat.enqueue
+                self.stats.queue_stall += wait
+                self.stats.stall_full += wait
+                q.stall_full += wait
+                q.push(self._val(ins.a), completion + q.transfer_latency)
+                self.time = completion
+                self.stats.enq_ops += 1
+                self.pc += 1
+            elif op == "deq":
+                q = self.queues(ins.queue)
+                blocker = q.entry_blocker()
+                if blocker is not None:
+                    self.blocked = _Blocked("entry", q, blocker, self.time)
+                    self.stats.instrs += executed
+                    return executed
+                start = self.time
+                ready = q.head_ready_time()
+                wait = ready - start
+                if wait < 0.0:
+                    wait = 0.0
+                completion = start + wait + lat.dequeue
+                self.stats.queue_stall += wait
+                q.stall_empty += wait
+                if wait > 0.0:
+                    empty = ready - q.transfer_latency - start
+                    if empty < 0.0:
+                        empty = 0.0
+                    self.stats.stall_empty += empty
+                    self.stats.stall_transfer += wait - empty
+                regs[ins.dst] = q.pop(completion)
+                self.time = completion
+                self.stats.deq_ops += 1
+                self.pc += 1
+            elif op == "fjp":
+                v = self._val(ins.a)
+                if isinstance(v, np.ndarray):
+                    raise Divergence("lane-divergent branch condition")
+                self.pc = labels[ins.label] if not v else self.pc + 1
+                self.time += lat.branch
+            elif op == "tjp":
+                v = self._val(ins.a)
+                if isinstance(v, np.ndarray):
+                    raise Divergence("lane-divergent branch condition")
+                self.pc = labels[ins.label] if v else self.pc + 1
+                self.time += lat.branch
+            elif op == "jp":
+                self.pc = labels[ins.label]
+                self.time += lat.branch
+            elif op == "lab":
+                self.pc += 1
+                executed -= 1
+            elif op == "callr":
+                target = _as_index(self._val(ins.a), "call target")
+                if not 0 <= target < len(functions):
+                    raise SimError(
+                        f"core {self.cid}: bad function index {target}"
+                    )
+                self.frames.append((self.fn, self.pc + 1))
+                self.fn = target
+                fn_obj = functions[self.fn]
+                code = fn_obj.instrs
+                labels = fn_obj.labels
+                self.pc = 0
+                self.time += lat.branch
+            elif op == "ret":
+                if not self.frames:
+                    raise SimError(f"core {self.cid}: ret with empty stack")
+                self.fn, self.pc = self.frames.pop()
+                fn_obj = functions[self.fn]
+                code = fn_obj.instrs
+                labels = fn_obj.labels
+                self.time += lat.branch
+            elif op == "halt":
+                self.halted = True
+                self.stats.instrs += executed + 1
+                return executed + 1
+            else:  # pragma: no cover - defensive
+                raise SimError(f"core {self.cid}: bad opcode {op}")
+            executed += 1
+        self.stats.instrs += executed
+        return executed
+
+
+# -- whole-batch driver --------------------------------------------------
+
+
+def run_batch(
+    kernel, workloads, params: MachineParams | None = None
+) -> list[SimResult]:
+    """Execute ``kernel`` once over every workload lane in lockstep.
+
+    Mirrors :func:`repro.runtime.exec.execute_kernel` (same validation,
+    preload and machine construction) for a *list* of workloads sharing
+    one kernel and machine configuration.  Returns one
+    :class:`SimResult` per lane, each bit-identical — values, cycles,
+    stall attribution — to what a scalar run of that lane would
+    produce.  Raises :class:`Divergence` when lockstep is impossible;
+    the caller re-runs the affected lanes on the scalar path.
+    """
+    if not workloads:
+        raise ValueError("run_batch needs at least one workload")
+    loop = kernel.plan.loop
+    for wl in workloads:
+        wl.validate_for(loop)
+    base = workloads[0]
+    names = sorted(base.arrays)
+    for wl in workloads[1:]:
+        if sorted(wl.arrays) != names:
+            raise Divergence("workload array sets differ across lanes")
+        for k in names:
+            if (wl.arrays[k].shape != base.arrays[k].shape
+                    or wl.arrays[k].dtype != base.arrays[k].dtype):
+                raise Divergence(f"array {k!r} shape/dtype differs across lanes")
+    arrays = {k: np.stack([wl.arrays[k] for wl in workloads]) for k in names}
+
+    preload: dict[int, dict] = {0: {}}
+    for p in loop.params:
+        if p.dtype.is_float:
+            vals = [float(wl.scalars[p.name]) for wl in workloads]
+            v0 = vals[0]
+            if all(v == v0 for v in vals[1:]):
+                preload[0][p.name] = v0
+            else:
+                preload[0][p.name] = np.array(vals, dtype=np.float64)
+        else:
+            ints = [int(wl.scalars[p.name]) for wl in workloads]
+            if any(v != ints[0] for v in ints[1:]):
+                raise Divergence(f"lane-divergent int param {p.name!r}")
+            preload[0][p.name] = ints[0]
+    preload[0].update(kernel.dispatch_preload(None))
+
+    memory = BatchMemory(arrays, lanes=len(workloads))
+    machine = Machine(
+        kernel.programs, memory, params,
+        preload_regs=preload, sim_mode="batched",
+    )
+    result = machine.run(live_out=loop.live_out, primary=0)
+
+    out = []
+    for lane in range(len(workloads)):
+        out.append(SimResult(
+            cycles=result.cycles,
+            core_times=list(result.core_times),
+            core_stats=copy.deepcopy(result.core_stats),
+            arrays={k: arrays[k][lane].copy() for k in names},
+            scalars={
+                k: (float(v[lane]) if isinstance(v, np.ndarray) else v)
+                for k, v in result.scalars.items()
+            },
+            queue_stats=copy.deepcopy(result.queue_stats),
+            total_instrs=result.total_instrs,
+        ))
+    return out

@@ -183,6 +183,7 @@ class Machine:
         faults=None,
         obs=None,
         controller=None,
+        sim_mode: str = "reference",
     ) -> None:
         self.params = params or MachineParams()
         self.memory = memory
@@ -219,8 +220,31 @@ class Machine:
                 self.obs = EventBus()
             self.trace_recorder = TraceRecorder()
             self.obs.subscribe(self.trace_recorder.on_event)
+        core_cls = Core
+        if sim_mode == "specialized":
+            # The specialized closures have no per-instruction hooks, so
+            # observation, race detection and live reconfiguration (whose
+            # decisions are processing-order sensitive) silently keep the
+            # reference core — correctness first, speed when unobserved.
+            if (self.obs is None and self.race_detector is None
+                    and controller is None):
+                from .fast.specialize import SpecializedCore
+
+                core_cls = SpecializedCore
+        elif sim_mode == "batched":
+            if (self.obs is not None or self.race_detector is not None
+                    or controller is not None or faults is not None):
+                raise ValueError(
+                    "batched sim_mode cannot carry obs/race/controller/"
+                    "fault hooks; run those lanes on the scalar path"
+                )
+            from .fast.batch import BatchCore
+
+            core_cls = BatchCore
+        elif sim_mode != "reference":
+            raise ValueError(f"unknown sim_mode {sim_mode!r}")
         self.cores = [
-            Core(
+            core_cls(
                 cid=i,
                 program=prog,
                 lat=(

@@ -84,6 +84,7 @@ class StoreStats:
     root: str
     run_records: int = 0
     seq_records: int = 0
+    src_records: int = 0
     stale_records: int = 0
     total_bytes: int = 0
     hits: int = 0
@@ -92,13 +93,14 @@ class StoreStats:
 
     @property
     def records(self) -> int:
-        return self.run_records + self.seq_records
+        return self.run_records + self.seq_records + self.src_records
 
     def format(self) -> str:
         lines = [
             f"store root   : {self.root}",
             f"run records  : {self.run_records}",
             f"seq records  : {self.seq_records}",
+            f"src records  : {self.src_records}",
             f"stale/corrupt: {self.stale_records}",
             f"total size   : {self.total_bytes / 1024:.1f} KiB",
             f"this session : {self.hits} hits / {self.misses} misses / "
@@ -238,6 +240,19 @@ class ResultStore:
     def put_seq(self, key: str, kernel: str, cycles: float) -> None:
         self.put(key, records.encode_seq(key, kernel, cycles))
 
+    def get_src(self, key: str) -> str | None:
+        envelope = self.get(key)
+        if envelope is None:
+            return None
+        source = records.decode_src(envelope)
+        if source is None:
+            self.hits -= 1
+            self.misses += 1
+        return source
+
+    def put_src(self, key: str, kernel: str, source: str) -> None:
+        self.put(key, records.encode_src(key, kernel, source))
+
     # -- maintenance ---------------------------------------------------
 
     def _record_paths(self) -> Iterator[Path]:
@@ -279,6 +294,8 @@ class ResultStore:
                     st.run_records += 1
                 elif kind == "seq":
                     st.seq_records += 1
+                elif kind == "src":
+                    st.src_records += 1
                 else:
                     st.stale_records += 1
             except (OSError, AttributeError):
@@ -301,7 +318,7 @@ class ResultStore:
         return (
             envelope is None
             or envelope.get("schema") != records.SCHEMA_VERSION
-            or envelope.get("kind") not in ("run", "seq")
+            or envelope.get("kind") not in ("run", "seq", "src")
         )
 
     def gc(self, protect: set[str] | frozenset[str] | None = None) -> GcReport:

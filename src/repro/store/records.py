@@ -84,6 +84,30 @@ def decode_run(envelope: dict) -> Any | None:
         return None
 
 
+def encode_src(key: str, kernel: str, source: str) -> dict:
+    """Envelope for specialized-simulator generated source
+    (:mod:`repro.sim.fast.specialize`).  The key already folds in the
+    program dump and ``CODEGEN_VERSION``, so the payload is just the
+    source text."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "src",
+        "key": key,
+        "kernel": kernel,
+        "payload": {"source": source},
+    }
+
+
+def decode_src(envelope: dict) -> str | None:
+    try:
+        if envelope.get("schema") != SCHEMA_VERSION or envelope.get("kind") != "src":
+            return None
+        source = envelope["payload"]["source"]
+        return source if isinstance(source, str) else None
+    except (KeyError, TypeError):
+        return None
+
+
 def encode_seq(key: str, kernel: str, cycles: float) -> dict:
     """Envelope for a sequential-baseline cycle count."""
     return {
